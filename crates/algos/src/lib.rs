@@ -1,0 +1,34 @@
+//! # graphm-algos — iterative graph algorithms as GraphM jobs
+//!
+//! The paper's four benchmarks (§5.1) plus two of the workload "variants"
+//! its introduction motivates, each implemented against
+//! [`graphm_core::GraphJob`] so any host engine — GridGraph-style grids,
+//! GraphChi-style shards, the simulated PowerGraph/Chaos clusters — can run
+//! them under any execution scheme:
+//!
+//! | Job | Access pattern | Cost factor |
+//! |-----|----------------|-------------|
+//! | [`PageRank`] | dense, whole graph each iteration | 1.0 |
+//! | [`Wcc`] | shrinking frontier | 0.8 |
+//! | [`Bfs`] | expanding-then-shrinking frontier | 0.5 |
+//! | [`Sssp`] | irregular frontier, weighted | 0.7 |
+//! | [`PersonalizedPageRank`] | dense, seed-specific state | 1.0 |
+//! | [`LabelPropagation`] | salted frontiers | 0.9 |
+//!
+//! [`reference`] holds the sequential oracles the integration tests
+//! compare every scheme against.
+
+pub mod bfs;
+pub mod labelprop;
+pub mod pagerank;
+pub mod ppr;
+pub mod reference;
+pub mod sssp;
+pub mod wcc;
+
+pub use bfs::{Bfs, UNREACHED};
+pub use labelprop::LabelPropagation;
+pub use pagerank::PageRank;
+pub use ppr::PersonalizedPageRank;
+pub use sssp::{Sssp, UNREACHABLE};
+pub use wcc::Wcc;

@@ -1,0 +1,25 @@
+//! Algorithm-1 labelling throughput and Formula-1 sizing cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphm_core::{chunk_size_bytes, label_partition};
+use graphm_graph::{generators, MemoryProfile};
+
+fn bench_chunking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labelling");
+    for edges in [10_000usize, 100_000, 1_000_000] {
+        let g = generators::rmat(edges as u32 / 16, edges, generators::RmatParams::GRAPH500, 3);
+        let mut sorted = g.edges.clone();
+        sorted.sort_by_key(|e| e.src);
+        group.throughput(Throughput::Elements(edges as u64));
+        group.bench_with_input(BenchmarkId::new("label_partition", edges), &sorted, |b, s| {
+            b.iter(|| label_partition(s, 32 << 10))
+        });
+    }
+    group.finish();
+    c.bench_function("formula1_chunk_size", |b| {
+        b.iter(|| chunk_size_bytes(&MemoryProfile::DEFAULT, 18 << 20, 41_700, 8))
+    });
+}
+
+criterion_group!(benches, bench_chunking);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Formula-5 loading-order computation cost as partitions and jobs grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphm_core::{loading_order, GlobalTable, SchedulingPolicy};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loading_order");
+    for (parts, jobs) in [(16usize, 8usize), (64, 16), (256, 32)] {
+        let table = GlobalTable::new(parts);
+        for j in 0..jobs {
+            let pids: Vec<usize> = (0..parts).filter(|p| (p + j) % (j + 2) == 0).collect();
+            table.set_active_partitions(j, &pids);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("prioritized", format!("{parts}p_{jobs}j")),
+            &table,
+            |b, t| b.iter(|| loading_order(t, SchedulingPolicy::Prioritized)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

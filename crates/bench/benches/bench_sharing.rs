@@ -1,0 +1,41 @@
+//! Wall-clock comparison of the three execution schemes with real threads
+//! (GridGraph host): the headline Share-Synchronize effect, measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphm_algos::PageRank;
+use graphm_core::GraphJob;
+use graphm_graph::generators;
+use graphm_gridgraph::{wall, GridGraphEngine};
+
+fn jobs(engine: &GridGraphEngine, n_vertices: u32, count: usize) -> Vec<Box<dyn GraphJob>> {
+    (0..count)
+        .map(|i| {
+            Box::new(
+                PageRank::new(n_vertices, engine.out_degrees(), 0.5 + 0.05 * i as f64, 3)
+                    .with_tolerance(0.0),
+            ) as Box<dyn GraphJob>
+        })
+        .collect()
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let g = generators::rmat(20_000, 200_000, generators::RmatParams::GRAPH500, 7);
+    let (engine, _) = GridGraphEngine::convert(&g, 4);
+    let mut group = c.benchmark_group("sharing_wall");
+    group.sample_size(10);
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter(|| wall::run_sequential(jobs(&engine, g.num_vertices, n), &engine, 10))
+        });
+        group.bench_with_input(BenchmarkId::new("concurrent", n), &n, |b, &n| {
+            b.iter(|| wall::run_concurrent(jobs(&engine, g.num_vertices, n), &engine, 10))
+        });
+        group.bench_with_input(BenchmarkId::new("shared", n), &n, |b, &n| {
+            b.iter(|| wall::run_shared(jobs(&engine, g.num_vertices, n), &engine, 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharing);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation — chunk size around the Formula-1 value (×¼, ×½, ×1, ×2, ×4):
+//! too small pays synchronization; too large thrashes the LLC (§3.2).
+
+use graphm_cachesim::keys;
+use graphm_core::{chunk_size_bytes, Scheme};
+use graphm_workloads::immediate_arrivals;
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Ablation", "chunk size vs the Formula-1 optimum (twitter-sim)");
+    let wb = graphm_bench::workbench(graphm_graph::DatasetId::Twitter);
+    let specs = wb.paper_mix(graphm_bench::jobs(), graphm_bench::seed());
+    let arr = immediate_arrivals(specs.len());
+    let formula = chunk_size_bytes(&wb.profile, wb.graph.size_bytes(), wb.graph.num_vertices, 8);
+    graphm_bench::header(&["chunk", "bytes", "M(s)", "LLC miss%", "sync(s)"]);
+    let mut recs = Vec::new();
+    for mult in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
+        let bytes = ((formula as f64 * mult) as usize).max(192);
+        let mut cfg = wb.runner_config();
+        cfg.chunk_bytes_override = Some(bytes);
+        let m = wb.run_with(Scheme::Shared, &specs, &arr, &cfg);
+        let miss = m.metrics.get(keys::LLC_MISSES) / m.metrics.get(keys::LLC_ACCESSES).max(1.0);
+        graphm_bench::row(&[
+            format!("{mult}x"),
+            bytes.to_string(),
+            format!("{:.3}", graphm_bench::ns_to_s(m.makespan_ns)),
+            format!("{:.2}%", miss * 100.0),
+            format!("{:.4}", graphm_bench::ns_to_s(m.metrics.get(keys::SYNC_NS))),
+        ]);
+        recs.push(json!({
+            "multiplier": mult, "chunk_bytes": bytes, "M_ns": m.makespan_ns,
+            "miss_rate": miss, "sync_ns": m.metrics.get(keys::SYNC_NS),
+        }));
+        eprintln!("[{mult}x] done");
+    }
+    println!("\n(expected: the Formula-1 value (1x = {formula} B) is at or near the minimum)");
+    graphm_bench::save_json("ablate_chunk_size", &json!({ "formula_bytes": formula, "rows": recs }));
+}

@@ -1,0 +1,22 @@
+//! Figure 2 — number of concurrent jobs traced on a social network over
+//! one week (the motivation trace: peak > 30, mean ≈ 16).
+
+use graphm_workloads::weekly_concurrency;
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Figure 2", "concurrent jobs over one traced week");
+    let curve = weekly_concurrency(graphm_bench::seed());
+    graphm_bench::header(&["hour", "jobs", "bar"]);
+    for (h, &n) in curve.iter().enumerate().step_by(4) {
+        graphm_bench::row(&[h.to_string(), n.to_string(), "#".repeat(n)]);
+    }
+    let mean = curve.iter().sum::<usize>() as f64 / curve.len() as f64;
+    let peak = *curve.iter().max().unwrap();
+    println!("\npeak = {peak} concurrent jobs (paper: >30)");
+    println!("mean = {mean:.1} concurrent jobs (paper: ~16)");
+    graphm_bench::save_json(
+        "fig02_trace",
+        &json!({ "curve": curve, "peak": peak, "mean": mean }),
+    );
+}

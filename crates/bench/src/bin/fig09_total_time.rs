@@ -1,0 +1,34 @@
+//! Figure 9 — total execution time of the 16-job mix under
+//! GridGraph-S / -C / -M on every dataset (normalized).
+
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Figure 9", "total execution time for 16 concurrent jobs");
+    let results = graphm_bench::main_eval();
+    let rows = graphm_bench::scheme_table("Total execution time (s)", &results, |r| {
+        graphm_bench::ns_to_s(r.makespan_ns)
+    });
+    // Paper-style summary: throughput improvement of M over S and C.
+    let mut in_mem = (0.0, 0.0);
+    let mut ooc = (0.0, 0.0);
+    let mut in_n = 0.0;
+    let mut ooc_n = 0.0;
+    for (id, s, c, m) in &results {
+        let (vs_s, vs_c) = (s.makespan_ns / m.makespan_ns, c.makespan_ns / m.makespan_ns);
+        if id.spec().fits_in_memory {
+            in_mem.0 += vs_s;
+            in_mem.1 += vs_c;
+            in_n += 1.0;
+        } else {
+            ooc.0 += vs_s;
+            ooc.1 += vs_c;
+            ooc_n += 1.0;
+        }
+    }
+    println!("\nGridGraph-M speedup, in-memory datasets:   {:.2}x vs S, {:.2}x vs C (paper: 2.6x / 1.73x)",
+        in_mem.0 / in_n, in_mem.1 / in_n);
+    println!("GridGraph-M speedup, out-of-core datasets: {:.2}x vs S, {:.2}x vs C (paper: 11.6x / 13x)",
+        ooc.0 / ooc_n, ooc.1 / ooc_n);
+    graphm_bench::save_json("fig09_total_time", &json!({ "rows": rows }));
+}

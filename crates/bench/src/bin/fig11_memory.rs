@@ -1,0 +1,14 @@
+//! Figure 11 — peak memory usage of the 16-job mix per scheme (normalized).
+
+use graphm_cachesim::keys;
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Figure 11", "memory usage for 16 concurrent jobs");
+    let results = graphm_bench::main_eval();
+    let rows = graphm_bench::scheme_table("Peak resident bytes", &results, |r| {
+        r.metrics.get(keys::PEAK_MEMORY_BYTES)
+    });
+    println!("\n(paper: M sits between S and C — one shared graph copy plus all jobs' state)");
+    graphm_bench::save_json("fig11_memory", &json!({ "rows": rows }));
+}

@@ -1,0 +1,26 @@
+//! Figure 13 — LLC miss rate per scheme and dataset.
+
+use graphm_cachesim::keys;
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Figure 13", "LLC miss rate for 16 concurrent jobs");
+    let results = graphm_bench::main_eval();
+    graphm_bench::header(&["dataset", "GridGraph-S", "GridGraph-C", "GridGraph-M"]);
+    let mut recs = Vec::new();
+    for (id, s, c, m) in &results {
+        let rate = |r: &graphm_core::RunReport| {
+            r.metrics.get(keys::LLC_MISSES) / r.metrics.get(keys::LLC_ACCESSES).max(1.0) * 100.0
+        };
+        let (rs, rc, rm) = (rate(s), rate(c), rate(m));
+        graphm_bench::row(&[
+            id.name().into(),
+            format!("{rs:.2}%"),
+            format!("{rc:.2}%"),
+            format!("{rm:.2}%"),
+        ]);
+        recs.push(json!({ "dataset": id.name(), "S": rs, "C": rc, "M": rm }));
+    }
+    println!("\n(paper: UK-union — 45.3% S, 43.3% C, 15.69% M)");
+    graphm_bench::save_json("fig13_llc_missrate", &json!({ "rows": recs }));
+}

@@ -1,0 +1,14 @@
+//! Figure 14 — volume of data swapped into the LLC per scheme (normalized).
+
+use graphm_cachesim::keys;
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Figure 14", "volume of data swapped into the LLC");
+    let results = graphm_bench::main_eval();
+    let rows = graphm_bench::scheme_table("LLC fill bytes", &results, |r| {
+        r.metrics.get(keys::LLC_FILL_BYTES)
+    });
+    println!("\n(paper: on UK-union, S fills 65% of C's volume and M only 55% of S's)");
+    graphm_bench::save_json("fig14_llc_volume", &json!({ "rows": rows }));
+}

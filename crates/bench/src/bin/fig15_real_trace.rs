@@ -1,0 +1,50 @@
+//! Figure 15 — throughput of the real-trace workload (jobs submitted per
+//! the weekly concurrency curve) under the three schemes, per dataset.
+
+use graphm_workloads::{Trace, HOUR_NS};
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Figure 15", "performance of the jobs for the real trace");
+    // A slice of the weekly trace: the first N hours' jobs, submitted at
+    // their hour marks (virtual time), on every dataset.
+    let hours = graphm_bench::env_usize("GRAPHM_TRACE_HOURS", 3);
+    let mut recs = Vec::new();
+    graphm_bench::header(&["dataset", "jobs", "S(s)", "C(s)", "M(s)", "M vs S", "M vs C"]);
+    for id in graphm_graph::DatasetId::ALL {
+        let wb = graphm_bench::workbench(id);
+        let trace = Trace::generate(wb.graph.num_vertices, graphm_bench::seed());
+        let mut specs = Vec::new();
+        let mut arrivals = Vec::new();
+        // Scale the virtual hour so consecutive batches overlap on the
+        // scaled datasets the way hour-long batches do in production
+        // (the paper's jobs run for sizable fractions of an hour; ours
+        // finish ~10^4x faster, so the hour shrinks accordingly).
+        let hour_ns = HOUR_NS / (graphm_bench::scale() as f64 * 512.0);
+        for h in 0..hours {
+            for spec in &trace.hourly_jobs[h] {
+                specs.push(*spec);
+                arrivals.push(h as f64 * hour_ns);
+            }
+        }
+        let s = wb.run(graphm_core::Scheme::Sequential, &specs, &arrivals);
+        let c = wb.run(graphm_core::Scheme::Concurrent, &specs, &arrivals);
+        let m = wb.run(graphm_core::Scheme::Shared, &specs, &arrivals);
+        graphm_bench::row(&[
+            id.name().into(),
+            specs.len().to_string(),
+            format!("{:.3}", graphm_bench::ns_to_s(s.makespan_ns)),
+            format!("{:.3}", graphm_bench::ns_to_s(c.makespan_ns)),
+            format!("{:.3}", graphm_bench::ns_to_s(m.makespan_ns)),
+            format!("{:.2}x", s.makespan_ns / m.makespan_ns),
+            format!("{:.2}x", c.makespan_ns / m.makespan_ns),
+        ]);
+        recs.push(json!({
+            "dataset": id.name(), "jobs": specs.len(),
+            "S_ns": s.makespan_ns, "C_ns": c.makespan_ns, "M_ns": m.makespan_ns,
+        }));
+        eprintln!("[{}] done", id.name());
+    }
+    println!("\n(paper: M improves throughput 1.5-7.1x vs S and 1.48-9.8x vs C on the trace)");
+    graphm_bench::save_json("fig15_real_trace", &json!({ "rows": recs }));
+}

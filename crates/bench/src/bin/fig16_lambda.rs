@@ -1,0 +1,38 @@
+//! Figure 16 — sensitivity to the submission rate λ (Poisson arrivals)
+//! on UK-union: higher λ (denser submissions) favors GraphM more.
+
+use graphm_core::Scheme;
+use graphm_workloads::poisson_arrivals;
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Figure 16", "performance of GraphM for various lambda (UK-union)");
+    let wb = graphm_bench::workbench(graphm_graph::DatasetId::UkUnion);
+    let n = graphm_bench::jobs();
+    let specs = wb.paper_mix(n, graphm_bench::seed());
+    // Same unit scaling as the trace harness: submission gaps must be
+    // commensurate with the scaled jobs' runtimes for overlap to vary
+    // with lambda at all.
+    let unit_ns = graphm_workloads::HOUR_NS / (graphm_bench::scale() as f64 * 512.0);
+    graphm_bench::header(&["lambda", "S(s)", "C(s)", "M(s)", "M vs C"]);
+    let mut recs = Vec::new();
+    for lambda in [2.0f64, 4.0, 6.0, 8.0, 10.0] {
+        let arr = poisson_arrivals(n, lambda, unit_ns, graphm_bench::seed());
+        let s = wb.run(Scheme::Sequential, &specs, &arr);
+        let c = wb.run(Scheme::Concurrent, &specs, &arr);
+        let m = wb.run(Scheme::Shared, &specs, &arr);
+        graphm_bench::row(&[
+            format!("{lambda:.0}"),
+            format!("{:.3}", graphm_bench::ns_to_s(s.makespan_ns)),
+            format!("{:.3}", graphm_bench::ns_to_s(c.makespan_ns)),
+            format!("{:.3}", graphm_bench::ns_to_s(m.makespan_ns)),
+            format!("{:.2}x", c.makespan_ns / m.makespan_ns),
+        ]);
+        recs.push(json!({
+            "lambda": lambda, "S_ns": s.makespan_ns, "C_ns": c.makespan_ns, "M_ns": m.makespan_ns,
+        }));
+        eprintln!("[lambda={lambda}] done");
+    }
+    println!("\n(paper: higher speedup when jobs are submitted more frequently)");
+    graphm_bench::save_json("fig16_lambda", &json!({ "rows": recs }));
+}

@@ -1,0 +1,51 @@
+//! Figure 17 — 16 BFS or 16 SSSP jobs whose roots are sampled within
+//! 1–5 hops of a base vertex (LiveJ): closer roots mean stronger access
+//! similarity and bigger GraphM wins.
+
+use graphm_core::Scheme;
+use graphm_workloads::{immediate_arrivals, roots_within_hops, AlgoKind, JobSpec};
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Figure 17", "impact of BFS/SSSP root distance (livej-sim)");
+    let wb = graphm_bench::workbench(graphm_graph::DatasetId::LiveJ);
+    let n = graphm_bench::jobs();
+    // Base root: a well-connected vertex (max out-degree).
+    let deg = wb.graph.out_degrees();
+    let base = deg
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v as u32)
+        .unwrap_or(0);
+    let mut recs = Vec::new();
+    for kind in [AlgoKind::Bfs, AlgoKind::Sssp] {
+        println!("\n{} jobs:", kind.name());
+        graphm_bench::header(&["hops", "S(s)", "C(s)", "M(s)", "M vs C"]);
+        for hops in 1..=5usize {
+            let roots =
+                roots_within_hops(&wb.graph, base, hops, n, graphm_bench::seed() + hops as u64);
+            let specs: Vec<JobSpec> = roots
+                .iter()
+                .map(|&root| JobSpec { kind, damping: 0.85, root, max_iters: 100 })
+                .collect();
+            let arr = immediate_arrivals(n);
+            let s = wb.run(Scheme::Sequential, &specs, &arr);
+            let c = wb.run(Scheme::Concurrent, &specs, &arr);
+            let m = wb.run(Scheme::Shared, &specs, &arr);
+            graphm_bench::row(&[
+                hops.to_string(),
+                format!("{:.3}", graphm_bench::ns_to_s(s.makespan_ns)),
+                format!("{:.3}", graphm_bench::ns_to_s(c.makespan_ns)),
+                format!("{:.3}", graphm_bench::ns_to_s(m.makespan_ns)),
+                format!("{:.2}x", c.makespan_ns / m.makespan_ns),
+            ]);
+            recs.push(json!({
+                "algo": kind.name(), "hops": hops,
+                "S_ns": s.makespan_ns, "C_ns": c.makespan_ns, "M_ns": m.makespan_ns,
+            }));
+        }
+    }
+    println!("\n(paper: closer roots -> stronger similarity -> higher speedup)");
+    graphm_bench::save_json("fig17_root_hops", &json!({ "rows": recs }));
+}

@@ -1,0 +1,42 @@
+//! Figure 19 — 1/2/4/8/16 concurrent PageRank jobs on Clueweb12 under the
+//! three schemes, plus the §5.6 synchronization-cost share.
+
+use graphm_cachesim::keys;
+use graphm_core::Scheme;
+use graphm_workloads::{immediate_arrivals, AlgoKind, MixConfig};
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Figure 19", "scaling with the number of jobs (clueweb-sim, PageRank)");
+    let wb = graphm_bench::workbench(graphm_graph::DatasetId::Clueweb);
+    graphm_bench::header(&["jobs", "S(s)", "C(s)", "M(s)", "M vs S", "sync share"]);
+    let mut recs = Vec::new();
+    for n in [1usize, 2, 4, 8, 16] {
+        let specs = graphm_workloads::generate_mix(
+            wb.graph.num_vertices,
+            &MixConfig::uniform(AlgoKind::PageRank, n, graphm_bench::seed()),
+        );
+        let arr = immediate_arrivals(n);
+        let s = wb.run(Scheme::Sequential, &specs, &arr);
+        let c = wb.run(Scheme::Concurrent, &specs, &arr);
+        let m = wb.run(Scheme::Shared, &specs, &arr);
+        let sync_share = m.metrics.get(keys::SYNC_NS)
+            / (m.metrics.get(keys::COMPUTE_NS) + m.metrics.get(keys::DATA_ACCESS_NS)).max(1.0);
+        graphm_bench::row(&[
+            n.to_string(),
+            format!("{:.3}", graphm_bench::ns_to_s(s.makespan_ns)),
+            format!("{:.3}", graphm_bench::ns_to_s(c.makespan_ns)),
+            format!("{:.3}", graphm_bench::ns_to_s(m.makespan_ns)),
+            format!("{:.2}x", s.makespan_ns / m.makespan_ns),
+            format!("{:.1}%", sync_share * 100.0),
+        ]);
+        recs.push(json!({
+            "jobs": n, "S_ns": s.makespan_ns, "C_ns": c.makespan_ns, "M_ns": m.makespan_ns,
+            "sync_share": sync_share,
+        }));
+        eprintln!("[{n} jobs] done");
+    }
+    println!("\n(paper: speedups 1.79/3.04/4.92/5.94x at 2/4/8/16 jobs; sync 7.1-14.6% of time;");
+    println!(" with one job the schemes roughly tie)");
+    graphm_bench::save_json("fig19_job_scaling", &json!({ "rows": recs }));
+}

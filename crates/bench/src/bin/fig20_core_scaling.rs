@@ -1,0 +1,34 @@
+//! Figure 20 — 16 jobs on twitter-sim while sweeping the (virtual) core
+//! count 1..16.
+
+use graphm_core::Scheme;
+use graphm_workloads::immediate_arrivals;
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Figure 20", "scaling with the number of CPU cores (twitter-sim)");
+    let wb = graphm_bench::workbench(graphm_graph::DatasetId::Twitter);
+    let specs = wb.paper_mix(graphm_bench::jobs(), graphm_bench::seed());
+    let arr = immediate_arrivals(specs.len());
+    graphm_bench::header(&["cores", "S(s)", "C(s)", "M(s)"]);
+    let mut recs = Vec::new();
+    for cores in [1usize, 2, 4, 8, 16] {
+        let mut cfg = wb.runner_config();
+        cfg.profile.cores = cores;
+        let s = wb.run_with(Scheme::Sequential, &specs, &arr, &cfg);
+        let c = wb.run_with(Scheme::Concurrent, &specs, &arr, &cfg);
+        let m = wb.run_with(Scheme::Shared, &specs, &arr, &cfg);
+        graphm_bench::row(&[
+            cores.to_string(),
+            format!("{:.3}", graphm_bench::ns_to_s(s.makespan_ns)),
+            format!("{:.3}", graphm_bench::ns_to_s(c.makespan_ns)),
+            format!("{:.3}", graphm_bench::ns_to_s(m.makespan_ns)),
+        ]);
+        recs.push(json!({
+            "cores": cores, "S_ns": s.makespan_ns, "C_ns": c.makespan_ns, "M_ns": m.makespan_ns,
+        }));
+        eprintln!("[{cores} cores] done");
+    }
+    println!("\n(paper: M leads at every core count, and widens with more cores)");
+    graphm_bench::save_json("fig20_core_scaling", &json!({ "rows": recs }));
+}

@@ -1,0 +1,58 @@
+//! Figure 21 — scalability of the distributed schemes: 64 jobs on
+//! UK-union over PowerGraph and Chaos, sweeping the node count 64..128.
+//! Speedups are relative to each scheme's own 64-node run, as the paper
+//! plots them.
+
+use graphm_core::Scheme;
+use graphm_distributed::{run_chaos, run_powergraph, ClusterConfig};
+use graphm_workloads::{generate_mix, MixConfig};
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Figure 21", "scalability of the distributed schemes (ukunion-sim)");
+    let g = graphm_graph::DatasetId::UkUnion.generate_scaled(graphm_bench::scale());
+    let deg = std::sync::Arc::new(g.out_degrees());
+    let n_jobs = graphm_bench::env_usize("GRAPHM_DIST_JOBS", 64);
+    let max_iters = 5;
+    let mk_jobs = || -> Vec<Box<dyn graphm_core::GraphJob>> {
+        generate_mix(g.num_vertices, &MixConfig::paper(n_jobs, graphm_bench::seed()))
+            .iter()
+            .map(|s| s.instantiate(g.num_vertices, &deg))
+            .collect()
+    };
+    let nodes_axis = [64usize, 80, 96, 102, 128]; // the paper's x-axis
+    let mut recs = Vec::new();
+    for (engine_name, groups) in [("PowerGraph", 1usize), ("Chaos", 1usize)] {
+        println!("\n{engine_name}:");
+        graphm_bench::header(&["nodes", "S", "C", "M", "(speedup vs 64 nodes)"]);
+        let mut base: Option<(f64, f64, f64)> = None;
+        for &nodes in &nodes_axis {
+            let cluster = ClusterConfig::new(nodes);
+            let run = |scheme| match engine_name {
+                "PowerGraph" => {
+                    run_powergraph(scheme, mk_jobs(), &g, cluster, groups, max_iters)
+                }
+                _ => run_chaos(scheme, mk_jobs(), &g, cluster, groups, max_iters),
+            };
+            let s = run(Scheme::Sequential).metrics.get(graphm_cachesim::keys::TOTAL_NS);
+            let c = run(Scheme::Concurrent).metrics.get(graphm_cachesim::keys::TOTAL_NS);
+            let m = run(Scheme::Shared).metrics.get(graphm_cachesim::keys::TOTAL_NS);
+            let b = *base.get_or_insert((s, c, m));
+            graphm_bench::row(&[
+                nodes.to_string(),
+                format!("{:.2}x", b.0 / s),
+                format!("{:.2}x", b.1 / c),
+                format!("{:.2}x", b.2 / m),
+                String::new(),
+            ]);
+            recs.push(json!({
+                "engine": engine_name, "nodes": nodes,
+                "S_ns": s, "C_ns": c, "M_ns": m,
+                "S_speedup": b.0 / s, "C_speedup": b.1 / c, "M_speedup": b.2 / m,
+            }));
+            eprintln!("[{engine_name} {nodes} nodes] done");
+        }
+    }
+    println!("\n(paper: all schemes gain from 64->128 nodes; the M variants scale best)");
+    graphm_bench::save_json("fig21_distributed_scaling", &json!({ "rows": recs }));
+}

@@ -1,0 +1,38 @@
+//! Table 2 — properties of the (stand-in) datasets.
+
+use graphm_graph::DatasetId;
+use serde_json::json;
+
+fn main() {
+    graphm_bench::banner("Table 2", "graph datasets used in the experiments");
+    graphm_bench::header(&["dataset", "paper", "vertices", "edges", "size", "max-deg", "avg-deg"]);
+    let mut recs = Vec::new();
+    for id in DatasetId::ALL {
+        let spec = id.spec();
+        let scale = graphm_bench::scale();
+        let g = id.generate_scaled(scale);
+        let size_mb = g.size_bytes() as f64 / (1 << 20) as f64;
+        graphm_bench::row(&[
+            id.name().into(),
+            id.paper_name().into(),
+            g.num_vertices.to_string(),
+            g.num_edges().to_string(),
+            format!("{size_mb:.1} MB"),
+            g.max_out_degree().to_string(),
+            format!("{:.1}", g.avg_out_degree()),
+        ]);
+        recs.push(json!({
+            "name": id.name(),
+            "paper": id.paper_name(),
+            "vertices": g.num_vertices,
+            "edges": g.num_edges(),
+            "bytes": g.size_bytes(),
+            "max_out_degree": g.max_out_degree(),
+            "avg_out_degree": g.avg_out_degree(),
+            "standin_full_vertices": spec.num_vertices,
+            "standin_full_edges": spec.num_edges,
+        }));
+    }
+    println!("\n(paper sizes: LiveJ 526 MB, Orkut 894 MB, Twitter 10.9 GB, UK-union 40.1 GB, Clueweb12 317 GB)");
+    graphm_bench::save_json("tab02_datasets", &json!({ "datasets": recs }));
+}

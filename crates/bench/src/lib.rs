@@ -1,0 +1,205 @@
+//! # graphm-bench — harnesses regenerating every table and figure
+//!
+//! One binary per experiment (see `src/bin/`); each prints the paper's
+//! rows/series to stdout and writes a JSON record under
+//! `target/graphm-results/` for `EXPERIMENTS.md`.
+//!
+//! Environment knobs:
+//!
+//! * `GRAPHM_SCALE` — dataset scale divisor (default 16; 1 = full
+//!   stand-in scale, slower but highest fidelity);
+//! * `GRAPHM_JOBS` — concurrent job count where the paper uses 16;
+//! * `GRAPHM_SEED` — workload seed (default 42).
+//!
+//! Run binaries with `--release`; the cache simulator is the hot loop.
+
+use graphm_cachesim::Metrics;
+use graphm_graph::DatasetId;
+use graphm_workloads::{scaled_profile, Workbench};
+use serde_json::{json, Value};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Reads an env var integer with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Dataset scale divisor for this run.
+pub fn scale() -> usize {
+    env_usize("GRAPHM_SCALE", 16).max(1)
+}
+
+/// Concurrent job count for 16-job experiments.
+pub fn jobs() -> usize {
+    env_usize("GRAPHM_JOBS", 16).max(1)
+}
+
+/// Workload seed.
+pub fn seed() -> u64 {
+    env_usize("GRAPHM_SEED", 42) as u64
+}
+
+/// Grid dimension used by the GridGraph experiments (64 blocks; the paper
+/// sizes `P` so blocks stream through memory comfortably — per-process
+/// stream buffers must stay small next to DRAM).
+pub const GRID_P: usize = 8;
+
+/// Builds the standard workbench for a dataset at the current scale.
+pub fn workbench(id: DatasetId) -> Workbench {
+    Workbench::dataset(id, scale(), GRID_P)
+}
+
+/// The scaled memory profile used for standalone (non-workbench) runs.
+pub fn profile() -> graphm_graph::MemoryProfile {
+    scaled_profile(graphm_graph::MemoryProfile::DEFAULT, scale())
+}
+
+/// Prints an experiment banner.
+pub fn banner(exp: &str, what: &str) {
+    println!("================================================================");
+    println!("{exp} — {what}");
+    println!(
+        "scale=1/{}  jobs={}  seed={}  (GRAPHM_SCALE / GRAPHM_JOBS / GRAPHM_SEED)",
+        scale(),
+        jobs(),
+        seed()
+    );
+    println!("================================================================");
+}
+
+/// Prints a table header.
+pub fn header(cols: &[&str]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+    println!("{}", "-".repeat(15 * cols.len()));
+}
+
+/// Prints one row of mixed-format cells.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float compactly.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Normalizes a series to its maximum (the paper's "normalized" y-axes).
+pub fn normalize(series: &[f64]) -> Vec<f64> {
+    let max = series.iter().cloned().fold(0.0f64, f64::max);
+    if max == 0.0 {
+        series.to_vec()
+    } else {
+        series.iter().map(|v| v / max).collect()
+    }
+}
+
+/// Converts virtual nanoseconds to seconds for display.
+pub fn ns_to_s(ns: f64) -> f64 {
+    ns / 1e9
+}
+
+/// Extracts the headline counters of a run into JSON.
+pub fn metrics_json(m: &Metrics) -> Value {
+    let mut map = serde_json::Map::new();
+    for (k, v) in m.iter() {
+        map.insert(k.to_string(), json!(v));
+    }
+    Value::Object(map)
+}
+
+/// Writes an experiment's JSON record to `target/graphm-results/`.
+pub fn save_json(name: &str, value: &Value) {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.push("target");
+    dir.push("graphm-results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    dir.push(format!("{name}.json"));
+    if let Ok(mut file) = std::fs::File::create(&dir) {
+        let _ = writeln!(file, "{}", serde_json::to_string_pretty(value).unwrap());
+        println!("\n[saved {}]", dir.display());
+    }
+}
+
+/// The §5.3 main-evaluation sweep: the paper's 16-job mix on every dataset
+/// under all three schemes. Shared by Figures 9–14.
+pub fn main_eval() -> Vec<(DatasetId, graphm_core::RunReport, graphm_core::RunReport, graphm_core::RunReport)>
+{
+    DatasetId::ALL
+        .into_iter()
+        .map(|id| {
+            let wb = workbench(id);
+            let specs = wb.paper_mix(jobs(), seed());
+            let (s, c, m) = wb.run_all_schemes(&specs);
+            eprintln!(
+                "[{}] S={:.3}s C={:.3}s M={:.3}s",
+                id.name(),
+                ns_to_s(s.makespan_ns),
+                ns_to_s(c.makespan_ns),
+                ns_to_s(m.makespan_ns)
+            );
+            (id, s, c, m)
+        })
+        .collect()
+}
+
+/// Prints a normalized three-scheme comparison for one metric and returns
+/// the raw values as JSON.
+pub fn scheme_table(
+    title: &str,
+    results: &[(DatasetId, graphm_core::RunReport, graphm_core::RunReport, graphm_core::RunReport)],
+    get: impl Fn(&graphm_core::RunReport) -> f64,
+) -> Value {
+    println!("\n{title} (normalized per dataset; raw in parentheses)");
+    header(&["dataset", "GridGraph-S", "GridGraph-C", "GridGraph-M"]);
+    let mut recs = Vec::new();
+    for (id, s, c, m) in results {
+        let vals = [get(s), get(c), get(m)];
+        let norm = normalize(&vals);
+        row(&[
+            id.name().into(),
+            format!("{:.3} ({})", norm[0], f(vals[0])),
+            format!("{:.3} ({})", norm[1], f(vals[1])),
+            format!("{:.3} ({})", norm[2], f(vals[2])),
+        ]);
+        recs.push(json!({ "dataset": id.name(), "S": vals[0], "C": vals[1], "M": vals[2] }));
+    }
+    Value::Array(recs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        assert_eq!(env_usize("GRAPHM_NO_SUCH_VAR_XYZ", 7), 7);
+        assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn normalize_caps_at_one() {
+        let n = normalize(&[1.0, 2.0, 4.0]);
+        assert_eq!(n, vec![0.25, 0.5, 1.0]);
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn format_compact() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1.5), "1.500");
+        assert!(f(1e9).contains('e'));
+    }
+}

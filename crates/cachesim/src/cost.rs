@@ -1,0 +1,172 @@
+//! Virtual-time cost model.
+//!
+//! Wall-clock on a 2-core container cannot reproduce a 16-core/128-node
+//! testbed, so the figure harnesses accumulate *virtual nanoseconds* from
+//! this model instead: per-edge compute, LLC hit/miss latencies (fed by the
+//! simulator's actual outcomes), disk transfers, and synchronization events.
+//! GraphM's profiling phase (§3.4.2) then *measures* `T(F_j)` and `T(E)`
+//! from these virtual timings, exactly as the paper measures them from real
+//! ones — the mechanism under test is the paper's, only the clock is
+//! synthetic.
+//!
+//! Latency defaults approximate the paper's testbed (Xeon E5-2670, DDR3,
+//! 1 TB hard drive): an access that does *not* miss the LLC costs ≈ 3 ns
+//! (it is usually served by L1/L2), a DRAM access ≈ 80 ns, HDD ≈ 150 MB/s.
+//! The per-load seek cost is scaled down with the datasets (200 µs instead
+//! of a spinning disk's ~4 ms): partitions here are hundreds of KB where
+//! the paper's are hundreds of MB, and an unscaled seek would dominate
+//! every load the way it never does at full scale.
+
+/// Latency/bandwidth parameters for virtual time, all in nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct CostParams {
+    /// Cost of an access that stays on-chip (L1/L2/LLC hit).
+    pub llc_hit_ns: f64,
+    /// Cost of an LLC miss served from DRAM.
+    pub llc_miss_ns: f64,
+    /// Base ALU cost of processing one edge (multiplied by each job's
+    /// `edge_cost_factor`, this generates the ground-truth `T(F_j)`).
+    pub edge_compute_ns: f64,
+    /// Cost of inspecting and skipping an edge whose source is inactive.
+    pub skip_edge_ns: f64,
+    /// Per-byte sequential disk transfer (150 MB/s ≈ 6.67 ns/B).
+    pub disk_byte_ns: f64,
+    /// Fixed per-load positioning cost. Streaming engines read their
+    /// partition files sequentially, so a partition "seek" is a short
+    /// stride within an already-open file, not a cold random seek.
+    pub disk_seek_ns: f64,
+    /// Per-chunk synchronization event cost. The fine-grained trigger is
+    /// a relaxed shared-memory progress counter per chunk per job (~50 ns
+    /// amortized), not a kernel barrier; chunks here are KBs (scaled LLC)
+    /// rather than the paper's MBs, so a mis-scaled barrier cost would
+    /// swamp the chunk work it synchronizes. §5.6's measured share (sync =
+    /// 7.1%-14.6% of total time) is the calibration target, checked by the
+    /// fig19 harness.
+    pub sync_event_ns: f64,
+    /// Per-job-per-partition scheduling bookkeeping (global-table update).
+    pub schedule_event_ns: f64,
+}
+
+impl CostParams {
+    /// Defaults described in the module docs.
+    pub const DEFAULT: CostParams = CostParams {
+        llc_hit_ns: 3.0,
+        llc_miss_ns: 80.0,
+        edge_compute_ns: 5.0,
+        skip_edge_ns: 1.0,
+        disk_byte_ns: 6.67,
+        disk_seek_ns: 20_000.0,
+        sync_event_ns: 50.0,
+        schedule_event_ns: 100.0,
+    };
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams::DEFAULT
+    }
+}
+
+/// Abstract instruction-count model for the LPI metric (Figure 3(c)).
+///
+/// LPI = LLC misses / instructions. The engines count one `per_edge` block
+/// for every streamed edge and one `per_vertex` block for every vertex-state
+/// update; constants roughly follow the instruction mixes reported for
+/// edge-centric engines (a streamed edge costs a dozen instructions:
+/// decode, bounds, gather, compute, scatter).
+#[derive(Clone, Copy, Debug)]
+pub struct InstrModel {
+    /// Instructions charged per streamed edge.
+    pub per_edge: u64,
+    /// Instructions charged per vertex-state update.
+    pub per_vertex: u64,
+    /// Instructions charged per iteration of per-job bookkeeping.
+    pub per_iteration: u64,
+}
+
+impl InstrModel {
+    /// Default mix.
+    pub const DEFAULT: InstrModel = InstrModel { per_edge: 14, per_vertex: 8, per_iteration: 5_000 };
+}
+
+impl Default for InstrModel {
+    fn default() -> Self {
+        InstrModel::DEFAULT
+    }
+}
+
+/// Per-job virtual clock, accumulating nanoseconds by category so Figure 10
+/// (execution-time breakdown) falls straight out.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VirtualClock {
+    /// Pure graph-processing compute time.
+    pub compute_ns: f64,
+    /// Memory-hierarchy access time (LLC hits + misses).
+    pub mem_access_ns: f64,
+    /// Disk wait time.
+    pub disk_ns: f64,
+    /// Synchronization overhead (GraphM chunk barriers).
+    pub sync_ns: f64,
+}
+
+impl VirtualClock {
+    /// Total virtual nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.compute_ns + self.mem_access_ns + self.disk_ns + self.sync_ns
+    }
+
+    /// The paper's "data accessing time" (Figure 10): everything that is
+    /// not algorithm compute.
+    pub fn data_access_ns(&self) -> f64 {
+        self.mem_access_ns + self.disk_ns + self.sync_ns
+    }
+
+    /// Adds another clock's categories into this one.
+    pub fn merge(&mut self, other: &VirtualClock) {
+        self.compute_ns += other.compute_ns;
+        self.mem_access_ns += other.mem_access_ns;
+        self.disk_ns += other.disk_ns;
+        self.sync_ns += other.sync_ns;
+    }
+
+    /// Scales every category (used when apportioning a shared cost).
+    pub fn scaled(&self, f: f64) -> VirtualClock {
+        VirtualClock {
+            compute_ns: self.compute_ns * f,
+            mem_access_ns: self.mem_access_ns * f,
+            disk_ns: self.disk_ns * f,
+            sync_ns: self.sync_ns * f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_breakdown() {
+        let c = VirtualClock { compute_ns: 10.0, mem_access_ns: 20.0, disk_ns: 30.0, sync_ns: 5.0 };
+        assert!((c.total_ns() - 65.0).abs() < 1e-9);
+        assert!((c.data_access_ns() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = VirtualClock { compute_ns: 1.0, mem_access_ns: 2.0, disk_ns: 3.0, sync_ns: 4.0 };
+        let b = a;
+        a.merge(&b);
+        assert!((a.total_ns() - 20.0).abs() < 1e-9);
+        let s = a.scaled(0.5);
+        assert!((s.total_ns() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defaults_sane() {
+        let p = CostParams::DEFAULT;
+        assert!(p.llc_miss_ns > p.llc_hit_ns);
+        assert!(p.disk_seek_ns > p.llc_miss_ns);
+        let m = InstrModel::DEFAULT;
+        assert!(m.per_edge > 0 && m.per_vertex > 0);
+    }
+}

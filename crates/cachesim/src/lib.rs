@@ -1,0 +1,26 @@
+//! # graphm-cachesim — measurement substrate for the GraphM reproduction
+//!
+//! The paper evaluates GraphM with hardware counters (LLC misses, LPI,
+//! memory usage, disk I/O) on a 16-core/32 GB/20 MB-LLC testbed. This crate
+//! replaces that hardware with deterministic simulators so every figure is
+//! reproducible on any machine:
+//!
+//! * [`llc`] — set-associative LRU last-level cache;
+//! * [`memory`] — buffer-granular DRAM with LRU eviction and disk counters;
+//! * [`addrspace`] — synthetic address allocator that makes "N private
+//!   copies" and "one shared copy" observable to the LLC;
+//! * [`cost`] — virtual-time model (compute / memory / disk / sync) used by
+//!   the figure harnesses;
+//! * [`metrics`] — the named-counter registry every runner reports into.
+
+pub mod addrspace;
+pub mod cost;
+pub mod llc;
+pub mod memory;
+pub mod metrics;
+
+pub use addrspace::AddrSpace;
+pub use cost::{CostParams, InstrModel, VirtualClock};
+pub use llc::{Llc, LlcConfig, LlcStats};
+pub use memory::{MemConfig, MemStats, MemorySim, RegionId};
+pub use metrics::{keys, Metrics};

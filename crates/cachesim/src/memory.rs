@@ -1,0 +1,338 @@
+//! Buffer-granular main-memory simulator.
+//!
+//! Models the paper's 32 GB DRAM (scaled down with the datasets; see
+//! `graphm_graph::MemoryProfile`). Out-of-core engines load whole graph
+//! partitions; the unit of residency here is therefore the *buffer*
+//! (partition copy, job state array, chunk table), with LRU eviction of
+//! unpinned buffers under capacity pressure. Counters feed Figure 11
+//! (memory usage) and Figure 12 (I/O overhead).
+//!
+//! Pinned buffers (job-specific state, which engines keep hot) always count
+//! against capacity; if pinned bytes alone exceed capacity, every unpinned
+//! touch faults — the thrashing regime GridGraph-C enters on UK-union in
+//! §5.3 ("intense contention ... causes the graph data to be swapped out of
+//! the memory").
+
+use std::collections::HashMap;
+
+/// Identifies a simulated allocation. Produced by the caller; the scheme
+/// runners derive ids from (job, partition) pairs or shared-region names.
+pub type RegionId = u64;
+
+/// Capacity configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MemConfig {
+    /// DRAM bytes available to graph + job data.
+    pub capacity_bytes: usize,
+}
+
+impl MemConfig {
+    /// Matches `MemoryProfile::DEFAULT` (32 MB).
+    pub const DEFAULT: MemConfig = MemConfig { capacity_bytes: 32 << 20 };
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::DEFAULT
+    }
+}
+
+/// Counters accumulated by the simulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemStats {
+    /// Bytes read from secondary storage (buffer loads and re-loads).
+    pub disk_read_bytes: u64,
+    /// Bytes written back (dirty evictions and final releases).
+    pub disk_write_bytes: u64,
+    /// Number of buffer faults (loads from disk).
+    pub faults: u64,
+    /// Number of evictions forced by capacity pressure.
+    pub evictions: u64,
+    /// High-water mark of resident bytes.
+    pub peak_resident_bytes: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Buffer {
+    bytes: usize,
+    stamp: u64,
+    pinned: bool,
+    dirty: bool,
+}
+
+/// The simulator.
+pub struct MemorySim {
+    cfg: MemConfig,
+    resident: HashMap<RegionId, Buffer>,
+    resident_bytes: usize,
+    tick: u64,
+    /// Running counters.
+    pub stats: MemStats,
+}
+
+impl MemorySim {
+    /// Creates an empty memory.
+    pub fn new(cfg: MemConfig) -> MemorySim {
+        MemorySim {
+            cfg,
+            resident: HashMap::new(),
+            resident_bytes: 0,
+            tick: 0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity_bytes
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Whether `region` is currently resident.
+    pub fn contains(&self, region: RegionId) -> bool {
+        self.resident.contains_key(&region)
+    }
+
+    /// Touches `region` of size `bytes`. If absent, it faults in from disk
+    /// (counting `bytes` of reads) after evicting LRU unpinned buffers as
+    /// needed. Returns `true` when the touch faulted.
+    pub fn touch(&mut self, region: RegionId, bytes: usize, pinned: bool) -> bool {
+        self.tick += 1;
+        if let Some(buf) = self.resident.get_mut(&region) {
+            buf.stamp = self.tick;
+            buf.pinned |= pinned;
+            return false;
+        }
+        // Fault: make room, then load.
+        self.make_room(bytes);
+        self.stats.faults += 1;
+        self.stats.disk_read_bytes += bytes as u64;
+        self.resident.insert(
+            region,
+            Buffer { bytes, stamp: self.tick, pinned, dirty: false },
+        );
+        self.resident_bytes += bytes;
+        self.stats.peak_resident_bytes =
+            self.stats.peak_resident_bytes.max(self.resident_bytes as u64);
+        true
+    }
+
+    /// Like [`MemorySim::touch`] but marks the buffer dirty, so a later
+    /// eviction or release writes it back.
+    pub fn touch_dirty(&mut self, region: RegionId, bytes: usize, pinned: bool) -> bool {
+        let faulted = self.touch(region, bytes, pinned);
+        if let Some(buf) = self.resident.get_mut(&region) {
+            buf.dirty = true;
+        }
+        faulted
+    }
+
+    /// Makes `region` resident *without* disk traffic — an anonymous
+    /// allocation (stream buffer, scratch array) filled from data already
+    /// in memory. Counts against capacity and the peak like any buffer.
+    pub fn reserve(&mut self, region: RegionId, bytes: usize, pinned: bool) {
+        self.tick += 1;
+        if let Some(buf) = self.resident.get_mut(&region) {
+            buf.stamp = self.tick;
+            buf.pinned |= pinned;
+            return;
+        }
+        self.make_room(bytes);
+        self.resident.insert(
+            region,
+            Buffer { bytes, stamp: self.tick, pinned, dirty: false },
+        );
+        self.resident_bytes += bytes;
+        self.stats.peak_resident_bytes =
+            self.stats.peak_resident_bytes.max(self.resident_bytes as u64);
+    }
+
+    /// Removes `region`; dirty contents are written back.
+    pub fn release(&mut self, region: RegionId) {
+        if let Some(buf) = self.resident.remove(&region) {
+            self.resident_bytes -= buf.bytes;
+            if buf.dirty {
+                self.stats.disk_write_bytes += buf.bytes as u64;
+            }
+        }
+    }
+
+    /// Unpins a buffer so it becomes evictable.
+    pub fn unpin(&mut self, region: RegionId) {
+        if let Some(buf) = self.resident.get_mut(&region) {
+            buf.pinned = false;
+        }
+    }
+
+    fn make_room(&mut self, incoming: usize) {
+        // Evict LRU unpinned buffers until the incoming buffer fits.
+        // Oversized buffers (> capacity) load anyway after evicting all
+        // unpinned residents — residency then over-commits, mirroring a
+        // thrashing OS rather than failing.
+        while self.resident_bytes + incoming > self.cfg.capacity_bytes {
+            let victim = self
+                .resident
+                .iter()
+                .filter(|(_, b)| !b.pinned)
+                .min_by_key(|(_, b)| b.stamp)
+                .map(|(&id, _)| id);
+            match victim {
+                Some(id) => {
+                    let buf = self.resident.remove(&id).expect("victim resident");
+                    self.resident_bytes -= buf.bytes;
+                    self.stats.evictions += 1;
+                    if buf.dirty {
+                        self.stats.disk_write_bytes += buf.bytes as u64;
+                    }
+                }
+                None => break, // everything pinned: over-commit
+            }
+        }
+    }
+
+    /// Drops every buffer without write-back (test helper / job teardown).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.resident_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(cap: usize) -> MemorySim {
+        MemorySim::new(MemConfig { capacity_bytes: cap })
+    }
+
+    #[test]
+    fn fault_once_then_resident() {
+        let mut m = mem(1000);
+        assert!(m.touch(1, 400, false));
+        assert!(!m.touch(1, 400, false));
+        assert_eq!(m.stats.disk_read_bytes, 400);
+        assert_eq!(m.resident_bytes(), 400);
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let mut m = mem(1000);
+        m.touch(1, 400, false);
+        m.touch(2, 400, false);
+        m.touch(1, 400, false); // refresh 1
+        m.touch(3, 400, false); // evicts 2
+        assert!(m.contains(1));
+        assert!(!m.contains(2));
+        assert!(m.contains(3));
+        assert_eq!(m.stats.evictions, 1);
+        // Touching 2 again re-reads from disk.
+        assert!(m.touch(2, 400, false));
+        assert_eq!(m.stats.disk_read_bytes, 4 * 400);
+    }
+
+    #[test]
+    fn pinned_buffers_survive() {
+        let mut m = mem(1000);
+        m.touch(1, 500, true);
+        m.touch(2, 400, false);
+        m.touch(3, 400, false); // must evict 2, not pinned 1
+        assert!(m.contains(1));
+        assert!(!m.contains(2));
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut m = mem(800);
+        m.touch_dirty(1, 400, false);
+        m.touch(2, 500, false); // evicts dirty 1
+        assert_eq!(m.stats.disk_write_bytes, 400);
+        m.touch_dirty(3, 100, false);
+        m.release(3);
+        assert_eq!(m.stats.disk_write_bytes, 500);
+    }
+
+    #[test]
+    fn overcommit_when_all_pinned() {
+        let mut m = mem(500);
+        m.touch(1, 400, true);
+        m.touch(2, 400, true); // cannot evict; over-commits
+        assert_eq!(m.resident_bytes(), 800);
+        assert!(m.contains(1) && m.contains(2));
+        // Unpinned data now always faults.
+        assert!(m.touch(3, 100, false));
+        m.touch(4, 100, false);
+        assert!(!m.contains(3), "3 was evicted to make room for 4");
+    }
+
+    #[test]
+    fn reserve_counts_capacity_not_disk() {
+        let mut m = mem(1000);
+        m.reserve(1, 400, true);
+        assert_eq!(m.stats.disk_read_bytes, 0);
+        assert_eq!(m.resident_bytes(), 400);
+        assert_eq!(m.stats.peak_resident_bytes, 400);
+        // Reserved pinned space squeezes out cached buffers.
+        m.touch(2, 700, false);
+        assert!(m.contains(1));
+        m.touch(3, 500, false);
+        assert!(!m.contains(2), "cache evicted under reserve pressure");
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut m = mem(10_000);
+        m.touch(1, 4000, false);
+        m.touch(2, 4000, false);
+        m.release(1);
+        m.release(2);
+        assert_eq!(m.stats.peak_resident_bytes, 8000);
+        assert_eq!(m.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn unpin_allows_eviction() {
+        let mut m = mem(500);
+        m.touch(1, 400, true);
+        m.unpin(1);
+        m.touch(2, 400, false);
+        assert!(!m.contains(1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Residency never exceeds capacity unless everything is pinned,
+        /// and resident_bytes always equals the sum of resident buffers.
+        #[test]
+        fn capacity_respected(ops in proptest::collection::vec((0u64..20, 1usize..300, any::<bool>()), 1..200)) {
+            let mut m = mem(1024);
+            for (region, bytes, pinned) in ops {
+                m.touch(region, bytes, pinned);
+                let pinned_bytes: usize = m
+                    .resident
+                    .values()
+                    .filter(|b| b.pinned)
+                    .map(|b| b.bytes)
+                    .sum();
+                let sum: usize = m.resident.values().map(|b| b.bytes).sum();
+                prop_assert_eq!(sum, m.resident_bytes());
+                // Over capacity only when pinned bytes force it.
+                if m.resident_bytes() > 1024 {
+                    prop_assert!(pinned_bytes + 300 > 1024);
+                }
+            }
+        }
+    }
+
+    fn mem(cap: usize) -> MemorySim {
+        MemorySim::new(MemConfig { capacity_bytes: cap })
+    }
+}

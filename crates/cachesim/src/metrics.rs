@@ -1,0 +1,170 @@
+//! Named-counter metrics registry.
+//!
+//! Every scheme runner emits one [`Metrics`] per experiment; the bench
+//! harnesses read the counters to print the paper's rows and the
+//! integration tests assert qualitative orderings on them (e.g. scheme M
+//! reads less from disk than scheme C).
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A flat, ordered map of metric name → value.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Metrics {
+    values: BTreeMap<String, f64>,
+}
+
+/// Well-known metric names, so runners and benches agree on spelling.
+pub mod keys {
+    /// Total virtual execution time in nanoseconds (makespan).
+    pub const TOTAL_NS: &str = "total_ns";
+    /// Virtual compute time in nanoseconds (sum over jobs).
+    pub const COMPUTE_NS: &str = "compute_ns";
+    /// Virtual data-access time in nanoseconds (sum over jobs).
+    pub const DATA_ACCESS_NS: &str = "data_access_ns";
+    /// Virtual synchronization time in nanoseconds (sum over jobs).
+    pub const SYNC_NS: &str = "sync_ns";
+    /// LLC accesses.
+    pub const LLC_ACCESSES: &str = "llc_accesses";
+    /// LLC misses.
+    pub const LLC_MISSES: &str = "llc_misses";
+    /// Bytes swapped into the LLC.
+    pub const LLC_FILL_BYTES: &str = "llc_fill_bytes";
+    /// Abstract instructions executed.
+    pub const INSTRUCTIONS: &str = "instructions";
+    /// Bytes read from disk.
+    pub const DISK_READ_BYTES: &str = "disk_read_bytes";
+    /// Bytes written to disk.
+    pub const DISK_WRITE_BYTES: &str = "disk_write_bytes";
+    /// Peak resident memory bytes.
+    pub const PEAK_MEMORY_BYTES: &str = "peak_memory_bytes";
+    /// Number of partition loads performed.
+    pub const PARTITION_LOADS: &str = "partition_loads";
+    /// Number of jobs executed.
+    pub const JOBS: &str = "jobs";
+    /// Number of iterations summed over jobs.
+    pub const ITERATIONS: &str = "iterations";
+    /// Wall-clock milliseconds, when measured.
+    pub const WALL_MS: &str = "wall_ms";
+    /// Bytes moved over the simulated network (distributed engines).
+    pub const NET_BYTES: &str = "net_bytes";
+    /// Messages sent over the simulated network.
+    pub const NET_MESSAGES: &str = "net_messages";
+}
+
+impl Metrics {
+    /// Empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `v` to `name` (creating it at 0).
+    pub fn add(&mut self, name: &str, v: f64) {
+        *self.values.entry(name.to_string()).or_insert(0.0) += v;
+    }
+
+    /// Sets `name` to `v`, overwriting.
+    pub fn set(&mut self, name: &str, v: f64) {
+        self.values.insert(name.to_string(), v);
+    }
+
+    /// Sets `name` to the max of its current value and `v`.
+    pub fn set_max(&mut self, name: &str, v: f64) {
+        let e = self.values.entry(name.to_string()).or_insert(f64::MIN);
+        if v > *e {
+            *e = v;
+        }
+    }
+
+    /// Reads `name` (0 when absent).
+    pub fn get(&self, name: &str) -> f64 {
+        self.values.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// True when `name` has been recorded.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.values {
+            self.add(k, *v);
+        }
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Ratio helper: `self[name] / other[name]`, NaN-safe (returns 0 when
+    /// the denominator is 0).
+    pub fn ratio_to(&self, other: &Metrics, name: &str) -> f64 {
+        let d = other.get(name);
+        if d == 0.0 {
+            0.0
+        } else {
+            self.get(name) / d
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "{k:>24} = {v:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_set_get() {
+        let mut m = Metrics::new();
+        m.add(keys::LLC_MISSES, 5.0);
+        m.add(keys::LLC_MISSES, 3.0);
+        assert_eq!(m.get(keys::LLC_MISSES), 8.0);
+        m.set(keys::LLC_MISSES, 1.0);
+        assert_eq!(m.get(keys::LLC_MISSES), 1.0);
+        assert_eq!(m.get("absent"), 0.0);
+        assert!(!m.contains("absent"));
+    }
+
+    #[test]
+    fn set_max() {
+        let mut m = Metrics::new();
+        m.set_max(keys::PEAK_MEMORY_BYTES, 100.0);
+        m.set_max(keys::PEAK_MEMORY_BYTES, 50.0);
+        assert_eq!(m.get(keys::PEAK_MEMORY_BYTES), 100.0);
+        m.set_max(keys::PEAK_MEMORY_BYTES, 200.0);
+        assert_eq!(m.get(keys::PEAK_MEMORY_BYTES), 200.0);
+    }
+
+    #[test]
+    fn merge_and_ratio() {
+        let mut a = Metrics::new();
+        a.add("x", 2.0);
+        let mut b = Metrics::new();
+        b.add("x", 4.0);
+        b.add("y", 1.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 6.0);
+        assert_eq!(a.get("y"), 1.0);
+        assert_eq!(a.ratio_to(&b, "x"), 1.5);
+        assert_eq!(a.ratio_to(&b, "z"), 0.0);
+    }
+
+    #[test]
+    fn serializes() {
+        let mut m = Metrics::new();
+        m.add("x", 1.5);
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("1.5"));
+    }
+}

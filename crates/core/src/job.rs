@@ -1,0 +1,183 @@
+//! The iterative-job abstraction GraphM manages.
+//!
+//! §3.1: "the data needed by an iterative graph processing job is composed
+//! of the graph structure data [...] and job-specific data (e.g., ranking
+//! scores for PageRank), marked as S. During the execution, each job needs
+//! to update its S through traversing the graph structure data until the
+//! calculated results converge."
+//!
+//! A [`GraphJob`] is exactly that `S` plus the per-edge update function.
+//! The graph structure never lives inside a job — GraphM owns and shares
+//! it — which is what lets N jobs run against one copy.
+
+use graphm_graph::{AtomicBitmap, Edge, VertexId};
+
+/// Job identifier, assigned by the runtime in submission order. Submission
+/// order matters for snapshot visibility (§3.3.2).
+pub type JobId = usize;
+
+/// Outcome of one `process_edge` call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeOutcome {
+    /// The destination vertex's state changed (it must be processed next
+    /// iteration — GraphM traces this to maintain active partitions).
+    pub activated_dst: bool,
+}
+
+/// An iterative vertex/edge-centric graph job (the paper's benchmarks:
+/// PageRank, WCC, BFS, SSSP, and variants).
+///
+/// Jobs are driven by a streaming engine: every iteration the engine calls
+/// [`GraphJob::process_edge`] for each streamed edge whose source is active,
+/// then [`GraphJob::end_iteration`]. Jobs own their active-vertex bitmaps
+/// (the paper's per-job bitmap of §3.4.1).
+pub trait GraphJob: Send {
+    /// Human-readable algorithm name ("PageRank", "BFS", ...).
+    fn name(&self) -> &str;
+
+    /// Bytes of job-specific state per vertex (`U_v` in Formula 1).
+    fn state_bytes_per_vertex(&self) -> usize;
+
+    /// Ground-truth relative computational complexity of the edge function
+    /// (`T(F_j)` up to the machine constant). The synchronization manager
+    /// never reads this — it *profiles* `T(F_j)` from observed timings
+    /// (§3.4.2) — but the virtual clock uses it to generate those timings.
+    fn edge_cost_factor(&self) -> f64 {
+        1.0
+    }
+
+    /// Whether this job skips inactive vertices (BFS/SSSP) or streams every
+    /// edge each iteration (PageRank-style). §3.4.1: "If some jobs do not
+    /// skip the useless streaming, all of their vertices are active by
+    /// default."
+    fn skips_inactive(&self) -> bool {
+        true
+    }
+
+    /// Current-iteration active vertices.
+    fn active(&self) -> &AtomicBitmap;
+
+    /// Processes one streamed edge (the source is guaranteed active when
+    /// the engine honours [`GraphJob::skips_inactive`]).
+    fn process_edge(&mut self, edge: &Edge) -> EdgeOutcome;
+
+    /// Ends the iteration: swap frontiers, test convergence. Returns `true`
+    /// when the job has converged (it will be retired by the runtime).
+    fn end_iteration(&mut self) -> bool;
+
+    /// Number of iterations completed so far.
+    fn iterations(&self) -> usize;
+
+    /// Final (or current) per-vertex values, for oracle comparison:
+    /// ranks for PageRank, component ids for WCC, levels for BFS,
+    /// distances for SSSP.
+    fn vertex_values(&self) -> Vec<f64>;
+}
+
+/// A submitted job paired with runtime bookkeeping.
+pub struct JobHandle {
+    /// Runtime-assigned id (also the snapshot version the job reads).
+    pub id: JobId,
+    /// The algorithm state.
+    pub job: Box<dyn GraphJob>,
+    /// Set once the job converges; retired jobs stop participating in
+    /// sharing and synchronization.
+    pub finished: bool,
+    /// Virtual nanoseconds this job has consumed (per-category breakdown
+    /// lives in the runner's clocks; this is the job-facing total).
+    pub virtual_ns: f64,
+    /// Virtual time at which the job was submitted (Poisson arrivals in
+    /// §5.1 stagger these).
+    pub submit_ns: f64,
+    /// Virtual time at which the job finished.
+    pub finish_ns: f64,
+}
+
+impl JobHandle {
+    /// Wraps a job for submission at virtual time `submit_ns`.
+    pub fn new(id: JobId, job: Box<dyn GraphJob>, submit_ns: f64) -> JobHandle {
+        JobHandle { id, job, finished: false, virtual_ns: 0.0, submit_ns, finish_ns: 0.0 }
+    }
+}
+
+/// A trivially simple job used by core unit tests: counts how many times
+/// each vertex appears as a destination, converging after a fixed number
+/// of iterations. All vertices stay active (PageRank-like streaming).
+pub struct CountingJob {
+    active: AtomicBitmap,
+    counts: Vec<u64>,
+    iters_done: usize,
+    max_iters: usize,
+}
+
+impl CountingJob {
+    /// A counting job over `n` vertices running `max_iters` iterations.
+    pub fn new(n: VertexId, max_iters: usize) -> CountingJob {
+        let active = AtomicBitmap::new(n as usize);
+        active.set_all();
+        CountingJob { active, counts: vec![0; n as usize], iters_done: 0, max_iters }
+    }
+}
+
+impl GraphJob for CountingJob {
+    fn name(&self) -> &str {
+        "Counting"
+    }
+
+    fn state_bytes_per_vertex(&self) -> usize {
+        8
+    }
+
+    fn skips_inactive(&self) -> bool {
+        false
+    }
+
+    fn active(&self) -> &AtomicBitmap {
+        &self.active
+    }
+
+    fn process_edge(&mut self, edge: &Edge) -> EdgeOutcome {
+        self.counts[edge.dst as usize] += 1;
+        EdgeOutcome { activated_dst: true }
+    }
+
+    fn end_iteration(&mut self) -> bool {
+        self.iters_done += 1;
+        self.iters_done >= self.max_iters
+    }
+
+    fn iterations(&self) -> usize {
+        self.iters_done
+    }
+
+    fn vertex_values(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_job_counts() {
+        let mut j = CountingJob::new(4, 2);
+        assert_eq!(j.name(), "Counting");
+        assert!(!j.skips_inactive());
+        j.process_edge(&Edge::new(0, 1));
+        j.process_edge(&Edge::new(2, 1));
+        j.process_edge(&Edge::new(1, 3));
+        assert!(!j.end_iteration(), "one of two iterations done");
+        assert!(j.end_iteration(), "converged");
+        assert_eq!(j.vertex_values(), vec![0.0, 2.0, 0.0, 1.0]);
+        assert_eq!(j.iterations(), 2);
+    }
+
+    #[test]
+    fn handle_bookkeeping() {
+        let h = JobHandle::new(3, Box::new(CountingJob::new(2, 1)), 42.0);
+        assert_eq!(h.id, 3);
+        assert!(!h.finished);
+        assert_eq!(h.submit_ns, 42.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # graphm-core — the GraphM storage system (SC '19)
+//!
+//! GraphM is a storage runtime that plugs into existing graph processing
+//! engines (GridGraph, GraphChi, PowerGraph, Chaos) and makes *concurrent*
+//! iterative jobs over the same graph efficient: one shared copy of the
+//! graph structure in memory/LLC, traversed by all jobs in a common,
+//! chunk-synchronized order.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`job`] — the iterative-job abstraction: job-specific data `S`,
+//!   active-vertex bitmaps, per-edge update functions (§3.1);
+//! * [`chunk`] — Formula-1 chunk sizing and Algorithm-1 partition
+//!   labelling into `chunk_table`s (§3.2);
+//! * [`global_table`] — partition → active-job tracking (§3.3.1);
+//! * [`source`] — how GraphM reads a host engine's partitions (§3.1);
+//! * [`graphm`] — `Init()` and the preprocessed instance (§3.1, Table 1);
+//! * [`sharing`] — the threaded `Sharing()` runtime: one load, many
+//!   consumers, suspend/resume (Algorithm 2, §3.3.1);
+//! * [`snapshot`] — copy-on-write mutations/updates (§3.3.2);
+//! * [`profile`] — the profiling/syncing phases, Formulas 2–4 (§3.4.2);
+//! * [`scheduler`] — the loading-order strategy, Formula 5 (§4);
+//! * [`exec`] / [`runner`] — deterministic replay of the S/C/M execution
+//!   schemes through the simulated memory hierarchy (§5).
+
+pub mod chunk;
+pub mod exec;
+pub mod global_table;
+pub mod graphm;
+pub mod job;
+pub mod profile;
+pub mod runner;
+pub mod scheduler;
+pub mod sharing;
+pub mod snapshot;
+pub mod source;
+
+pub use chunk::{chunk_size_bytes, label_partition, Chunk, ChunkEntry, ChunkTable};
+pub use exec::{StreamContext, StreamRun};
+pub use global_table::GlobalTable;
+pub use graphm::{GraphM, GraphMConfig};
+pub use job::{EdgeOutcome, GraphJob, JobHandle, JobId};
+pub use profile::{ProfileSample, Profiler};
+pub use runner::{run_scheme, JobReport, RunReport, RunnerConfig, Scheme, Submission};
+pub use scheduler::{loading_order, priority, SchedulingPolicy};
+pub use sharing::{SharedPartition, SharingRuntime};
+pub use snapshot::{SnapshotStore, Version};
+pub use source::{PartitionSource, VecSource};

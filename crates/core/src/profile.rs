@@ -1,0 +1,235 @@
+//! The profiling phase of the fine-grained synchronization manager
+//! (§3.4.2, Formulas 2–4).
+//!
+//! For each job `j`, the time to process a partition `P^i` decomposes as
+//!
+//! ```text
+//! T(F_j) * Σ_k Σ_{v ∈ V_k ∩ A_j} N+_k(v)   (compute on active edges)
+//!  + T(E) * Σ_k Σ_{v ∈ V_k}       N+_k(v)   (data access on all edges)
+//!  = T^i_j                                   (Formula 2)
+//! ```
+//!
+//! After the job's first two active partitions, the two unknowns `T(F_j)`
+//! and `T(E)` are solvable; `T(E)` is a property of the graph/machine and
+//! is profiled only once — later jobs recover `T(F_j)` from a single
+//! partition. The syncing phase then predicts per-chunk loads (Formula 3)
+//! and first-toucher times (Formula 4) to apportion CPU unevenly.
+
+use crate::chunk::Chunk;
+use crate::job::JobId;
+use graphm_graph::AtomicBitmap;
+use std::collections::HashMap;
+
+/// One observed partition execution: the two Formula-2 coefficients and
+/// the measured time.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfileSample {
+    /// `Σ_k Σ_{v ∈ V_k ∩ A_j} N+_k(v)` — active out-edges processed.
+    pub active_edges: f64,
+    /// `Σ_k Σ_{v ∈ V_k} N+_k(v)` — all out-edges streamed.
+    pub total_edges: f64,
+    /// Measured execution time `T^i_j` in (virtual) nanoseconds.
+    pub time_ns: f64,
+}
+
+/// Per-job profiled state.
+#[derive(Clone, Debug, Default)]
+struct JobProfile {
+    samples: Vec<ProfileSample>,
+    t_f: Option<f64>,
+}
+
+/// Profiler for all concurrent jobs; owns the shared `T(E)` estimate.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    jobs: HashMap<JobId, JobProfile>,
+    t_e: Option<f64>,
+}
+
+impl Profiler {
+    /// Fresh profiler with no estimates.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// The shared per-edge access time `T(E)`, when known.
+    pub fn t_e(&self) -> Option<f64> {
+        self.t_e
+    }
+
+    /// Seeds `T(E)` from a one-off calibration pass. §3.4.2: "T(E) is a
+    /// constant for the same graph and only needs to be profiled once for
+    /// different jobs" — the runtime measures it by streaming one partition
+    /// with no compute attached. This also keeps Formula 2 solvable for
+    /// jobs that never skip edges (PageRank-style), whose samples alone are
+    /// collinear (`active == total` in every partition).
+    pub fn set_te(&mut self, te: f64) {
+        self.t_e = Some(te.max(0.0));
+    }
+
+    /// The job's per-edge compute time `T(F_j)`, when known.
+    pub fn t_f(&self, job: JobId) -> Option<f64> {
+        self.jobs.get(&job).and_then(|p| p.t_f)
+    }
+
+    /// True once the job's load can be predicted (both constants known).
+    pub fn is_profiled(&self, job: JobId) -> bool {
+        self.t_e.is_some() && self.t_f(job).is_some()
+    }
+
+    /// Records one partition execution for `job` and refines estimates.
+    pub fn observe(&mut self, job: JobId, sample: ProfileSample) {
+        let profile = self.jobs.entry(job).or_default();
+        profile.samples.push(sample);
+        // With T(E) known, one sample with active work yields T(F_j).
+        if let Some(te) = self.t_e {
+            if profile.t_f.is_none() {
+                if let Some(s) = profile.samples.iter().find(|s| s.active_edges > 0.0) {
+                    let tf = (s.time_ns - te * s.total_edges) / s.active_edges;
+                    profile.t_f = Some(tf.max(0.0));
+                }
+            }
+            return;
+        }
+        // Otherwise solve the 2x2 system from two sufficiently different
+        // samples (Formula 2 instantiated for two partitions).
+        if profile.samples.len() >= 2 {
+            for i in 0..profile.samples.len() {
+                for k in (i + 1)..profile.samples.len() {
+                    let (s1, s2) = (profile.samples[i], profile.samples[k]);
+                    let det = s1.active_edges * s2.total_edges - s2.active_edges * s1.total_edges;
+                    if det.abs() > 1e-9 {
+                        let tf =
+                            (s1.time_ns * s2.total_edges - s2.time_ns * s1.total_edges) / det;
+                        let te =
+                            (s1.active_edges * s2.time_ns - s2.active_edges * s1.time_ns) / det;
+                        profile.t_f = Some(tf.max(0.0));
+                        self.t_e = Some(te.max(0.0));
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Formula 3 — predicted computational load of `job` on chunk `k`:
+    /// `L_kj = T(F_j) × Σ_{v ∈ V_k ∩ A_j} N+_k(v)`.
+    ///
+    /// Returns `None` until the job is profiled.
+    pub fn chunk_load(&self, job: JobId, chunk: &Chunk, active: &AtomicBitmap) -> Option<f64> {
+        let tf = self.t_f(job)?;
+        Some(tf * chunk.active_edges(active) as f64)
+    }
+
+    /// Formula 4 — predicted time of the *first* thread to touch chunk `k`
+    /// (it also pays the LLC fill): `F_kj = L_kj + T(E) × Σ_v N+_k(v)`.
+    pub fn first_toucher_time(
+        &self,
+        job: JobId,
+        chunk: &Chunk,
+        active: &AtomicBitmap,
+    ) -> Option<f64> {
+        let load = self.chunk_load(job, chunk, active)?;
+        let te = self.t_e?;
+        Some(load + te * chunk.num_edges() as f64)
+    }
+
+    /// Drops a finished job's state.
+    pub fn retire(&mut self, job: JobId) {
+        self.jobs.remove(&job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::label_partition;
+    use graphm_graph::{Edge, EDGE_BYTES};
+
+    /// Builds samples from ground-truth constants and checks recovery.
+    #[test]
+    fn recovers_constants_from_two_partitions() {
+        let (tf, te) = (3.0, 0.5);
+        let mut p = Profiler::new();
+        // Partition 1: 100 active of 400 edges; partition 2: 300 of 350.
+        p.observe(0, ProfileSample {
+            active_edges: 100.0,
+            total_edges: 400.0,
+            time_ns: tf * 100.0 + te * 400.0,
+        });
+        assert!(!p.is_profiled(0), "one sample is not enough");
+        p.observe(0, ProfileSample {
+            active_edges: 300.0,
+            total_edges: 350.0,
+            time_ns: tf * 300.0 + te * 350.0,
+        });
+        assert!(p.is_profiled(0));
+        assert!((p.t_f(0).unwrap() - tf).abs() < 1e-6);
+        assert!((p.t_e().unwrap() - te).abs() < 1e-6);
+    }
+
+    #[test]
+    fn second_job_needs_one_partition() {
+        let (tf1, tf2, te) = (3.0, 7.0, 0.5);
+        let mut p = Profiler::new();
+        p.observe(0, ProfileSample { active_edges: 100.0, total_edges: 400.0, time_ns: tf1 * 100.0 + te * 400.0 });
+        p.observe(0, ProfileSample { active_edges: 300.0, total_edges: 350.0, time_ns: tf1 * 300.0 + te * 350.0 });
+        assert!(p.t_e().is_some(), "T(E) profiled once for the graph");
+        p.observe(1, ProfileSample { active_edges: 200.0, total_edges: 500.0, time_ns: tf2 * 200.0 + te * 500.0 });
+        assert!(p.is_profiled(1), "later jobs profile from a single partition");
+        assert!((p.t_f(1).unwrap() - tf2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_samples_dont_divide_by_zero() {
+        let mut p = Profiler::new();
+        // Proportional samples (det = 0) never produce estimates.
+        p.observe(0, ProfileSample { active_edges: 10.0, total_edges: 100.0, time_ns: 50.0 });
+        p.observe(0, ProfileSample { active_edges: 20.0, total_edges: 200.0, time_ns: 100.0 });
+        assert!(!p.is_profiled(0));
+        // A third, independent sample resolves it.
+        p.observe(0, ProfileSample { active_edges: 100.0, total_edges: 100.0, time_ns: 140.0 });
+        assert!(p.is_profiled(0));
+    }
+
+    #[test]
+    fn formulas_3_and_4() {
+        let edges: Vec<Edge> = (0..10u32).map(|i| Edge::new(i % 3, (i + 1) % 5)).collect();
+        let ct = label_partition(&edges, 100 * EDGE_BYTES);
+        let chunk = &ct.chunks[0];
+        let active = AtomicBitmap::new(5);
+        active.set(0); // vertex 0 has 4 out-edges in the chunk (i=0,3,6,9)
+        let mut p = Profiler::new();
+        p.observe(0, ProfileSample { active_edges: 10.0, total_edges: 40.0, time_ns: 10.0 * 2.0 + 40.0 * 1.0 });
+        p.observe(0, ProfileSample { active_edges: 40.0, total_edges: 40.0, time_ns: 40.0 * 2.0 + 40.0 * 1.0 });
+        let tf = p.t_f(0).unwrap();
+        let te = p.t_e().unwrap();
+        assert!((tf - 2.0).abs() < 1e-6 && (te - 1.0).abs() < 1e-6);
+        let l = p.chunk_load(0, chunk, &active).unwrap();
+        assert!((l - 2.0 * 4.0).abs() < 1e-6, "L = T(F) * active out-edges, got {l}");
+        let f = p.first_toucher_time(0, chunk, &active).unwrap();
+        assert!((f - (8.0 + 1.0 * 10.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn calibrated_te_resolves_collinear_jobs() {
+        // A PageRank-style job processes every edge: a == b in every
+        // sample, so the 2x2 system is singular. Calibration unblocks it.
+        let mut p = Profiler::new();
+        p.observe(0, ProfileSample { active_edges: 100.0, total_edges: 100.0, time_ns: 300.0 });
+        p.observe(0, ProfileSample { active_edges: 50.0, total_edges: 50.0, time_ns: 150.0 });
+        assert!(!p.is_profiled(0), "collinear samples stay unsolved");
+        p.set_te(1.0);
+        p.observe(0, ProfileSample { active_edges: 100.0, total_edges: 100.0, time_ns: 300.0 });
+        assert!(p.is_profiled(0));
+        assert!((p.t_f(0).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retire_clears() {
+        let mut p = Profiler::new();
+        p.observe(0, ProfileSample { active_edges: 1.0, total_edges: 1.0, time_ns: 1.0 });
+        p.retire(0);
+        assert!(p.t_f(0).is_none());
+    }
+}

@@ -1,0 +1,353 @@
+//! The threaded sharing runtime — Algorithm 2 with real threads.
+//!
+//! This is the wall-clock counterpart of the deterministic
+//! [`crate::runner`]: each job runs on its own OS thread and calls
+//! [`SharingRuntime::sharing`] in place of the engine's native load (the
+//! paper's `P_i_j ← Sharing(G, Load())`). The runtime:
+//!
+//! * loads every partition **once** per sweep into a shared buffer;
+//! * *resumes* jobs that need the loaded partition and *suspends* the rest
+//!   (Algorithm 2 lines 4–7) by blocking them on a condvar;
+//! * paces jobs through the partition's chunks so their traversals stay
+//!   within a bounded window of each other (the fine-grained
+//!   synchronization of §3.4.2, realized as a progress window rather than
+//!   CPU-slice accounting, which an OS scheduler does not expose);
+//! * recomputes the §4 loading order between sweeps.
+
+use crate::global_table::GlobalTable;
+use crate::job::JobId;
+use crate::scheduler::{loading_order, SchedulingPolicy};
+use crate::source::PartitionSource;
+use graphm_graph::Edge;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A shared, loaded partition handed to a job by `Sharing()`.
+pub struct SharedPartition {
+    /// Partition id.
+    pub pid: usize,
+    /// The one shared copy of the partition's edges.
+    pub edges: Arc<Vec<Edge>>,
+    /// Sweep number this load belongs to.
+    pub sweep: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    registered: BTreeSet<JobId>,
+    /// Jobs participating in the current sweep.
+    participants: BTreeSet<JobId>,
+    /// Jobs that still have to process the current partition.
+    pending: BTreeSet<JobId>,
+    current_pid: Option<usize>,
+    buffer: Option<Arc<Vec<Edge>>>,
+    order: VecDeque<usize>,
+    sweep: u64,
+    sweep_done: bool,
+    loads: u64,
+    /// Chunk-progress window state for the current partition.
+    progress: HashMap<JobId, usize>,
+}
+
+/// The runtime object shared by all job threads.
+pub struct SharingRuntime {
+    source: Arc<dyn PartitionSource>,
+    /// Partition → interested-jobs table (§3.3.1).
+    pub global: GlobalTable,
+    policy: SchedulingPolicy,
+    /// Maximum chunk-index spread jobs may have while co-processing a
+    /// partition (1 = lock-step).
+    window: usize,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl SharingRuntime {
+    /// Creates a runtime over `source` with the given loading-order policy
+    /// and chunk-progress window.
+    pub fn new(
+        source: Arc<dyn PartitionSource>,
+        policy: SchedulingPolicy,
+        window: usize,
+    ) -> Arc<SharingRuntime> {
+        let global = GlobalTable::new(source.num_partitions());
+        Arc::new(SharingRuntime {
+            source,
+            global,
+            policy,
+            window: window.max(1),
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Number of shared partition loads performed so far.
+    pub fn loads(&self) -> u64 {
+        self.inner.lock().loads
+    }
+
+    /// Registers a job with its initial active partitions. The job joins
+    /// from the *next* sweep (a newly submitted job "waits for its active
+    /// graph vertices/edges to be loaded into the memory"). Sweeps start
+    /// lazily on the first `sharing()` call once no prior sweep is in
+    /// flight, so a batch of registrations lands in one sweep.
+    pub fn register_job(&self, job: JobId, active_pids: &[usize]) {
+        let mut inner = self.inner.lock();
+        self.global.set_active_partitions(job, active_pids);
+        inner.registered.insert(job);
+        self.cv.notify_all();
+    }
+
+    /// The `Sharing()` call of Table 1 — blocks until either the next
+    /// partition this job must process is loaded (returning it) or the
+    /// sweep is over (returning `None`; the job should then run
+    /// `end_iteration` and call [`SharingRuntime::end_iteration`]).
+    pub fn sharing(&self, job: JobId) -> Option<SharedPartition> {
+        let mut inner = self.inner.lock();
+        loop {
+            if inner.pending.contains(&job) {
+                let pid = inner.current_pid.expect("pending implies a current partition");
+                let edges = Arc::clone(inner.buffer.as_ref().expect("buffer loaded"));
+                inner.progress.insert(job, 0);
+                return Some(SharedPartition { pid, edges, sweep: inner.sweep });
+            }
+            if inner.current_pid.is_none() {
+                // No partition in flight: either start the next sweep (all
+                // previous participants have ended their iterations) or
+                // report end-of-sweep to this job.
+                if inner.participants.is_empty() && !inner.registered.is_empty() {
+                    self.begin_sweep(&mut inner);
+                    continue;
+                }
+                return None;
+            }
+            // Suspended: this job does not need the current partition
+            // (Algorithm 2 lines 5–7).
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// `Start()`/chunk pacing — blocks until `job` may process chunk
+    /// `chunk_idx` of the current partition, i.e. until every co-processing
+    /// job is within `window` chunks behind. Call once per chunk.
+    pub fn pace_chunk(&self, job: JobId, chunk_idx: usize) {
+        let mut inner = self.inner.lock();
+        loop {
+            let min_progress = inner
+                .pending
+                .iter()
+                .filter_map(|j| inner.progress.get(j))
+                .copied()
+                .min()
+                .unwrap_or(chunk_idx);
+            if chunk_idx < min_progress + self.window {
+                inner.progress.insert(job, chunk_idx);
+                self.cv.notify_all();
+                return;
+            }
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// `Barrier()` — the job finished the current partition. The last
+    /// finisher advances the sweep to the next partition.
+    pub fn barrier(&self, job: JobId, pid: usize) {
+        let mut inner = self.inner.lock();
+        debug_assert_eq!(inner.current_pid, Some(pid), "barrier for a stale partition");
+        inner.pending.remove(&job);
+        inner.progress.remove(&job);
+        if inner.pending.is_empty() {
+            self.advance(&mut inner);
+        }
+        self.cv.notify_all();
+    }
+
+    /// The job ended its iteration. `new_active_pids = None` (or an empty
+    /// slice) retires the job (converged). Blocks until the next sweep
+    /// begins so the caller can immediately call
+    /// [`SharingRuntime::sharing`] again.
+    pub fn end_iteration(&self, job: JobId, new_active_pids: Option<&[usize]>) {
+        let retiring = matches!(new_active_pids, None | Some(&[]));
+        let mut inner = self.inner.lock();
+        // Global-table maintenance happens under the sweep lock so a sweep
+        // never begins with a half-updated table.
+        match new_active_pids {
+            Some(pids) if !pids.is_empty() => self.global.set_active_partitions(job, pids),
+            _ => self.global.remove_job(job),
+        }
+        let my_sweep = inner.sweep;
+        inner.participants.remove(&job);
+        if retiring {
+            inner.registered.remove(&job);
+        }
+        if inner.participants.is_empty() && !inner.registered.is_empty() {
+            // Last ender starts the next sweep so waiting peers wake up.
+            self.begin_sweep(&mut inner);
+        }
+        self.cv.notify_all();
+        if retiring {
+            return;
+        }
+        while inner.sweep == my_sweep {
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    fn begin_sweep(&self, inner: &mut Inner) {
+        if inner.registered.is_empty() {
+            inner.sweep_done = true;
+            inner.current_pid = None;
+            inner.buffer = None;
+            return;
+        }
+        inner.sweep += 1;
+        inner.sweep_done = false;
+        inner.participants = inner.registered.clone();
+        inner.order = loading_order(&self.global, self.policy).into();
+        self.advance(inner);
+    }
+
+    fn advance(&self, inner: &mut Inner) {
+        inner.progress.clear();
+        loop {
+            match inner.order.pop_front() {
+                Some(pid) => {
+                    let jobs: BTreeSet<JobId> = self
+                        .global
+                        .jobs_for(pid)
+                        .into_iter()
+                        .filter(|j| inner.participants.contains(j))
+                        .collect();
+                    if jobs.is_empty() {
+                        continue;
+                    }
+                    // One load serves every interested job.
+                    inner.buffer = Some(self.source.load(pid));
+                    inner.current_pid = Some(pid);
+                    inner.pending = jobs;
+                    inner.loads += 1;
+                    return;
+                }
+                None => {
+                    inner.current_pid = None;
+                    inner.buffer = None;
+                    inner.pending.clear();
+                    inner.sweep_done = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+    use graphm_graph::generators;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn source(parts: usize) -> Arc<VecSource> {
+        let g = generators::rmat(128, 1024, generators::RmatParams::GRAPH500, 5);
+        let mut edges = g.edges.clone();
+        edges.sort_by_key(|e| e.src);
+        let per = edges.len().div_ceil(parts);
+        Arc::new(VecSource::new(128, edges.chunks(per).map(<[_]>::to_vec).collect()))
+    }
+
+    /// N threads × K iterations over all partitions: every partition is
+    /// loaded once per sweep, results are complete, and nothing deadlocks.
+    #[test]
+    fn threaded_jobs_share_loads() {
+        let src = source(4);
+        let rt = SharingRuntime::new(src.clone(), SchedulingPolicy::Prioritized, 2);
+        let all_pids: Vec<usize> = (0..4).collect();
+        let edges_seen = Arc::new(AtomicU64::new(0));
+        let iters = 3usize;
+        let jobs = 4usize;
+        // Register everyone before any thread starts so the first sweep
+        // includes all four jobs (sweeps begin lazily on first sharing()).
+        for job in 0..jobs {
+            rt.register_job(job, &all_pids);
+        }
+        let mut handles = Vec::new();
+        for job in 0..jobs {
+            let rt = Arc::clone(&rt);
+            let pids = all_pids.clone();
+            let seen = Arc::clone(&edges_seen);
+            handles.push(std::thread::spawn(move || {
+                for it in 0..iters {
+                    while let Some(sp) = rt.sharing(job) {
+                        // Simulate chunked processing with pacing.
+                        let nchunks = 4usize;
+                        let per = sp.edges.len().div_ceil(nchunks).max(1);
+                        for (ci, chunk) in sp.edges.chunks(per).enumerate() {
+                            rt.pace_chunk(job, ci);
+                            seen.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                        }
+                        rt.barrier(job, sp.pid);
+                    }
+                    let last = it + 1 == iters;
+                    rt.end_iteration(job, if last { None } else { Some(&pids) });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            edges_seen.load(Ordering::Relaxed),
+            (1024 * jobs * iters) as u64,
+            "every job saw every edge every iteration"
+        );
+        // 4 partitions × 3 sweeps = 12 loads — NOT 4 × 3 × 4 jobs.
+        assert_eq!(rt.loads(), 12);
+    }
+
+    #[test]
+    fn jobs_with_disjoint_partitions_suspend_each_other() {
+        let src = source(2);
+        let rt = SharingRuntime::new(src, SchedulingPolicy::Default, 1);
+        rt.register_job(0, &[0]);
+        rt.register_job(1, &[1]);
+        let rt0 = Arc::clone(&rt);
+        let h0 = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Some(sp) = rt0.sharing(0) {
+                seen.push(sp.pid);
+                rt0.barrier(0, sp.pid);
+            }
+            rt0.end_iteration(0, None);
+            seen
+        });
+        let rt1 = Arc::clone(&rt);
+        let h1 = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Some(sp) = rt1.sharing(1) {
+                seen.push(sp.pid);
+                rt1.barrier(1, sp.pid);
+            }
+            rt1.end_iteration(1, None);
+            seen
+        });
+        assert_eq!(h0.join().unwrap(), vec![0], "job 0 only handles partition 0");
+        assert_eq!(h1.join().unwrap(), vec![1]);
+        assert_eq!(rt.loads(), 2);
+    }
+
+    #[test]
+    fn single_job_runs_alone() {
+        let src = source(3);
+        let rt = SharingRuntime::new(src, SchedulingPolicy::Prioritized, 1);
+        rt.register_job(7, &[0, 1, 2]);
+        let mut pids = Vec::new();
+        while let Some(sp) = rt.sharing(7) {
+            pids.push(sp.pid);
+            rt.barrier(7, sp.pid);
+        }
+        rt.end_iteration(7, None);
+        pids.sort_unstable();
+        assert_eq!(pids, vec![0, 1, 2]);
+    }
+}

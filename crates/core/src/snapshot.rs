@@ -1,0 +1,322 @@
+//! Consistent snapshots for concurrent jobs (§3.3.2, Figure 7).
+//!
+//! The shared graph is read-mostly, but jobs may *mutate* it (private
+//! what-if edits) and the platform may *update* it (evolving graph). The
+//! rules the paper sets:
+//!
+//! * a **mutation** copies the affected chunks and is visible only to the
+//!   mutating job; the copies are released when that job finishes;
+//! * an **update** installs a new version of the affected chunks that is
+//!   visible only to jobs submitted *after* the update; earlier jobs keep
+//!   reading the pre-update copies, which are released once all of them
+//!   finish.
+//!
+//! Copy-on-write is chunk-granular: "GraphM first copies the corresponding
+//! chunks of the graph data that need to be modified to other shared memory
+//! space" — the shared structure itself is never written in place.
+
+use crate::job::JobId;
+use graphm_graph::Edge;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A version number; jobs submitted at version `v` see all updates with
+/// version ≤ `v`.
+pub type Version = u64;
+
+/// A job's private chunk overlays, keyed by `(partition, chunk)`.
+type MutationMap = HashMap<(usize, usize), Arc<Vec<Edge>>>;
+
+#[derive(Clone, Debug)]
+struct UpdateRecord {
+    version: Version,
+    data: Arc<Vec<Edge>>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ChunkVersions {
+    /// Updates in ascending version order.
+    updates: Vec<UpdateRecord>,
+}
+
+/// Chunk-granular copy-on-write store for one shared graph.
+pub struct SnapshotStore {
+    /// `base[pid][chunk]` — the version-0 chunk payloads.
+    base: Vec<Vec<Arc<Vec<Edge>>>>,
+    /// Installed updates per (pid, chunk).
+    updates: HashMap<(usize, usize), ChunkVersions>,
+    /// Private overlays per job per (pid, chunk).
+    mutations: HashMap<JobId, MutationMap>,
+    /// Snapshot version each live job reads.
+    job_versions: HashMap<JobId, Version>,
+    next_version: Version,
+}
+
+impl SnapshotStore {
+    /// Builds a store from pre-chunked partitions:
+    /// `partitions[pid]` is that partition's list of chunk payloads.
+    pub fn new(partitions: Vec<Vec<Vec<Edge>>>) -> SnapshotStore {
+        SnapshotStore {
+            base: partitions
+                .into_iter()
+                .map(|chunks| chunks.into_iter().map(Arc::new).collect())
+                .collect(),
+            updates: HashMap::new(),
+            mutations: HashMap::new(),
+            job_versions: HashMap::new(),
+            next_version: 0,
+        }
+    }
+
+    /// Splits flat partitions into `chunk_edges`-sized chunks and builds
+    /// the store.
+    pub fn from_partitions(partitions: &[Vec<Edge>], chunk_edges: usize) -> SnapshotStore {
+        let chunked = partitions
+            .iter()
+            .map(|p| {
+                p.chunks(chunk_edges.max(1)).map(|c| c.to_vec()).collect::<Vec<_>>()
+            })
+            .collect();
+        SnapshotStore::new(chunked)
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Number of chunks in partition `pid`.
+    pub fn num_chunks(&self, pid: usize) -> usize {
+        self.base[pid].len()
+    }
+
+    /// Registers a newly submitted job; it will observe the graph as of
+    /// now (all updates installed so far).
+    pub fn register_job(&mut self, job: JobId) -> Version {
+        let v = self.next_version;
+        self.job_versions.insert(job, v);
+        v
+    }
+
+    /// Resolves the chunk `job` must read: its private mutation if any,
+    /// else the newest update with version ≤ the job's snapshot version,
+    /// else the base chunk.
+    pub fn chunk_view(&self, job: JobId, pid: usize, chunk: usize) -> Arc<Vec<Edge>> {
+        if let Some(overlays) = self.mutations.get(&job) {
+            if let Some(data) = overlays.get(&(pid, chunk)) {
+                return Arc::clone(data);
+            }
+        }
+        let jv = self.job_versions.get(&job).copied().unwrap_or(self.next_version);
+        if let Some(cv) = self.updates.get(&(pid, chunk)) {
+            if let Some(rec) = cv.updates.iter().rev().find(|r| r.version <= jv) {
+                return Arc::clone(&rec.data);
+            }
+        }
+        Arc::clone(&self.base[pid][chunk])
+    }
+
+    /// Full partition view for a job (chunk views in order).
+    pub fn partition_view(&self, job: JobId, pid: usize) -> Vec<Arc<Vec<Edge>>> {
+        (0..self.num_chunks(pid)).map(|c| self.chunk_view(job, pid, c)).collect()
+    }
+
+    /// Applies a *mutation*: a private copy visible only to `job`
+    /// ("mutation 2" in Figure 7). The closure edits a copy of the chunk
+    /// the job currently sees.
+    pub fn mutate<F>(&mut self, job: JobId, pid: usize, chunk: usize, edit: F)
+    where
+        F: FnOnce(&mut Vec<Edge>),
+    {
+        let mut copy: Vec<Edge> = self.chunk_view(job, pid, chunk).as_ref().clone();
+        edit(&mut copy);
+        self.mutations.entry(job).or_default().insert((pid, chunk), Arc::new(copy));
+    }
+
+    /// Applies an *update*: a new shared version visible to jobs submitted
+    /// afterwards ("update 3" in Figure 7). Returns the new version.
+    pub fn update<F>(&mut self, pid: usize, chunk: usize, edit: F) -> Version
+    where
+        F: FnOnce(&mut Vec<Edge>),
+    {
+        // Updates build on the newest installed state of the chunk.
+        let latest = self
+            .updates
+            .get(&(pid, chunk))
+            .and_then(|cv| cv.updates.last())
+            .map(|r| Arc::clone(&r.data))
+            .unwrap_or_else(|| Arc::clone(&self.base[pid][chunk]));
+        let mut copy: Vec<Edge> = latest.as_ref().clone();
+        edit(&mut copy);
+        self.next_version += 1;
+        let v = self.next_version;
+        self.updates
+            .entry((pid, chunk))
+            .or_default()
+            .updates
+            .push(UpdateRecord { version: v, data: Arc::new(copy) });
+        v
+    }
+
+    /// Retires a finished job: drops its private copies ("the copied
+    /// chunks will be released when the corresponding job is finished")
+    /// and garbage-collects update versions no live job can still read.
+    pub fn finish_job(&mut self, job: JobId) {
+        self.mutations.remove(&job);
+        self.job_versions.remove(&job);
+        self.gc();
+    }
+
+    /// Drops superseded update records: for every chunk, keep records newer
+    /// than the oldest live snapshot plus the newest record at or below it.
+    fn gc(&mut self) {
+        let min_live =
+            self.job_versions.values().copied().min().unwrap_or(self.next_version);
+        for cv in self.updates.values_mut() {
+            // Index of the newest record with version <= min_live.
+            let keep_from = cv
+                .updates
+                .iter()
+                .rposition(|r| r.version <= min_live)
+                .unwrap_or(0);
+            if keep_from > 0 {
+                cv.updates.drain(..keep_from);
+            }
+        }
+    }
+
+    /// Number of retained update records (test/diagnostic hook).
+    pub fn retained_updates(&self) -> usize {
+        self.updates.values().map(|c| c.updates.len()).sum()
+    }
+
+    /// Number of retained private mutation copies.
+    pub fn retained_mutations(&self) -> usize {
+        self.mutations.values().map(|m| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphm_graph::Edge;
+
+    fn store() -> SnapshotStore {
+        // One partition, two chunks of two edges each.
+        SnapshotStore::from_partitions(
+            &[vec![
+                Edge::new(0, 1),
+                Edge::new(1, 2),
+                Edge::new(2, 3),
+                Edge::new(3, 0),
+            ]],
+            2,
+        )
+    }
+
+    #[test]
+    fn base_views() {
+        let mut s = store();
+        s.register_job(1);
+        assert_eq!(s.num_partitions(), 1);
+        assert_eq!(s.num_chunks(0), 2);
+        assert_eq!(s.chunk_view(1, 0, 0).len(), 2);
+        assert_eq!(s.chunk_view(1, 0, 0)[0].dst, 1);
+    }
+
+    #[test]
+    fn mutation_private_to_job() {
+        let mut s = store();
+        s.register_job(1);
+        s.register_job(2);
+        s.mutate(2, 0, 0, |edges| edges.push(Edge::new(0, 3)));
+        assert_eq!(s.chunk_view(2, 0, 0).len(), 3, "mutating job sees the edit");
+        assert_eq!(s.chunk_view(1, 0, 0).len(), 2, "other jobs do not");
+        assert_eq!(s.retained_mutations(), 1);
+        s.finish_job(2);
+        assert_eq!(s.retained_mutations(), 0, "copies released on finish");
+    }
+
+    #[test]
+    fn update_visible_to_later_jobs_only() {
+        let mut s = store();
+        s.register_job(1); // sees version 0
+        s.update(0, 1, |edges| edges.clear());
+        s.register_job(2); // sees version 1
+        assert_eq!(s.chunk_view(1, 0, 1).len(), 2, "old job reads pre-update data");
+        assert_eq!(s.chunk_view(2, 0, 1).len(), 0, "new job reads the update");
+    }
+
+    #[test]
+    fn figure7_scenario() {
+        // Job 1 submitted; update arrives; job 2 submitted; job 2 mutates.
+        let mut s = store();
+        s.register_job(1);
+        s.update(0, 0, |e| e[0] = Edge::new(9, 9));
+        s.register_job(2);
+        s.mutate(2, 0, 1, |e| e.push(Edge::new(7, 7)));
+        // Job 1: original chunk 0, original chunk 1.
+        assert_eq!(s.chunk_view(1, 0, 0)[0].src, 0);
+        assert_eq!(s.chunk_view(1, 0, 1).len(), 2);
+        // Job 2: updated chunk 0, privately mutated chunk 1.
+        assert_eq!(s.chunk_view(2, 0, 0)[0].src, 9);
+        assert_eq!(s.chunk_view(2, 0, 1).len(), 3);
+    }
+
+    #[test]
+    fn mutation_on_top_of_update() {
+        let mut s = store();
+        s.update(0, 0, |e| e.clear());
+        s.register_job(5);
+        s.mutate(5, 0, 0, |e| e.push(Edge::new(1, 1)));
+        assert_eq!(s.chunk_view(5, 0, 0).len(), 1, "mutation builds on the job's view");
+    }
+
+    #[test]
+    fn stacked_updates_resolve_by_version() {
+        let mut s = store();
+        s.register_job(1); // v0
+        s.update(0, 0, |e| e.truncate(1)); // v1
+        s.register_job(2); // v1
+        s.update(0, 0, |e| e.clear()); // v2
+        s.register_job(3); // v2
+        assert_eq!(s.chunk_view(1, 0, 0).len(), 2);
+        assert_eq!(s.chunk_view(2, 0, 0).len(), 1);
+        assert_eq!(s.chunk_view(3, 0, 0).len(), 0);
+    }
+
+    #[test]
+    fn gc_releases_unreachable_versions() {
+        let mut s = store();
+        s.register_job(1); // v0
+        s.update(0, 0, |e| e.truncate(1)); // v1
+        s.update(0, 0, |e| e.clear()); // v2
+        s.register_job(2); // v2
+        assert_eq!(s.retained_updates(), 2);
+        // While job 1 lives, v1 could still be read by... nobody: job 1 is
+        // at v0 (reads base), job 2 at v2. But v1 must stay only if some
+        // live job is between v1 and v2; none is, so finishing job 1 keeps
+        // just the newest.
+        s.finish_job(1);
+        assert_eq!(s.retained_updates(), 1, "superseded update dropped");
+        assert_eq!(s.chunk_view(2, 0, 0).len(), 0);
+    }
+
+    #[test]
+    fn partition_view_matches_chunk_views() {
+        let mut s = store();
+        s.register_job(1);
+        let v = s.partition_view(1, 0);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].len(), 2);
+    }
+
+    #[test]
+    fn unregistered_job_sees_latest() {
+        let mut s = store();
+        s.update(0, 0, |e| e.clear());
+        // A job id never registered defaults to the newest snapshot (it
+        // will be registered at submission in the runtime).
+        assert_eq!(s.chunk_view(99, 0, 0).len(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Vertex-cut edge partitioning (PowerGraph's placement model).
+//!
+//! PowerGraph assigns *edges* to nodes and replicates *vertices* wherever
+//! they have edges; one replica is the master. Communication per GAS
+//! iteration is proportional to the replicas of updated vertices, so the
+//! replication factor is the quantity that drives PowerGraph's network
+//! cost — and it grows with the node count, which is why Figure 21's
+//! scaling curves flatten.
+
+use graphm_graph::{Edge, EdgeList, VertexId};
+use std::sync::Arc;
+
+/// Deterministic 64-bit mix for placement hashing.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A vertex-cut placement of a graph over `nodes` nodes.
+pub struct VertexCut {
+    /// Edges held by each node.
+    pub node_edges: Vec<Arc<Vec<Edge>>>,
+    /// Number of replicas per vertex (≥ 1 for non-isolated vertices).
+    pub replicas: Vec<u32>,
+    /// Mean replicas over vertices that have any edge.
+    pub replication_factor: f64,
+    /// Vertex count.
+    pub num_vertices: VertexId,
+}
+
+impl VertexCut {
+    /// Random (hash-based) vertex-cut, PowerGraph's default placement.
+    pub fn random(graph: &EdgeList, nodes: usize) -> VertexCut {
+        assert!(nodes >= 1);
+        let n = graph.num_vertices as usize;
+        let mut node_edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes];
+        // Presence bitsets per vertex would be O(V * nodes); track replica
+        // sets compactly with a per-vertex sorted small-vec of node ids.
+        let mut presence: Vec<Vec<u16>> = vec![Vec::new(); n];
+        for (i, e) in graph.edges.iter().enumerate() {
+            let node = (mix(i as u64 ^ ((e.src as u64) << 32 | e.dst as u64)) % nodes as u64)
+                as usize;
+            node_edges[node].push(*e);
+            for v in [e.src as usize, e.dst as usize] {
+                let nid = node as u16;
+                if let Err(pos) = presence[v].binary_search(&nid) {
+                    presence[v].insert(pos, nid);
+                }
+            }
+        }
+        let replicas: Vec<u32> = presence.iter().map(|p| p.len() as u32).collect();
+        let placed: Vec<u32> = replicas.iter().copied().filter(|&r| r > 0).collect();
+        let replication_factor = if placed.is_empty() {
+            1.0
+        } else {
+            placed.iter().map(|&r| r as f64).sum::<f64>() / placed.len() as f64
+        };
+        VertexCut {
+            node_edges: node_edges.into_iter().map(Arc::new).collect(),
+            replicas,
+            replication_factor,
+            num_vertices: graph.num_vertices,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.node_edges.len()
+    }
+
+    /// Total edges placed.
+    pub fn num_edges(&self) -> usize {
+        self.node_edges.iter().map(|e| e.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphm_graph::generators;
+
+    #[test]
+    fn placement_preserves_edges() {
+        let g = generators::rmat(200, 1500, generators::RmatParams::GRAPH500, 3);
+        let vc = VertexCut::random(&g, 8);
+        assert_eq!(vc.num_edges(), 1500);
+        assert_eq!(vc.nodes(), 8);
+        // Multiset equality.
+        let mut orig: Vec<(u32, u32)> = g.edges.iter().map(|e| (e.src, e.dst)).collect();
+        let mut got: Vec<(u32, u32)> = vc
+            .node_edges
+            .iter()
+            .flat_map(|ne| ne.iter().map(|e| (e.src, e.dst)))
+            .collect();
+        orig.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(orig, got);
+    }
+
+    #[test]
+    fn replication_grows_with_nodes() {
+        let g = generators::rmat(300, 4000, generators::RmatParams::SOCIAL, 4);
+        let rf4 = VertexCut::random(&g, 4).replication_factor;
+        let rf32 = VertexCut::random(&g, 32).replication_factor;
+        assert!(rf32 > rf4, "rf32 {rf32} vs rf4 {rf4}");
+        assert!(rf4 >= 1.0);
+    }
+
+    #[test]
+    fn single_node_has_no_replication() {
+        let g = generators::ring(50);
+        let vc = VertexCut::random(&g, 1);
+        assert!((vc.replication_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn placement_is_balanced() {
+        let g = generators::erdos_renyi(500, 8000, 9);
+        let vc = VertexCut::random(&g, 8);
+        let sizes: Vec<usize> = vc.node_edges.iter().map(|e| e.len()).collect();
+        let max = *sizes.iter().max().unwrap() as f64;
+        let min = *sizes.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "hash placement should balance: {sizes:?}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Thread-safe bitmaps for active-vertex tracking.
+//!
+//! §3.4.1: "To express the active vertices succinctly, a bitmap is created
+//! for each job." Jobs mark vertices active from parallel edge-processing
+//! threads, so the bitmap uses relaxed atomics; the per-iteration swap of
+//! current/next frontiers provides the required synchronization points.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity atomic bitmap over vertex ids.
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitmap {
+    /// Creates a bitmap of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        let n_words = len.div_ceil(64);
+        let words = (0..n_words).map(|_| AtomicU64::new(0)).collect();
+        AtomicBitmap { words, len }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap addresses zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`; returns whether it was previously clear.
+    #[inline]
+    pub fn set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i & 63);
+        let prev = self.words[i >> 6].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i & 63);
+        self.words[i >> 6].fetch_and(!mask, Ordering::Relaxed);
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i & 63);
+        self.words[i >> 6].load(Ordering::Relaxed) & mask != 0
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets every bit (tail bits past `len` stay clear so counts are exact).
+    pub fn set_all(&self) {
+        for (wi, w) in self.words.iter().enumerate() {
+            let base = wi * 64;
+            let bits_here = self.len.saturating_sub(base).min(64);
+            let mask = if bits_here == 64 { u64::MAX } else { (1u64 << bits_here) - 1 };
+            w.store(mask, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|w| w.load(Ordering::Relaxed) == 0)
+    }
+
+    /// True when any bit in `[lo, hi)` is set. Engines use this to decide
+    /// whether a partition is *active* for a job (its `should_access_shard`).
+    pub fn any_in_range(&self, lo: usize, hi: usize) -> bool {
+        let hi = hi.min(self.len);
+        if lo >= hi {
+            return false;
+        }
+        let (lw, hw) = (lo >> 6, (hi - 1) >> 6);
+        for wi in lw..=hw {
+            let mut word = self.words[wi].load(Ordering::Relaxed);
+            if wi == lw {
+                word &= u64::MAX << (lo & 63);
+            }
+            if wi == hw {
+                let top = (hi - 1) & 63;
+                if top < 63 {
+                    word &= (1u64 << (top + 1)) - 1;
+                }
+            }
+            if word != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of set bits within `[lo, hi)`.
+    pub fn count_in_range(&self, lo: usize, hi: usize) -> usize {
+        let hi = hi.min(self.len);
+        if lo >= hi {
+            return 0;
+        }
+        let mut total = 0usize;
+        let (lw, hw) = (lo >> 6, (hi - 1) >> 6);
+        for wi in lw..=hw {
+            let mut word = self.words[wi].load(Ordering::Relaxed);
+            if wi == lw {
+                word &= u64::MAX << (lo & 63);
+            }
+            if wi == hw {
+                let top = (hi - 1) & 63;
+                if top < 63 {
+                    word &= (1u64 << (top + 1)) - 1;
+                }
+            }
+            total += word.count_ones() as usize;
+        }
+        total
+    }
+
+    /// Iterates over indices of set bits in ascending order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut word = w.load(Ordering::Relaxed);
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Copies all bits from `other` (same length required).
+    pub fn copy_from(&self, other: &AtomicBitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (d, s) in self.words.iter().zip(&other.words) {
+            d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+impl Clone for AtomicBitmap {
+    fn clone(&self) -> Self {
+        let words = self
+            .words
+            .iter()
+            .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+            .collect();
+        AtomicBitmap { words, len: self.len }
+    }
+}
+
+impl std::fmt::Debug for AtomicBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicBitmap({} set / {})", self.count(), self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let b = AtomicBitmap::new(130);
+        assert!(b.set(0));
+        assert!(!b.set(0), "second set reports already-set");
+        assert!(b.set(64));
+        assert!(b.set(129));
+        assert!(b.get(129));
+        assert_eq!(b.count(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn set_all_respects_len() {
+        let b = AtomicBitmap::new(70);
+        b.set_all();
+        assert_eq!(b.count(), 70);
+        b.clear_all();
+        assert!(b.none_set());
+    }
+
+    #[test]
+    fn range_queries() {
+        let b = AtomicBitmap::new(256);
+        b.set(10);
+        b.set(63);
+        b.set(64);
+        b.set(200);
+        assert!(b.any_in_range(0, 11));
+        assert!(!b.any_in_range(11, 63));
+        assert!(b.any_in_range(63, 65));
+        assert!(!b.any_in_range(65, 200));
+        assert!(b.any_in_range(200, 256));
+        assert_eq!(b.count_in_range(0, 256), 4);
+        assert_eq!(b.count_in_range(63, 65), 2);
+        assert_eq!(b.count_in_range(64, 64), 0);
+    }
+
+    #[test]
+    fn iter_set_ascending() {
+        let b = AtomicBitmap::new(300);
+        for i in [5usize, 64, 65, 128, 299] {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_set().collect();
+        assert_eq!(got, vec![5, 64, 65, 128, 299]);
+    }
+
+    #[test]
+    fn copy_from() {
+        let a = AtomicBitmap::new(100);
+        a.set(42);
+        let b = AtomicBitmap::new(100);
+        b.set(7);
+        b.copy_from(&a);
+        assert!(b.get(42));
+        assert!(!b.get(7));
+    }
+
+    #[test]
+    fn concurrent_sets_count_once() {
+        use std::sync::Arc;
+        let b = Arc::new(AtomicBitmap::new(1024));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for i in (t..1024).step_by(4) {
+                    b.set(i);
+                    b.set((i * 7) % 1024);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.count(), 1024);
+    }
+}

@@ -1,0 +1,211 @@
+//! Compressed sparse row/column adjacency, the PowerGraph-native format.
+//!
+//! `Convert()` for the PowerGraph-like engine produces a [`Csr`] (out-edges)
+//! and, via [`Csr::transpose`], the CSC view (in-edges) used by the gather
+//! phase. The sequential oracle algorithms in `graphm-algos` also run on CSR.
+
+use crate::types::{Edge, EdgeList, VertexId, Weight};
+use rayon::prelude::*;
+
+/// Compressed sparse row adjacency: for vertex `v`, neighbors live at
+/// `targets[offsets[v] .. offsets[v + 1]]` with parallel `weights`.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// `num_vertices + 1` prefix offsets into `targets`.
+    pub offsets: Vec<usize>,
+    /// Flattened neighbor ids.
+    pub targets: Vec<VertexId>,
+    /// Flattened edge weights, parallel to `targets`.
+    pub weights: Vec<Weight>,
+}
+
+impl Csr {
+    /// Builds out-edge CSR from an edge list (counting sort by source; the
+    /// relative order of a vertex's out-edges follows input order).
+    pub fn from_edge_list(g: &EdgeList) -> Csr {
+        let n = g.num_vertices as usize;
+        let mut counts = vec![0usize; n + 1];
+        for e in &g.edges {
+            counts[e.src as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; g.edges.len()];
+        let mut weights = vec![0.0 as Weight; g.edges.len()];
+        for e in &g.edges {
+            let slot = cursor[e.src as usize];
+            targets[slot] = e.dst;
+            weights[slot] = e.weight;
+            cursor[e.src as usize] += 1;
+        }
+        Csr { offsets, targets, weights }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbor ids of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// `(neighbor, weight)` pairs of `v`.
+    pub fn neighbors_weighted(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let range = self.offsets[v as usize]..self.offsets[v as usize + 1];
+        self.targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[range].iter().copied())
+    }
+
+    /// Builds the transpose (CSC of the original graph: in-edges as
+    /// out-edges of the reversed graph).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut counts = vec![0usize; n + 1];
+        for &t in &self.targets {
+            counts[t as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        let mut weights = vec![0.0 as Weight; self.targets.len()];
+        for src in 0..n {
+            for k in self.offsets[src]..self.offsets[src + 1] {
+                let dst = self.targets[k] as usize;
+                let slot = cursor[dst];
+                targets[slot] = src as VertexId;
+                weights[slot] = self.weights[k];
+                cursor[dst] += 1;
+            }
+        }
+        Csr { offsets, targets, weights }
+    }
+
+    /// Reconstructs the edge list (ordered by source).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let n = self.num_vertices();
+        let edges: Vec<Edge> = (0..n)
+            .into_par_iter()
+            .flat_map_iter(|src| {
+                let range = self.offsets[src]..self.offsets[src + 1];
+                self.targets[range.clone()]
+                    .iter()
+                    .zip(&self.weights[range])
+                    .map(move |(&dst, &w)| Edge::weighted(src as VertexId, dst, w))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        EdgeList { num_vertices: n as VertexId, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn build_and_query() {
+        let g = EdgeList::from_edges(
+            4,
+            vec![Edge::new(0, 1), Edge::new(0, 3), Edge::new(2, 0), Edge::new(2, 1)],
+        )
+        .unwrap();
+        let csr = Csr::from_edge_list(&g);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.neighbors(0), &[1, 3]);
+        assert_eq!(csr.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(csr.neighbors(2), &[0, 1]);
+        assert_eq!(csr.degree(2), 2);
+    }
+
+    #[test]
+    fn transpose_inverts() {
+        let g = generators::rmat(256, 2000, generators::RmatParams::GRAPH500, 3);
+        let csr = Csr::from_edge_list(&g);
+        let csc = csr.transpose();
+        // Every edge (s, t) in CSR appears as (t, s) in CSC.
+        assert_eq!(csc.num_edges(), csr.num_edges());
+        let back = csc.transpose();
+        for v in 0..csr.num_vertices() {
+            let mut a = csr.neighbors(v as VertexId).to_vec();
+            let mut b = back.neighbors(v as VertexId).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn to_edge_list_round_trip() {
+        let g = generators::rmat(128, 700, generators::RmatParams::GRAPH500, 5);
+        let csr = Csr::from_edge_list(&g);
+        let back = csr.to_edge_list();
+        assert_eq!(back.num_edges(), g.num_edges());
+        let mut orig: Vec<(u32, u32)> = g.edges.iter().map(|e| (e.src, e.dst)).collect();
+        let mut got: Vec<(u32, u32)> = back.edges.iter().map(|e| (e.src, e.dst)).collect();
+        orig.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(orig, got);
+    }
+
+    #[test]
+    fn weights_preserved() {
+        let g = EdgeList::from_edges(2, vec![Edge::weighted(0, 1, 2.5)]).unwrap();
+        let csr = Csr::from_edge_list(&g);
+        let pairs: Vec<_> = csr.neighbors_weighted(0).collect();
+        assert_eq!(pairs, vec![(1, 2.5)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::generators;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Degree sums equal edge count and transpose preserves multiset of edges.
+        #[test]
+        fn csr_invariants(n in 1u32..300, m in 0usize..2000, seed in 0u64..1000) {
+            let g = generators::erdos_renyi(n, m, seed);
+            let csr = Csr::from_edge_list(&g);
+            let total: usize = (0..n).map(|v| csr.degree(v)).sum();
+            prop_assert_eq!(total, m);
+            let csc = csr.transpose();
+            prop_assert_eq!(csc.num_edges(), m);
+            let mut fwd: Vec<(u32, u32)> = g.edges.iter().map(|e| (e.src, e.dst)).collect();
+            let mut rev: Vec<(u32, u32)> = csc.to_edge_list().edges.iter().map(|e| (e.dst, e.src)).collect();
+            fwd.sort_unstable();
+            rev.sort_unstable();
+            prop_assert_eq!(fwd, rev);
+        }
+    }
+}

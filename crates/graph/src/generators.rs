@@ -1,0 +1,236 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on five real-world graphs we cannot redistribute, so
+//! the dataset registry ([`crate::datasets`]) builds scale-reduced stand-ins
+//! from these generators. R-MAT supplies the power-law skew that drives
+//! GraphM's chunk-replica overhead discussion (§5.2); Erdős–Rényi and the
+//! regular families serve tests and micro-benchmarks.
+//!
+//! All generators are deterministic in their seed so every experiment is
+//! reproducible bit-for-bit.
+
+use crate::types::{Edge, EdgeList, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the R-MAT (Recursive MATrix) generator.
+///
+/// Each edge lands in one of four quadrants of the adjacency matrix with
+/// probabilities `(a, b, c, d)`, recursively. Graph500 uses
+/// `(0.57, 0.19, 0.19, 0.05)`; larger `a` means heavier skew.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Per-level probability noise, which prevents the degree distribution
+    /// from collapsing onto exact powers.
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// Graph500 reference parameters.
+    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19, noise: 0.05 };
+
+    /// Heavier-tailed parameters for social-network-like skew
+    /// (Twitter-style hubs with millions of followers).
+    pub const SOCIAL: RmatParams = RmatParams { a: 0.65, b: 0.15, c: 0.15, noise: 0.1 };
+
+    /// Milder skew resembling web crawls with bounded out-degree.
+    pub const WEB: RmatParams = RmatParams { a: 0.5, b: 0.22, c: 0.22, noise: 0.05 };
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph with `num_vertices` (rounded up to a power of
+/// two internally, then mapped back down) and exactly `num_edges` edges.
+///
+/// Self-loops are permitted (real crawls contain them; engines tolerate
+/// them), duplicates are permitted (multigraph), and edge weights are
+/// uniform in `[1, 16)` so SSSP has meaningful distances.
+pub fn rmat(num_vertices: VertexId, num_edges: usize, params: RmatParams, seed: u64) -> EdgeList {
+    assert!(num_vertices > 0, "rmat requires at least one vertex");
+    let levels = (num_vertices as f64).log2().ceil() as u32;
+    let side = 1u64 << levels;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    let d = params.d();
+    while edges.len() < num_edges {
+        let (mut x_lo, mut x_hi) = (0u64, side);
+        let (mut y_lo, mut y_hi) = (0u64, side);
+        for _ in 0..levels {
+            // Jitter the quadrant probabilities per level.
+            let jitter = |p: f64, rng: &mut StdRng| {
+                (p * (1.0 - params.noise + 2.0 * params.noise * rng.random::<f64>())).max(1e-9)
+            };
+            let (pa, pb, pc, pd) = (
+                jitter(params.a, &mut rng),
+                jitter(params.b, &mut rng),
+                jitter(params.c, &mut rng),
+                jitter(d, &mut rng),
+            );
+            let total = pa + pb + pc + pd;
+            let r = rng.random::<f64>() * total;
+            let x_mid = (x_lo + x_hi) / 2;
+            let y_mid = (y_lo + y_hi) / 2;
+            if r < pa {
+                x_hi = x_mid;
+                y_hi = y_mid;
+            } else if r < pa + pb {
+                x_hi = x_mid;
+                y_lo = y_mid;
+            } else if r < pa + pb + pc {
+                x_lo = x_mid;
+                y_hi = y_mid;
+            } else {
+                x_lo = x_mid;
+                y_lo = y_mid;
+            }
+        }
+        let src = (x_lo % num_vertices as u64) as VertexId;
+        let dst = (y_lo % num_vertices as u64) as VertexId;
+        let weight = 1.0 + rng.random::<f32>() * 15.0;
+        edges.push(Edge::weighted(src, dst, weight));
+    }
+    EdgeList { num_vertices, edges }
+}
+
+/// Generates a uniform Erdős–Rényi multigraph G(n, m).
+pub fn erdos_renyi(num_vertices: VertexId, num_edges: usize, seed: u64) -> EdgeList {
+    assert!(num_vertices > 0, "erdos_renyi requires at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = (0..num_edges)
+        .map(|_| {
+            Edge::weighted(
+                rng.random_range(0..num_vertices),
+                rng.random_range(0..num_vertices),
+                1.0 + rng.random::<f32>() * 15.0,
+            )
+        })
+        .collect();
+    EdgeList { num_vertices, edges }
+}
+
+/// Directed ring: `i -> (i + 1) % n`. Diameter `n - 1`; exercises long
+/// propagation chains (worst case for WCC/BFS iteration counts).
+pub fn ring(num_vertices: VertexId) -> EdgeList {
+    assert!(num_vertices > 0);
+    let edges = (0..num_vertices)
+        .map(|i| Edge::new(i, (i + 1) % num_vertices))
+        .collect();
+    EdgeList { num_vertices, edges }
+}
+
+/// Directed path: `i -> i + 1` for `i < n - 1`.
+pub fn path(num_vertices: VertexId) -> EdgeList {
+    assert!(num_vertices > 0);
+    let edges = (0..num_vertices.saturating_sub(1))
+        .map(|i| Edge::new(i, i + 1))
+        .collect();
+    EdgeList { num_vertices, edges }
+}
+
+/// Star graph: vertex 0 points at everything else. Maximal out-degree skew,
+/// the stress case for chunk-table replica overhead.
+pub fn star(num_vertices: VertexId) -> EdgeList {
+    assert!(num_vertices > 0);
+    let edges = (1..num_vertices).map(|i| Edge::new(0, i)).collect();
+    EdgeList { num_vertices, edges }
+}
+
+/// Complete directed graph without self loops (use only for tiny `n`).
+pub fn complete(num_vertices: VertexId) -> EdgeList {
+    let mut edges = Vec::new();
+    for s in 0..num_vertices {
+        for t in 0..num_vertices {
+            if s != t {
+                edges.push(Edge::new(s, t));
+            }
+        }
+    }
+    EdgeList { num_vertices, edges }
+}
+
+/// Makes a graph weakly symmetric by adding every reverse edge. WCC over a
+/// directed graph in the streaming engines assumes label exchange in both
+/// directions, matching how the paper's systems evaluate WCC on symmetrized
+/// inputs.
+pub fn symmetrize(g: &EdgeList) -> EdgeList {
+    let mut edges = Vec::with_capacity(g.edges.len() * 2);
+    for e in &g.edges {
+        edges.push(*e);
+        edges.push(Edge::weighted(e.dst, e.src, e.weight));
+    }
+    EdgeList { num_vertices: g.num_vertices, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_deterministic_and_sized() {
+        let g1 = rmat(1000, 5000, RmatParams::GRAPH500, 42);
+        let g2 = rmat(1000, 5000, RmatParams::GRAPH500, 42);
+        assert_eq!(g1.num_edges(), 5000);
+        assert_eq!(g1.num_vertices, 1000);
+        assert!(g1
+            .edges
+            .iter()
+            .zip(&g2.edges)
+            .all(|(a, b)| a.src == b.src && a.dst == b.dst));
+        let g3 = rmat(1000, 5000, RmatParams::GRAPH500, 43);
+        assert!(g1.edges.iter().zip(&g3.edges).any(|(a, b)| a.src != b.src || a.dst != b.dst));
+    }
+
+    #[test]
+    fn rmat_in_range() {
+        let g = rmat(300, 2000, RmatParams::SOCIAL, 7);
+        assert!(g.edges.iter().all(|e| e.src < 300 && e.dst < 300));
+        assert!(g.edges.iter().all(|e| e.weight >= 1.0 && e.weight < 16.0));
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // SOCIAL parameters must produce a hub much heavier than average.
+        let g = rmat(4096, 40960, RmatParams::SOCIAL, 1);
+        let max = g.max_out_degree() as f64;
+        let avg = g.avg_out_degree();
+        assert!(
+            max > avg * 10.0,
+            "expected skew: max {max} should exceed 10x avg {avg}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_is_flat() {
+        let g = erdos_renyi(4096, 40960, 1);
+        let max = g.max_out_degree() as f64;
+        let avg = g.avg_out_degree();
+        assert!(max < avg * 5.0, "uniform graph should not have extreme hubs");
+    }
+
+    #[test]
+    fn regular_families() {
+        assert_eq!(ring(5).num_edges(), 5);
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(star(5).num_edges(), 4);
+        assert_eq!(complete(4).num_edges(), 12);
+    }
+
+    #[test]
+    fn symmetrize_doubles() {
+        let g = path(10);
+        let s = symmetrize(&g);
+        assert_eq!(s.num_edges(), 18);
+        // Reverse of every original edge is present.
+        for e in &g.edges {
+            assert!(s.edges.iter().any(|r| r.src == e.dst && r.dst == e.src));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # graphm-graph — graph substrate for the GraphM reproduction
+//!
+//! Everything the storage system and the host engines need to represent
+//! graphs: core types, deterministic generators standing in for the paper's
+//! datasets, binary storage, vertex-range partitioning, and the three
+//! engine-native formats GraphM's preprocessor targets (`Convert()` in §3.1):
+//!
+//! * [`grid`] — GridGraph's 2-level grid;
+//! * [`shards`] — GraphChi's source-sorted destination shards;
+//! * [`csr`] — PowerGraph's CSR/CSC adjacency.
+//!
+//! Chaos streams raw edge lists, which [`types::EdgeList`] already is.
+
+pub mod bitmap;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod grid;
+pub mod partition;
+pub mod shards;
+pub mod storage;
+pub mod types;
+
+pub use bitmap::AtomicBitmap;
+pub use csr::Csr;
+pub use datasets::{DatasetId, DatasetSpec, MemoryProfile};
+pub use grid::{Grid, GridFile};
+pub use partition::VertexRanges;
+pub use shards::Shards;
+pub use types::{Edge, EdgeList, GraphError, Result, VertexId, Weight, EDGE_BYTES};

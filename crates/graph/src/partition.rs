@@ -1,0 +1,145 @@
+//! Vertex-range partitioning shared by every engine format.
+//!
+//! GridGraph splits `V` into `P` equal ranges (grid rows/columns), GraphChi
+//! into destination intervals, and GraphM's global table keys partitions by
+//! index — all three sit on this one partitioner so partition ids mean the
+//! same thing across the stack.
+
+use crate::types::VertexId;
+
+/// An equal-width partitioning of the vertex id space `0..num_vertices`
+/// into `count` contiguous ranges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexRanges {
+    num_vertices: VertexId,
+    count: usize,
+    /// Width of each range except possibly the last (`ceil(n / count)`).
+    width: VertexId,
+}
+
+impl VertexRanges {
+    /// Creates `count` ranges over `num_vertices` vertices.
+    ///
+    /// `count` must be ≥ 1. When `count > num_vertices` the trailing ranges
+    /// are empty, which the engines treat as never-active partitions.
+    pub fn new(num_vertices: VertexId, count: usize) -> Self {
+        assert!(count >= 1, "at least one partition required");
+        let width = (num_vertices as u64).div_ceil(count as u64).max(1) as VertexId;
+        VertexRanges { num_vertices, count, width }
+    }
+
+    /// Number of ranges.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Total vertex count.
+    #[inline]
+    pub fn num_vertices(&self) -> VertexId {
+        self.num_vertices
+    }
+
+    /// Index of the range containing vertex `v`.
+    #[inline]
+    pub fn range_of(&self, v: VertexId) -> usize {
+        debug_assert!(v < self.num_vertices);
+        ((v / self.width) as usize).min(self.count - 1)
+    }
+
+    /// Half-open vertex interval `[lo, hi)` of range `i`.
+    #[inline]
+    pub fn bounds(&self, i: usize) -> (VertexId, VertexId) {
+        assert!(i < self.count);
+        let lo = (i as u64 * self.width as u64).min(self.num_vertices as u64) as VertexId;
+        let hi = ((i as u64 + 1) * self.width as u64).min(self.num_vertices as u64) as VertexId;
+        (lo, hi)
+    }
+
+    /// Number of vertices in range `i`.
+    #[inline]
+    pub fn len(&self, i: usize) -> VertexId {
+        let (lo, hi) = self.bounds(i);
+        hi - lo
+    }
+
+    /// True when range `i` contains no vertices.
+    #[inline]
+    pub fn is_empty(&self, i: usize) -> bool {
+        self.len(i) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_exactly() {
+        let r = VertexRanges::new(103, 8);
+        let mut seen = 0u32;
+        for i in 0..8 {
+            let (lo, hi) = r.bounds(i);
+            assert!(lo <= hi);
+            seen += hi - lo;
+            for v in lo..hi {
+                assert_eq!(r.range_of(v), i, "vertex {v}");
+            }
+        }
+        assert_eq!(seen, 103);
+    }
+
+    #[test]
+    fn more_partitions_than_vertices() {
+        let r = VertexRanges::new(3, 8);
+        assert_eq!(r.range_of(0), 0);
+        assert_eq!(r.range_of(2), 2);
+        assert!(r.is_empty(5));
+        assert_eq!(r.bounds(7), (3, 3));
+    }
+
+    #[test]
+    fn single_partition() {
+        let r = VertexRanges::new(10, 1);
+        assert_eq!(r.bounds(0), (0, 10));
+        assert_eq!(r.range_of(9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        VertexRanges::new(10, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every vertex maps to exactly the range whose bounds contain it.
+        #[test]
+        fn range_of_consistent(n in 1u32..5000, count in 1usize..64, v_seed in 0u32..u32::MAX) {
+            let r = VertexRanges::new(n, count);
+            let v = v_seed % n;
+            let i = r.range_of(v);
+            let (lo, hi) = r.bounds(i);
+            prop_assert!(lo <= v && v < hi);
+        }
+
+        /// Ranges tile the vertex space without gaps or overlaps.
+        #[test]
+        fn ranges_tile(n in 0u32..5000, count in 1usize..64) {
+            let r = VertexRanges::new(n, count);
+            let mut expected_lo = 0u32;
+            for i in 0..count {
+                let (lo, hi) = r.bounds(i);
+                prop_assert_eq!(lo, expected_lo);
+                prop_assert!(hi >= lo);
+                expected_lo = hi;
+            }
+            prop_assert_eq!(expected_lo, n);
+        }
+    }
+}

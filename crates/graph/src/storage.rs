@@ -1,0 +1,155 @@
+//! Binary on-disk edge-list storage.
+//!
+//! This is the "original graph data" box of Figure 5: the raw format GraphM
+//! keeps in secondary storage before `Convert()` produces engine-specific
+//! representations. Records are fixed 12-byte little-endian
+//! `(src: u32, dst: u32, weight: f32)` triples behind a small header, so
+//! streaming reads map 1:1 onto the cost model's byte counts.
+
+use crate::types::{Edge, EdgeList, GraphError, Result, VertexId};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"GRAPHM01";
+
+/// Writes `graph` to `path` in the GraphM binary edge-list format.
+pub fn write_edge_list(graph: &EdgeList, path: &Path) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    w.write_all(&graph.num_vertices.to_le_bytes())?;
+    w.write_all(&(graph.edges.len() as u64).to_le_bytes())?;
+    for e in &graph.edges {
+        w.write_all(&e.src.to_le_bytes())?;
+        w.write_all(&e.dst.to_le_bytes())?;
+        w.write_all(&e.weight.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph previously written by [`write_edge_list`].
+pub fn read_edge_list(path: &Path) -> Result<EdgeList> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Format(format!(
+            "bad magic in {}: {:?}",
+            path.display(),
+            magic
+        )));
+    }
+    let mut buf4 = [0u8; 4];
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf4)?;
+    let num_vertices = VertexId::from_le_bytes(buf4);
+    r.read_exact(&mut buf8)?;
+    let num_edges = u64::from_le_bytes(buf8) as usize;
+    let mut edges = Vec::with_capacity(num_edges);
+    let mut rec = [0u8; 12];
+    for _ in 0..num_edges {
+        r.read_exact(&mut rec)?;
+        let src = VertexId::from_le_bytes(rec[0..4].try_into().unwrap());
+        let dst = VertexId::from_le_bytes(rec[4..8].try_into().unwrap());
+        let weight = f32::from_le_bytes(rec[8..12].try_into().unwrap());
+        if src >= num_vertices {
+            return Err(GraphError::VertexOutOfRange { vertex: src, num_vertices });
+        }
+        if dst >= num_vertices {
+            return Err(GraphError::VertexOutOfRange { vertex: dst, num_vertices });
+        }
+        edges.push(Edge { src, dst, weight });
+    }
+    Ok(EdgeList { num_vertices, edges })
+}
+
+/// Parses a whitespace-separated text edge list (`src dst [weight]` per
+/// line, `#` comments), the interchange format of SNAP/LAW datasets the
+/// paper downloads. Vertex count is `max id + 1`.
+pub fn parse_text_edge_list(text: &str) -> Result<EdgeList> {
+    let mut edges = Vec::new();
+    let mut max_v: VertexId = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<VertexId> {
+            tok.ok_or_else(|| {
+                GraphError::Format(format!("line {}: missing {what}", lineno + 1))
+            })?
+            .parse::<VertexId>()
+            .map_err(|e| GraphError::Format(format!("line {}: {e}", lineno + 1)))
+        };
+        let src = parse(it.next(), "source")?;
+        let dst = parse(it.next(), "destination")?;
+        let weight = match it.next() {
+            Some(tok) => tok
+                .parse::<f32>()
+                .map_err(|e| GraphError::Format(format!("line {}: {e}", lineno + 1)))?,
+            None => 1.0,
+        };
+        max_v = max_v.max(src).max(dst);
+        edges.push(Edge { src, dst, weight });
+    }
+    let num_vertices = if edges.is_empty() { 0 } else { max_v + 1 };
+    Ok(EdgeList { num_vertices, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("graphm-storage-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = generators::rmat(500, 3000, generators::RmatParams::GRAPH500, 9);
+        let path = tmp("roundtrip.bin");
+        write_edge_list(&g, &path).unwrap();
+        let back = read_edge_list(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.num_vertices, g.num_vertices);
+        assert_eq!(back.num_edges(), g.num_edges());
+        for (a, b) in g.edges.iter().zip(&back.edges) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("badmagic.bin");
+        std::fs::write(&path, b"NOTMAGIC________________").unwrap();
+        let err = read_edge_list(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, GraphError::Format(_)));
+    }
+
+    #[test]
+    fn parse_text() {
+        let g = parse_text_edge_list("# comment\n0 1\n1 2 3.5\n\n2 0\n").unwrap();
+        assert_eq!(g.num_vertices, 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edges[1].weight, 3.5);
+        assert_eq!(g.edges[0].weight, 1.0);
+    }
+
+    #[test]
+    fn parse_text_errors() {
+        assert!(parse_text_edge_list("0").is_err());
+        assert!(parse_text_edge_list("a b").is_err());
+        let empty = parse_text_edge_list("# nothing\n").unwrap();
+        assert_eq!(empty.num_vertices, 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Fundamental graph types shared by every GraphM crate.
+//!
+//! The paper models a graph as `G = (V, E, W)`: the *graph structure data*
+//! that GraphM shares between concurrent jobs. Job-specific state (`S` in the
+//! paper) never lives here — keeping the two separable is the core idea of
+//! the Share-Synchronize design.
+
+use std::fmt;
+
+/// Vertex identifier. `u32` bounds graphs at ~4.2 B vertices, enough for the
+/// largest dataset the paper evaluates (Clueweb12, 978.4 M vertices) and half
+/// the memory of `usize` ids, which matters when edges dominate the footprint.
+pub type VertexId = u32;
+
+/// Edge weight. Unweighted algorithms (PageRank, WCC, BFS) ignore it; SSSP
+/// reads it. Weights are kept in the structure record so every engine streams
+/// identically sized records, as GridGraph does with its 8-byte edge cells.
+pub type Weight = f32;
+
+/// A directed, weighted edge. `#[repr(C)]` fixes the 12-byte layout the
+/// on-disk formats and the LLC cost model both assume.
+#[derive(Clone, Copy, PartialEq)]
+#[repr(C)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight (1.0 for unweighted inputs).
+    pub weight: Weight,
+}
+
+/// Size of one edge record in bytes, as streamed by every engine.
+pub const EDGE_BYTES: usize = std::mem::size_of::<Edge>();
+
+impl Edge {
+    /// Creates an unweighted (weight = 1.0) edge.
+    #[inline]
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst, weight: 1.0 }
+    }
+
+    /// Creates a weighted edge.
+    #[inline]
+    pub fn weighted(src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        Edge { src, dst, weight }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}({})", self.src, self.dst, self.weight)
+    }
+}
+
+/// An in-memory directed graph held as a flat edge list plus metadata.
+///
+/// This is the *original graph data* of Figure 5: the representation GraphM
+/// stores before `Convert()` turns it into an engine-specific format.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeList {
+    /// Number of vertices; vertex ids are `0..num_vertices`.
+    pub num_vertices: VertexId,
+    /// All edges, in generator/ingest order (engines re-sort during convert).
+    pub edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Creates an empty graph over `num_vertices` vertices.
+    pub fn new(num_vertices: VertexId) -> Self {
+        EdgeList { num_vertices, edges: Vec::new() }
+    }
+
+    /// Creates a graph from parts, validating that all endpoints are in range.
+    ///
+    /// Returns `None` when an edge references a vertex `>= num_vertices`.
+    pub fn from_edges(num_vertices: VertexId, edges: Vec<Edge>) -> Option<Self> {
+        if edges.iter().all(|e| e.src < num_vertices && e.dst < num_vertices) {
+            Some(EdgeList { num_vertices, edges })
+        } else {
+            None
+        }
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Size of the structure data in bytes (`S_G` in Formula 1).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.edges.len() * EDGE_BYTES
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_vertices as usize];
+        for e in &self.edges {
+            deg[e.src as usize] += 1;
+        }
+        deg
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_vertices as usize];
+        for e in &self.edges {
+            deg[e.dst as usize] += 1;
+        }
+        deg
+    }
+
+    /// Maximum out-degree (0 for an empty graph). The paper relates chunk
+    /// replica overhead to maximum vs average out-degree in §5.2.
+    pub fn max_out_degree(&self) -> u32 {
+        self.out_degrees().into_iter().max().unwrap_or(0)
+    }
+
+    /// Average out-degree.
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / self.num_vertices as f64
+        }
+    }
+}
+
+/// Errors produced by the graph substrate.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An I/O error while reading/writing on-disk formats.
+    Io(std::io::Error),
+    /// A malformed on-disk file (bad magic, truncated records, ...).
+    Format(String),
+    /// An edge referenced a vertex outside `0..num_vertices`.
+    VertexOutOfRange { vertex: VertexId, num_vertices: VertexId },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Format(m) => write!(f, "format error: {m}"),
+            GraphError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range (num_vertices = {num_vertices})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenient result alias for the substrate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_is_twelve_bytes() {
+        assert_eq!(EDGE_BYTES, 12);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        let edges = vec![Edge::new(0, 5)];
+        assert!(EdgeList::from_edges(3, edges).is_none());
+    }
+
+    #[test]
+    fn from_edges_accepts_valid() {
+        let g = EdgeList::from_edges(3, vec![Edge::new(0, 2), Edge::new(2, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.size_bytes(), 24);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = EdgeList::from_edges(
+            4,
+            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 2), Edge::new(3, 0)],
+        )
+        .unwrap();
+        assert_eq!(g.out_degrees(), vec![2, 1, 0, 1]);
+        assert_eq!(g.in_degrees(), vec![1, 1, 2, 0]);
+        assert_eq!(g.max_out_degree(), 2);
+        assert!((g.avg_out_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_degrees() {
+        let g = EdgeList::new(0);
+        assert_eq!(g.max_out_degree(), 0);
+        assert_eq!(g.avg_out_degree(), 0.0);
+    }
+}

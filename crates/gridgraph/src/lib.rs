@@ -1,0 +1,22 @@
+//! # graphm-gridgraph — GridGraph-style engine with GraphM integration
+//!
+//! GridGraph [Zhu et al., ATC '15] is the out-of-core engine the paper
+//! integrates first (Figure 6 shows the four-line patch). This crate
+//! reproduces the engine — 2-level grid partitioning, column-major
+//! streaming-apply, selective scheduling — and its three execution schemes:
+//!
+//! * `GridGraph-S`: sequential jobs ([`run_gridgraph`] with
+//!   [`graphm_core::Scheme::Sequential`]);
+//! * `GridGraph-C`: concurrent jobs with private graph copies;
+//! * `GridGraph-M`: concurrent jobs over GraphM's shared storage.
+//!
+//! [`schemes::wall`] adds real-thread wall-clock counterparts used by the
+//! Criterion benches.
+
+pub mod engine;
+pub mod schemes;
+pub mod source;
+
+pub use engine::GridGraphEngine;
+pub use schemes::{graphm_preprocess_wall, run_gridgraph, wall};
+pub use source::GridSource;

@@ -1,0 +1,112 @@
+//! `PartitionSource` adapter: GraphM over the grid format.
+//!
+//! One grid block = one GraphM partition. The native traversal order is
+//! GridGraph's column-major streaming order; block activity is decided by
+//! the block's source-vertex row range against the job's bitmap — exactly
+//! the information GridGraph's `should_access_shard` array carries.
+
+use graphm_core::PartitionSource;
+use graphm_graph::{AtomicBitmap, Edge, Grid, VertexId, EDGE_BYTES};
+use std::sync::Arc;
+
+/// An in-memory grid exposed to GraphM.
+pub struct GridSource {
+    blocks: Vec<Arc<Vec<Edge>>>,
+    /// Source-vertex bounds (row range) per block, row-major.
+    row_bounds: Vec<(VertexId, VertexId)>,
+    order: Vec<usize>,
+    num_vertices: VertexId,
+}
+
+impl GridSource {
+    /// Wraps a converted grid.
+    pub fn new(grid: &Grid) -> GridSource {
+        let p = grid.p();
+        let mut blocks = Vec::with_capacity(p * p);
+        let mut row_bounds = Vec::with_capacity(p * p);
+        for idx in 0..grid.num_blocks() {
+            let (row, _) = grid.block_coords(idx);
+            blocks.push(Arc::new(grid.block_by_index(idx).to_vec()));
+            row_bounds.push(grid.ranges().bounds(row));
+        }
+        GridSource {
+            blocks,
+            row_bounds,
+            order: grid.streaming_order(),
+            num_vertices: grid.ranges().num_vertices(),
+        }
+    }
+
+    /// Grid dimension implied by the block count.
+    pub fn p(&self) -> usize {
+        (self.blocks.len() as f64).sqrt() as usize
+    }
+}
+
+impl PartitionSource for GridSource {
+    fn num_partitions(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn num_vertices(&self) -> VertexId {
+        self.num_vertices
+    }
+
+    fn load(&self, pid: usize) -> Arc<Vec<Edge>> {
+        Arc::clone(&self.blocks[pid])
+    }
+
+    fn partition_bytes(&self, pid: usize) -> usize {
+        self.blocks[pid].len() * EDGE_BYTES
+    }
+
+    fn graph_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.len() * EDGE_BYTES).sum()
+    }
+
+    fn order(&self) -> Vec<usize> {
+        self.order.clone()
+    }
+
+    fn partition_active(&self, pid: usize, active: &AtomicBitmap) -> bool {
+        if self.blocks[pid].is_empty() {
+            return false;
+        }
+        let (lo, hi) = self.row_bounds[pid];
+        lo < hi && active.any_in_range(lo as usize, hi as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphm_graph::generators;
+
+    #[test]
+    fn adapter_roundtrip() {
+        let g = generators::rmat(100, 800, generators::RmatParams::GRAPH500, 7);
+        let grid = Grid::convert(&g, 3);
+        let s = GridSource::new(&grid);
+        assert_eq!(s.num_partitions(), 9);
+        assert_eq!(s.p(), 3);
+        assert_eq!(s.num_vertices(), 100);
+        let total: usize = (0..9).map(|i| s.load(i).len()).sum();
+        assert_eq!(total, 800);
+        assert_eq!(s.graph_bytes(), 800 * EDGE_BYTES);
+        assert_eq!(s.order(), grid.streaming_order());
+    }
+
+    #[test]
+    fn activity_follows_rows() {
+        let g = generators::ring(9);
+        let grid = Grid::convert(&g, 3); // rows of 3 vertices
+        let s = GridSource::new(&grid);
+        let active = AtomicBitmap::new(9);
+        active.set(4); // row 1
+        for pid in 0..9 {
+            let (row, _) = grid.block_coords(pid);
+            let expect = row == 1 && !grid.block_by_index(pid).is_empty();
+            assert_eq!(s.partition_active(pid, &active), expect, "block {pid}");
+        }
+    }
+}

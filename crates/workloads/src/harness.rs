@@ -1,0 +1,211 @@
+//! The experiment workbench: dataset → engine → job mix → scheme run.
+//!
+//! Every figure binary builds a [`Workbench`] once per dataset and then
+//! runs the same submissions under each scheme, so S/C/M comparisons see
+//! identical graphs, identical job parameters, and identical arrival
+//! times.
+
+use crate::arrivals;
+use crate::jobmix::{generate_mix, JobSpec, MixConfig};
+use graphm_core::{RunReport, RunnerConfig, Scheme, SchedulingPolicy, Submission};
+use graphm_graph::{DatasetId, EdgeList, MemoryProfile};
+use graphm_gridgraph::{run_gridgraph, GridGraphEngine};
+use std::sync::Arc;
+
+/// Scales a memory profile down by `divisor`, used when datasets are
+/// generated at reduced scale so the in-memory/out-of-core regime split is
+/// preserved (see DESIGN.md §3).
+pub fn scaled_profile(base: MemoryProfile, divisor: usize) -> MemoryProfile {
+    if divisor <= 1 {
+        return base;
+    }
+    MemoryProfile {
+        memory_bytes: (base.memory_bytes / divisor).max(64 << 10),
+        llc_bytes: (base.llc_bytes / divisor).max(8 << 10),
+        llc_ways: base.llc_ways,
+        line_bytes: base.line_bytes,
+        cores: base.cores,
+        llc_reserved: (base.llc_reserved / divisor).max(256),
+    }
+}
+
+/// A prepared experiment environment over one graph.
+pub struct Workbench {
+    /// The raw graph.
+    pub graph: EdgeList,
+    /// The GridGraph host engine over it.
+    pub engine: GridGraphEngine,
+    /// Out-degrees (for PageRank-family jobs).
+    pub out_degrees: Arc<Vec<u32>>,
+    /// The memory profile experiments run under.
+    pub profile: MemoryProfile,
+    /// Which dataset this is, when registry-built.
+    pub dataset: Option<DatasetId>,
+    /// Scale divisor the dataset was generated at.
+    pub scale: usize,
+}
+
+impl Workbench {
+    /// Builds a workbench for a registered dataset at `1/scale` size with
+    /// a `p × p` grid.
+    pub fn dataset(id: DatasetId, scale: usize, p: usize) -> Workbench {
+        let graph = id.generate_scaled(scale.max(1));
+        let profile = scaled_profile(MemoryProfile::DEFAULT, scale.max(1));
+        Workbench::build(graph, p, profile, Some(id), scale.max(1))
+    }
+
+    /// Builds a workbench over an arbitrary graph.
+    pub fn from_graph(graph: EdgeList, p: usize, profile: MemoryProfile) -> Workbench {
+        Workbench::build(graph, p, profile, None, 1)
+    }
+
+    fn build(
+        graph: EdgeList,
+        p: usize,
+        profile: MemoryProfile,
+        dataset: Option<DatasetId>,
+        scale: usize,
+    ) -> Workbench {
+        let (engine, _) = GridGraphEngine::convert(&graph, p);
+        let out_degrees = engine.out_degrees();
+        Workbench { graph, engine, out_degrees, profile, dataset, scale }
+    }
+
+    /// Whether the graph exceeds the simulated memory budget.
+    pub fn out_of_core(&self) -> bool {
+        self.graph.size_bytes() > self.profile.memory_bytes
+    }
+
+    /// Default runner configuration for this workbench.
+    pub fn runner_config(&self) -> RunnerConfig {
+        let mut cfg = RunnerConfig::new(self.profile);
+        cfg.out_of_core = self.out_of_core();
+        cfg
+    }
+
+    /// The paper's §5.1 mix of `count` jobs.
+    pub fn paper_mix(&self, count: usize, seed: u64) -> Vec<JobSpec> {
+        generate_mix(self.graph.num_vertices, &MixConfig::paper(count, seed))
+    }
+
+    /// Turns specs + arrival times into submissions.
+    pub fn submissions(&self, specs: &[JobSpec], arrivals: &[f64]) -> Vec<Submission> {
+        assert_eq!(specs.len(), arrivals.len());
+        specs
+            .iter()
+            .zip(arrivals)
+            .map(|(s, &t)| {
+                Submission::at(s.instantiate(self.graph.num_vertices, &self.out_degrees), t)
+            })
+            .collect()
+    }
+
+    /// Runs `specs` under `scheme` with the given arrivals and the default
+    /// runner configuration.
+    pub fn run(&self, scheme: Scheme, specs: &[JobSpec], arrivals: &[f64]) -> RunReport {
+        self.run_with(scheme, specs, arrivals, &self.runner_config())
+    }
+
+    /// Runs with an explicit runner configuration (core-count sweeps,
+    /// scheduling-policy ablations, chunk-size ablations).
+    pub fn run_with(
+        &self,
+        scheme: Scheme,
+        specs: &[JobSpec],
+        arrivals: &[f64],
+        cfg: &RunnerConfig,
+    ) -> RunReport {
+        let subs = self.submissions(specs, arrivals);
+        run_gridgraph(scheme, subs, &self.engine, cfg)
+    }
+
+    /// Convenience: run all three schemes on the same workload, immediate
+    /// arrivals. Returns `(S, C, M)`.
+    pub fn run_all_schemes(&self, specs: &[JobSpec]) -> (RunReport, RunReport, RunReport) {
+        let arr = arrivals::immediate_arrivals(specs.len());
+        (
+            self.run(Scheme::Sequential, specs, &arr),
+            self.run(Scheme::Concurrent, specs, &arr),
+            self.run(Scheme::Shared, specs, &arr),
+        )
+    }
+
+    /// Runner config with the §4 scheduler disabled (Figure 18's
+    /// `GridGraph-M-without`).
+    pub fn runner_config_without_scheduling(&self) -> RunnerConfig {
+        let mut cfg = self.runner_config();
+        cfg.policy = SchedulingPolicy::Default;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphm_cachesim::keys;
+
+    fn bench() -> Workbench {
+        // LiveJ at 1/16 scale: small enough for unit tests while keeping
+        // the graph-to-LLC ratio (~16x) in the paper's regime.
+        Workbench::dataset(DatasetId::LiveJ, 16, 4)
+    }
+
+    #[test]
+    fn regimes_follow_scaling() {
+        let wb = bench();
+        assert_eq!(wb.scale, 16);
+        // LiveJ fits in (scaled) memory.
+        assert!(!wb.out_of_core());
+        let big = Workbench::dataset(DatasetId::Clueweb, 64, 3);
+        assert!(big.out_of_core(), "clueweb-sim stays out-of-core at matched scale");
+    }
+
+    #[test]
+    fn end_to_end_16_jobs_shape() {
+        let wb = bench();
+        let specs = wb.paper_mix(8, 1);
+        let (s, c, m) = wb.run_all_schemes(&specs);
+        assert_eq!(m.jobs.len(), 8);
+        // The headline claim: M beats both S and C for concurrent jobs.
+        assert!(m.makespan_ns < s.makespan_ns, "M {} vs S {}", m.makespan_ns, s.makespan_ns);
+        assert!(m.makespan_ns < c.makespan_ns, "M {} vs C {}", m.makespan_ns, c.makespan_ns);
+        // And reads no more from disk.
+        assert!(
+            m.metrics.get(keys::DISK_READ_BYTES) <= c.metrics.get(keys::DISK_READ_BYTES)
+        );
+        // Same jobs converge to the same results across schemes (exact for
+        // min-propagation jobs; PageRank agrees within fp tolerance).
+        for (js, jm) in s.jobs.iter().zip(&m.jobs) {
+            assert_eq!(js.name, jm.name);
+            for (a, b) in js.values.iter().zip(&jm.values) {
+                let both_unreached = a.is_infinite() && b.is_infinite();
+                assert!(
+                    both_unreached || (a - b).abs() < 1e-9,
+                    "{}: {a} vs {b}",
+                    js.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_submissions_run() {
+        let wb = bench();
+        let specs = wb.paper_mix(6, 2);
+        let arr = crate::arrivals::poisson_arrivals(6, 16.0, 1e6, 3);
+        let r = wb.run(Scheme::Shared, &specs, &arr);
+        assert_eq!(r.jobs.len(), 6);
+        for (j, &t) in r.jobs.iter().zip(&arr) {
+            assert!(j.finish_ns >= t, "job finishes after submission");
+        }
+    }
+
+    #[test]
+    fn scaled_profile_floors() {
+        let p = scaled_profile(MemoryProfile::DEFAULT, 1_000_000);
+        assert!(p.llc_bytes >= 8 << 10);
+        assert!(p.memory_bytes >= 64 << 10);
+        let same = scaled_profile(MemoryProfile::DEFAULT, 1);
+        assert_eq!(same.memory_bytes, MemoryProfile::DEFAULT.memory_bytes);
+    }
+}

@@ -1,0 +1,21 @@
+//! # graphm-workloads — concurrent-job workloads and the experiment harness
+//!
+//! Everything §5.1 describes about *how* the paper runs its experiments:
+//!
+//! * [`jobmix`] — the WCC/PageRank/SSSP/BFS rotation with randomized
+//!   parameters (damping, roots, iteration caps);
+//! * [`arrivals`] — Poisson(λ) submission processes (default λ = 16);
+//! * [`trace`] — the weekly social-network trace (Figures 2/4/15) and its
+//!   similarity statistics;
+//! * [`harness`] — the [`Workbench`] that pins one graph + engine and runs
+//!   identical submissions under the S/C/M schemes.
+
+pub mod arrivals;
+pub mod harness;
+pub mod jobmix;
+pub mod trace;
+
+pub use arrivals::{immediate_arrivals, poisson_arrivals, HOUR_NS};
+pub use harness::{scaled_profile, Workbench};
+pub use jobmix::{generate_mix, roots_within_hops, AlgoKind, JobSpec, MixConfig};
+pub use trace::{similarity_stats, weekly_concurrency, Trace, TRACE_HOURS};

@@ -1,0 +1,150 @@
+//! The social-network job trace (Figures 2, 4, 15).
+//!
+//! The paper traces one week of concurrent graph jobs on a real Chinese
+//! social network: peak > 30 concurrent jobs, average ≈ 16, with strong
+//! diurnal swings. The trace itself is proprietary, so this module
+//! generates a statistically similar one: a diurnal base curve plus noise,
+//! and per-hour job mixes whose active sets yield the Figure-4 similarity
+//! statistics (> 82% of the graph shared by multiple jobs; partitions
+//! re-accessed ≈ 7× per hour).
+
+use crate::jobmix::{generate_mix, JobSpec, MixConfig};
+use graphm_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hours in the traced week.
+pub const TRACE_HOURS: usize = 168;
+
+/// The concurrency curve: jobs running during each hour of the week.
+pub fn weekly_concurrency(seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..TRACE_HOURS)
+        .map(|h| {
+            let hour_of_day = (h % 24) as f64;
+            // Diurnal wave peaking mid-day, trough at night.
+            let wave = (std::f64::consts::TAU * (hour_of_day - 14.0) / 24.0).cos();
+            let weekend = if (h / 24) % 7 >= 5 { -2.0 } else { 0.0 };
+            let noise: f64 = rng.random::<f64>() * 6.0 - 3.0;
+            let n = 16.0 + 13.0 * wave + weekend + noise;
+            n.round().clamp(1.0, 40.0) as usize
+        })
+        .collect()
+}
+
+/// A trace: per-hour job batches over the common graph.
+pub struct Trace {
+    /// Jobs active in each hour.
+    pub hourly_jobs: Vec<Vec<JobSpec>>,
+}
+
+impl Trace {
+    /// Generates the weekly trace for a graph with `num_vertices`.
+    pub fn generate(num_vertices: VertexId, seed: u64) -> Trace {
+        let curve = weekly_concurrency(seed);
+        let hourly_jobs = curve
+            .iter()
+            .enumerate()
+            .map(|(h, &n)| {
+                generate_mix(num_vertices, &MixConfig::paper(n, seed ^ (h as u64) << 8))
+            })
+            .collect();
+        Trace { hourly_jobs }
+    }
+
+    /// Mean concurrency over the week.
+    pub fn mean_concurrency(&self) -> f64 {
+        self.hourly_jobs.iter().map(Vec::len).sum::<usize>() as f64
+            / self.hourly_jobs.len().max(1) as f64
+    }
+
+    /// Peak concurrency.
+    pub fn peak_concurrency(&self) -> usize {
+        self.hourly_jobs.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Figure-4 statistics for one hour of concurrent jobs: given each job's
+/// partition access counts over the hour, returns
+/// `(shared_fraction(>k jobs) for k in ks, mean accesses per touched
+/// partition)`.
+pub fn similarity_stats(
+    per_job_partitions: &[Vec<usize>],
+    num_partitions: usize,
+    ks: &[usize],
+) -> (Vec<f64>, f64) {
+    let mut touch_counts = vec![0usize; num_partitions];
+    let mut access_counts = vec![0usize; num_partitions];
+    for parts in per_job_partitions {
+        let mut seen = vec![false; num_partitions];
+        for &p in parts {
+            access_counts[p] += 1;
+            if !seen[p] {
+                seen[p] = true;
+                touch_counts[p] += 1;
+            }
+        }
+    }
+    let touched: Vec<usize> = touch_counts.iter().copied().filter(|&c| c > 0).collect();
+    let fractions = ks
+        .iter()
+        .map(|&k| {
+            if touched.is_empty() {
+                0.0
+            } else {
+                touched.iter().filter(|&&c| c > k).count() as f64 / touched.len() as f64
+            }
+        })
+        .collect();
+    let total_accesses: usize = access_counts.iter().sum();
+    let mean_accesses = if touched.is_empty() {
+        0.0
+    } else {
+        total_accesses as f64 / access_counts.iter().filter(|&&c| c > 0).count() as f64
+    };
+    (fractions, mean_accesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_matches_paper_shape() {
+        let curve = weekly_concurrency(1);
+        assert_eq!(curve.len(), TRACE_HOURS);
+        let peak = *curve.iter().max().unwrap();
+        let mean = curve.iter().sum::<usize>() as f64 / curve.len() as f64;
+        assert!(peak > 30, "paper: >30 jobs at peak, got {peak}");
+        assert!((12.0..20.0).contains(&mean), "paper: mean ~16, got {mean}");
+        assert!(*curve.iter().min().unwrap() >= 1);
+    }
+
+    #[test]
+    fn trace_generates_hourly_mixes() {
+        let t = Trace::generate(1000, 2);
+        assert_eq!(t.hourly_jobs.len(), TRACE_HOURS);
+        assert!(t.peak_concurrency() > 30);
+        assert!((12.0..20.0).contains(&t.mean_concurrency()));
+    }
+
+    #[test]
+    fn similarity_stats_basic() {
+        // 3 jobs over 4 partitions; partition 0 touched by all, 1 by two,
+        // 2 by one, 3 by none.
+        let per_job = vec![vec![0, 1, 2, 0], vec![0, 1], vec![0]];
+        let (fracs, mean) = similarity_stats(&per_job, 4, &[1, 2]);
+        // Touched partitions: 0 (3 jobs), 1 (2 jobs), 2 (1 job).
+        assert!((fracs[0] - 2.0 / 3.0).abs() < 1e-12, ">1 job: {}", fracs[0]);
+        assert!((fracs[1] - 1.0 / 3.0).abs() < 1e-12);
+        // Accesses: p0 = 4 (two from job 0), p1 = 2, p2 = 1 → mean 7/3.
+        assert!((mean - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_stats_empty() {
+        let (fracs, mean) = similarity_stats(&[], 4, &[1]);
+        assert_eq!(fracs, vec![0.0]);
+        assert_eq!(mean, 0.0);
+    }
+}

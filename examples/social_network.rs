@@ -1,0 +1,55 @@
+//! Social-network analytics service: the paper's motivating scenario.
+//!
+//! A platform continuously receives analytics jobs over the same social
+//! graph (friend recommendations via PageRank variants, community labels,
+//! reachability probes). Jobs arrive as a Poisson process; GraphM serves
+//! them from one shared copy of the graph.
+//!
+//! ```sh
+//! cargo run --release --example social_network
+//! ```
+
+use graphm::prelude::*;
+use graphm::workloads::{poisson_arrivals, HOUR_NS};
+
+fn main() {
+    let wb = Workbench::dataset(DatasetId::LiveJ, 16, 4);
+    println!(
+        "social graph (livej-sim @ 1/16): {} vertices, {} edges",
+        wb.graph.num_vertices,
+        wb.graph.num_edges()
+    );
+
+    // A stream of 12 jobs arriving at λ = 16 per (scaled) hour — the
+    // paper's default submission process.
+    let specs = wb.paper_mix(12, 99);
+    let arrivals = poisson_arrivals(12, 16.0, HOUR_NS / 16.0, 3);
+
+    let concurrent = wb.run(Scheme::Concurrent, &specs, &arrivals);
+    let shared = wb.run(Scheme::Shared, &specs, &arrivals);
+
+    println!("\n{:>6} {:>10} {:>16} {:>16}", "job", "algo", "C latency (ms)", "M latency (ms)");
+    for (jc, jm) in concurrent.jobs.iter().zip(&shared.jobs) {
+        println!(
+            "{:>6} {:>10} {:>16.3} {:>16.3}",
+            jc.id,
+            jc.name,
+            jc.turnaround_ns() / 1e6,
+            jm.turnaround_ns() / 1e6
+        );
+    }
+    println!(
+        "\nmean latency: C {:.3} ms vs M {:.3} ms ({:.2}x)",
+        concurrent.avg_job_turnaround_ns() / 1e6,
+        shared.avg_job_turnaround_ns() / 1e6,
+        concurrent.avg_job_turnaround_ns() / shared.avg_job_turnaround_ns()
+    );
+    println!(
+        "LLC miss rate: C {:.1}% vs M {:.1}%",
+        concurrent.metrics.get(keys::LLC_MISSES)
+            / concurrent.metrics.get(keys::LLC_ACCESSES).max(1.0)
+            * 100.0,
+        shared.metrics.get(keys::LLC_MISSES) / shared.metrics.get(keys::LLC_ACCESSES).max(1.0)
+            * 100.0,
+    );
+}

