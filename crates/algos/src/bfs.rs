@@ -32,14 +32,7 @@ impl Bfs {
         levels[root as usize] = 0;
         let active = AtomicBitmap::new(n);
         active.set(root as usize);
-        Bfs {
-            root,
-            levels,
-            active,
-            next_active: AtomicBitmap::new(n),
-            discovered: false,
-            iters: 0,
-        }
+        Bfs { root, levels, active, next_active: AtomicBitmap::new(n), discovered: false, iters: 0 }
     }
 
     /// The root vertex.

@@ -183,9 +183,7 @@ mod tests {
 
     #[test]
     fn damping_validated() {
-        let result = std::panic::catch_unwind(|| {
-            PageRank::new(2, Arc::new(vec![0, 0]), 1.5, 5)
-        });
+        let result = std::panic::catch_unwind(|| PageRank::new(2, Arc::new(vec![0, 0]), 1.5, 5));
         assert!(result.is_err());
     }
 

@@ -131,8 +131,7 @@ mod tests {
     #[test]
     fn streaming_pagerank_matches_reference() {
         let g = generators::rmat(200, 1500, generators::RmatParams::GRAPH500, 3);
-        let mut job = PageRank::new(200, Arc::new(g.out_degrees()), 0.85, 10)
-            .with_tolerance(0.0);
+        let mut job = PageRank::new(200, Arc::new(g.out_degrees()), 0.85, 10).with_tolerance(0.0);
         drive(&mut job, &g, 10);
         let oracle = pagerank_ref(&g, 0.85, 10, 0.0);
         for (a, b) in job.ranks().iter().zip(&oracle) {
@@ -168,10 +167,7 @@ mod tests {
         drive(&mut job, &g, 1000);
         let oracle = sssp_ref(&g, 3);
         for (a, b) in job.distances().iter().zip(&oracle) {
-            assert!(
-                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-6,
-                "{a} vs {b}"
-            );
+            assert!((a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-6, "{a} vs {b}");
         }
     }
 

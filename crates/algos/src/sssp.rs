@@ -31,14 +31,7 @@ impl Sssp {
         dist[root as usize] = 0.0;
         let active = AtomicBitmap::new(n);
         active.set(root as usize);
-        Sssp {
-            root,
-            dist,
-            active,
-            next_active: AtomicBitmap::new(n),
-            relaxed: false,
-            iters: 0,
-        }
+        Sssp { root, dist, active, next_active: AtomicBitmap::new(n), relaxed: false, iters: 0 }
     }
 
     /// The root vertex.

@@ -15,15 +15,15 @@ fn bench_engines(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("gridgraph_pagerank_iter", |b| {
         b.iter(|| {
-            let mut pr = PageRank::new(g.num_vertices, grid.out_degrees(), 0.85, 1)
-                .with_tolerance(0.0);
+            let mut pr =
+                PageRank::new(g.num_vertices, grid.out_degrees(), 0.85, 1).with_tolerance(0.0);
             grid.run_job(&mut pr, 1)
         })
     });
     group.bench_function("graphchi_pagerank_iter", |b| {
         b.iter(|| {
-            let mut pr = PageRank::new(g.num_vertices, chi.out_degrees(), 0.85, 1)
-                .with_tolerance(0.0);
+            let mut pr =
+                PageRank::new(g.num_vertices, chi.out_degrees(), 0.85, 1).with_tolerance(0.0);
             chi.run_job(&mut pr, 1)
         })
     });

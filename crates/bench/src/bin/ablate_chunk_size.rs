@@ -11,7 +11,7 @@ fn main() {
     let wb = graphm_bench::workbench(graphm_graph::DatasetId::Twitter);
     let specs = wb.paper_mix(graphm_bench::jobs(), graphm_bench::seed());
     let arr = immediate_arrivals(specs.len());
-    let formula = chunk_size_bytes(&wb.profile, wb.graph.size_bytes(), wb.graph.num_vertices, 8);
+    let formula = chunk_size_bytes(&wb.profile, wb.structure_bytes, wb.num_vertices(), 8);
     graphm_bench::header(&["chunk", "bytes", "M(s)", "LLC miss%", "sync(s)"]);
     let mut recs = Vec::new();
     for mult in [0.25f64, 0.5, 1.0, 2.0, 4.0] {
@@ -34,5 +34,8 @@ fn main() {
         eprintln!("[{mult}x] done");
     }
     println!("\n(expected: the Formula-1 value (1x = {formula} B) is at or near the minimum)");
-    graphm_bench::save_json("ablate_chunk_size", &json!({ "formula_bytes": formula, "rows": recs }));
+    graphm_bench::save_json(
+        "ablate_chunk_size",
+        &json!({ "formula_bytes": formula, "rows": recs }),
+    );
 }

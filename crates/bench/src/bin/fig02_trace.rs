@@ -15,8 +15,5 @@ fn main() {
     let peak = *curve.iter().max().unwrap();
     println!("\npeak = {peak} concurrent jobs (paper: >30)");
     println!("mean = {mean:.1} concurrent jobs (paper: ~16)");
-    graphm_bench::save_json(
-        "fig02_trace",
-        &json!({ "curve": curve, "peak": peak, "mean": mean }),
-    );
+    graphm_bench::save_json("fig02_trace", &json!({ "curve": curve, "peak": peak, "mean": mean }));
 }

@@ -14,13 +14,11 @@ fn main() {
     let algos = [AlgoKind::PageRank, AlgoKind::Wcc, AlgoKind::Bfs, AlgoKind::Sssp];
     let counts = [1usize, 2, 4, 8];
     let mut records = Vec::new();
-    graphm_bench::header(&[
-        "algo", "jobs", "mem(MB)", "LLCmiss(M)", "LPI", "avg-time(s)",
-    ]);
+    graphm_bench::header(&["algo", "jobs", "mem(MB)", "LLCmiss(M)", "LPI", "avg-time(s)"]);
     for algo in algos {
         for &n in &counts {
             let specs = graphm_workloads::generate_mix(
-                wb.graph.num_vertices,
+                wb.num_vertices(),
                 &MixConfig::uniform(algo, n, graphm_bench::seed()),
             );
             let r = wb.run(Scheme::Concurrent, &specs, &immediate_arrivals(n));

@@ -10,8 +10,8 @@ use serde_json::json;
 fn main() {
     graphm_bench::banner("Figure 4", "access similarity on the traced workload");
     let wb = graphm_bench::workbench(graphm_graph::DatasetId::LiveJ);
-    let source = GridSource::new(wb.engine.grid());
-    let trace = Trace::generate(wb.graph.num_vertices, graphm_bench::seed());
+    let source = GridSource::new(wb.engine().grid());
+    let trace = Trace::generate(wb.num_vertices(), graphm_bench::seed());
     let num_partitions = source.num_partitions();
 
     // For each of the first six hours (the paper's x-axis), derive each
@@ -26,7 +26,7 @@ fn main() {
         let per_job: Vec<Vec<usize>> = specs
             .iter()
             .map(|spec| {
-                let mut job = spec.instantiate(wb.graph.num_vertices, &wb.out_degrees);
+                let mut job = spec.instantiate(wb.num_vertices(), &wb.out_degrees);
                 let mut touched = Vec::new();
                 // Trace partition touches across this job's iterations.
                 for _ in 0..spec.max_iters.min(8) {

@@ -28,7 +28,10 @@ fn main() {
     }
     println!("\nGridGraph-M speedup, in-memory datasets:   {:.2}x vs S, {:.2}x vs C (paper: 2.6x / 1.73x)",
         in_mem.0 / in_n, in_mem.1 / in_n);
-    println!("GridGraph-M speedup, out-of-core datasets: {:.2}x vs S, {:.2}x vs C (paper: 11.6x / 13x)",
-        ooc.0 / ooc_n, ooc.1 / ooc_n);
+    println!(
+        "GridGraph-M speedup, out-of-core datasets: {:.2}x vs S, {:.2}x vs C (paper: 11.6x / 13x)",
+        ooc.0 / ooc_n,
+        ooc.1 / ooc_n
+    );
     graphm_bench::save_json("fig09_total_time", &json!({ "rows": rows }));
 }

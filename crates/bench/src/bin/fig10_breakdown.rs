@@ -26,6 +26,8 @@ fn main() {
             }));
         }
     }
-    println!("\n(paper: M cuts data-access time most where graphs exceed memory — 11.5x on UK-union)");
+    println!(
+        "\n(paper: M cuts data-access time most where graphs exceed memory — 11.5x on UK-union)"
+    );
     graphm_bench::save_json("fig10_breakdown", &json!({ "rows": recs }));
 }

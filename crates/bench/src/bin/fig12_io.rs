@@ -9,7 +9,9 @@ fn main() {
     let rows = graphm_bench::scheme_table("Disk bytes read+written", &results, |r| {
         r.metrics.get(keys::DISK_READ_BYTES) + r.metrics.get(keys::DISK_WRITE_BYTES)
     });
-    println!("\n(paper: I/O collapses under M only for out-of-core graphs — 9.2x vs S on UK-union;");
+    println!(
+        "\n(paper: I/O collapses under M only for out-of-core graphs — 9.2x vs S on UK-union;"
+    );
     println!(" in-memory graphs are read once by every scheme)");
     graphm_bench::save_json("fig12_io", &json!({ "rows": rows }));
 }

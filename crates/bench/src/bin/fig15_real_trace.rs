@@ -13,7 +13,7 @@ fn main() {
     graphm_bench::header(&["dataset", "jobs", "S(s)", "C(s)", "M(s)", "M vs S", "M vs C"]);
     for id in graphm_graph::DatasetId::ALL {
         let wb = graphm_bench::workbench(id);
-        let trace = Trace::generate(wb.graph.num_vertices, graphm_bench::seed());
+        let trace = Trace::generate(wb.num_vertices(), graphm_bench::seed());
         let mut specs = Vec::new();
         let mut arrivals = Vec::new();
         // Scale the virtual hour so consecutive batches overlap on the

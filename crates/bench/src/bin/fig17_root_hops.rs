@@ -11,20 +11,15 @@ fn main() {
     let wb = graphm_bench::workbench(graphm_graph::DatasetId::LiveJ);
     let n = graphm_bench::jobs();
     // Base root: a well-connected vertex (max out-degree).
-    let deg = wb.graph.out_degrees();
-    let base = deg
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &d)| d)
-        .map(|(v, _)| v as u32)
-        .unwrap_or(0);
+    let deg = wb.graph().out_degrees();
+    let base = deg.iter().enumerate().max_by_key(|(_, &d)| d).map(|(v, _)| v as u32).unwrap_or(0);
     let mut recs = Vec::new();
     for kind in [AlgoKind::Bfs, AlgoKind::Sssp] {
         println!("\n{} jobs:", kind.name());
         graphm_bench::header(&["hops", "S(s)", "C(s)", "M(s)", "M vs C"]);
         for hops in 1..=5usize {
             let roots =
-                roots_within_hops(&wb.graph, base, hops, n, graphm_bench::seed() + hops as u64);
+                roots_within_hops(wb.graph(), base, hops, n, graphm_bench::seed() + hops as u64);
             let specs: Vec<JobSpec> = roots
                 .iter()
                 .map(|&root| JobSpec { kind, damping: 0.85, root, max_iters: 100 })

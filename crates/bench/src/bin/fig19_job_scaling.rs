@@ -13,7 +13,7 @@ fn main() {
     let mut recs = Vec::new();
     for n in [1usize, 2, 4, 8, 16] {
         let specs = graphm_workloads::generate_mix(
-            wb.graph.num_vertices,
+            wb.num_vertices(),
             &MixConfig::uniform(AlgoKind::PageRank, n, graphm_bench::seed()),
         );
         let arr = immediate_arrivals(n);

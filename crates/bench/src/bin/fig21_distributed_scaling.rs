@@ -29,9 +29,7 @@ fn main() {
         for &nodes in &nodes_axis {
             let cluster = ClusterConfig::new(nodes);
             let run = |scheme| match engine_name {
-                "PowerGraph" => {
-                    run_powergraph(scheme, mk_jobs(), &g, cluster, groups, max_iters)
-                }
+                "PowerGraph" => run_powergraph(scheme, mk_jobs(), &g, cluster, groups, max_iters),
                 _ => run_chaos(scheme, mk_jobs(), &g, cluster, groups, max_iters),
             };
             let s = run(Scheme::Sequential).metrics.get(graphm_cachesim::keys::TOTAL_NS);

@@ -10,7 +10,12 @@ use serde_json::json;
 fn main() {
     graphm_bench::banner("Table 3", "preprocessing time (wall-clock) and labelling overhead");
     graphm_bench::header(&[
-        "dataset", "GridGraph(ms)", "GridGraph-M(ms)", "extra", "label bytes", "space ovh",
+        "dataset",
+        "GridGraph(ms)",
+        "GridGraph-M(ms)",
+        "extra",
+        "label bytes",
+        "space ovh",
     ]);
     let mut recs = Vec::new();
     for id in DatasetId::ALL {
@@ -36,7 +41,9 @@ fn main() {
             "chunk_bytes": gm.chunk_bytes,
         }));
     }
-    println!("\n(paper: labelling adds ~4% in-memory / ~16% out-of-core; space overhead 5.5%-19.2%,");
+    println!(
+        "\n(paper: labelling adds ~4% in-memory / ~16% out-of-core; space overhead 5.5%-19.2%,"
+    );
     println!(" highest for Twitter whose max out-degree dwarfs its average)");
     graphm_bench::save_json("tab03_preprocessing", &json!({ "rows": recs }));
 }

@@ -50,13 +50,27 @@ fn main() {
                 .metrics
                 .get(graphm_cachesim::keys::TOTAL_NS)
         };
-        print_triplet("PowerGraph", id, t(Scheme::Sequential), t(Scheme::Concurrent), t(Scheme::Shared), &mut recs);
+        print_triplet(
+            "PowerGraph",
+            id,
+            t(Scheme::Sequential),
+            t(Scheme::Concurrent),
+            t(Scheme::Shared),
+            &mut recs,
+        );
         let t = |scheme| {
             run_chaos(scheme, mk(), &g, cluster, chaos_groups[di], max_iters)
                 .metrics
                 .get(graphm_cachesim::keys::TOTAL_NS)
         };
-        print_triplet("Chaos", id, t(Scheme::Sequential), t(Scheme::Concurrent), t(Scheme::Shared), &mut recs);
+        print_triplet(
+            "Chaos",
+            id,
+            t(Scheme::Sequential),
+            t(Scheme::Concurrent),
+            t(Scheme::Shared),
+            &mut recs,
+        );
         eprintln!("[{}] done", id.name());
     }
     println!("\n(paper, LiveJ: GraphChi 2348/776/344s; PowerGraph 92/83/43s; Chaos 224/516/121s —");

@@ -135,8 +135,8 @@ pub fn save_json(name: &str, value: &Value) {
 
 /// The §5.3 main-evaluation sweep: the paper's 16-job mix on every dataset
 /// under all three schemes. Shared by Figures 9–14.
-pub fn main_eval() -> Vec<(DatasetId, graphm_core::RunReport, graphm_core::RunReport, graphm_core::RunReport)>
-{
+pub fn main_eval(
+) -> Vec<(DatasetId, graphm_core::RunReport, graphm_core::RunReport, graphm_core::RunReport)> {
     DatasetId::ALL
         .into_iter()
         .map(|id| {
@@ -159,7 +159,12 @@ pub fn main_eval() -> Vec<(DatasetId, graphm_core::RunReport, graphm_core::RunRe
 /// the raw values as JSON.
 pub fn scheme_table(
     title: &str,
-    results: &[(DatasetId, graphm_core::RunReport, graphm_core::RunReport, graphm_core::RunReport)],
+    results: &[(
+        DatasetId,
+        graphm_core::RunReport,
+        graphm_core::RunReport,
+        graphm_core::RunReport,
+    )],
     get: impl Fn(&graphm_core::RunReport) -> f64,
 ) -> Value {
     println!("\n{title} (normalized per dataset; raw in parentheses)");

@@ -86,7 +86,8 @@ pub struct InstrModel {
 
 impl InstrModel {
     /// Default mix.
-    pub const DEFAULT: InstrModel = InstrModel { per_edge: 14, per_vertex: 8, per_iteration: 5_000 };
+    pub const DEFAULT: InstrModel =
+        InstrModel { per_edge: 14, per_vertex: 8, per_iteration: 5_000 };
 }
 
 impl Default for InstrModel {
@@ -153,7 +154,8 @@ mod tests {
 
     #[test]
     fn merge_and_scale() {
-        let mut a = VirtualClock { compute_ns: 1.0, mem_access_ns: 2.0, disk_ns: 3.0, sync_ns: 4.0 };
+        let mut a =
+            VirtualClock { compute_ns: 1.0, mem_access_ns: 2.0, disk_ns: 3.0, sync_ns: 4.0 };
         let b = a;
         a.merge(&b);
         assert!((a.total_ns() - 20.0).abs() < 1e-9);

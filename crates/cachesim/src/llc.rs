@@ -28,8 +28,7 @@ impl LlcConfig {
 
     /// Scaled default matching [`graphm_graph::MemoryProfile::DEFAULT`]:
     /// 2 MB, 8-way, 64-byte lines.
-    pub const DEFAULT: LlcConfig =
-        LlcConfig { capacity_bytes: 2 << 20, ways: 8, line_bytes: 64 };
+    pub const DEFAULT: LlcConfig = LlcConfig { capacity_bytes: 2 << 20, ways: 8, line_bytes: 64 };
 }
 
 impl Default for LlcConfig {

@@ -111,10 +111,7 @@ impl MemorySim {
         self.make_room(bytes);
         self.stats.faults += 1;
         self.stats.disk_read_bytes += bytes as u64;
-        self.resident.insert(
-            region,
-            Buffer { bytes, stamp: self.tick, pinned, dirty: false },
-        );
+        self.resident.insert(region, Buffer { bytes, stamp: self.tick, pinned, dirty: false });
         self.resident_bytes += bytes;
         self.stats.peak_resident_bytes =
             self.stats.peak_resident_bytes.max(self.resident_bytes as u64);
@@ -142,10 +139,7 @@ impl MemorySim {
             return;
         }
         self.make_room(bytes);
-        self.resident.insert(
-            region,
-            Buffer { bytes, stamp: self.tick, pinned, dirty: false },
-        );
+        self.resident.insert(region, Buffer { bytes, stamp: self.tick, pinned, dirty: false });
         self.resident_bytes += bytes;
         self.stats.peak_resident_bytes =
             self.stats.peak_resident_bytes.max(self.resident_bytes as u64);

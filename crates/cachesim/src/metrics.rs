@@ -10,9 +10,19 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A flat, ordered map of metric name → value.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Metrics {
     values: BTreeMap<String, f64>,
+}
+
+// The vendored serde has no derive macro, so the (shape-compatible)
+// serialization serde would generate is written out by hand.
+impl Serialize for Metrics {
+    fn to_json_value(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        map.insert("values".to_string(), self.values.to_json_value());
+        serde_json::Value::Object(map)
+    }
 }
 
 /// Well-known metric names, so runners and benches agree on spelling.

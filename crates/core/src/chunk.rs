@@ -192,7 +192,8 @@ mod tests {
         };
         let sc = chunk_size_bytes(&p, 10 << 20, 1 << 20, 8);
         let n = 4.0;
-        let lhs = sc as f64 * n + sc as f64 * n / (10u64 << 20) as f64 * (1u64 << 20) as f64 * 8.0
+        let lhs = sc as f64 * n
+            + sc as f64 * n / (10u64 << 20) as f64 * (1u64 << 20) as f64 * 8.0
             + (1u64 << 16) as f64;
         assert!(lhs <= (1 << 20) as f64, "formula must hold: lhs = {lhs}");
         // And one alignment step larger must violate it.

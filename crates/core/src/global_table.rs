@@ -21,9 +21,7 @@ pub struct GlobalTable {
 impl GlobalTable {
     /// Creates a table over `num_partitions` partitions.
     pub fn new(num_partitions: usize) -> GlobalTable {
-        GlobalTable {
-            entries: (0..num_partitions).map(|_| RwLock::new(BTreeSet::new())).collect(),
-        }
+        GlobalTable { entries: (0..num_partitions).map(|_| RwLock::new(BTreeSet::new())).collect() }
     }
 
     /// Number of partitions tracked.
@@ -74,9 +72,7 @@ impl GlobalTable {
     /// Partitions with at least one interested job, ascending pid — the
     /// default loading order before the §4 scheduler reorders it.
     pub fn active_partition_ids(&self) -> Vec<usize> {
-        (0..self.entries.len())
-            .filter(|&pid| !self.entries[pid].read().is_empty())
-            .collect()
+        (0..self.entries.len()).filter(|&pid| !self.entries[pid].read().is_empty()).collect()
     }
 
     /// True when no job needs any partition.

@@ -99,8 +99,7 @@ impl Profiler {
                     let (s1, s2) = (profile.samples[i], profile.samples[k]);
                     let det = s1.active_edges * s2.total_edges - s2.active_edges * s1.total_edges;
                     if det.abs() > 1e-9 {
-                        let tf =
-                            (s1.time_ns * s2.total_edges - s2.time_ns * s1.total_edges) / det;
+                        let tf = (s1.time_ns * s2.total_edges - s2.time_ns * s1.total_edges) / det;
                         let te =
                             (s1.active_edges * s2.time_ns - s2.active_edges * s1.time_ns) / det;
                         profile.t_f = Some(tf.max(0.0));
@@ -152,17 +151,23 @@ mod tests {
         let (tf, te) = (3.0, 0.5);
         let mut p = Profiler::new();
         // Partition 1: 100 active of 400 edges; partition 2: 300 of 350.
-        p.observe(0, ProfileSample {
-            active_edges: 100.0,
-            total_edges: 400.0,
-            time_ns: tf * 100.0 + te * 400.0,
-        });
+        p.observe(
+            0,
+            ProfileSample {
+                active_edges: 100.0,
+                total_edges: 400.0,
+                time_ns: tf * 100.0 + te * 400.0,
+            },
+        );
         assert!(!p.is_profiled(0), "one sample is not enough");
-        p.observe(0, ProfileSample {
-            active_edges: 300.0,
-            total_edges: 350.0,
-            time_ns: tf * 300.0 + te * 350.0,
-        });
+        p.observe(
+            0,
+            ProfileSample {
+                active_edges: 300.0,
+                total_edges: 350.0,
+                time_ns: tf * 300.0 + te * 350.0,
+            },
+        );
         assert!(p.is_profiled(0));
         assert!((p.t_f(0).unwrap() - tf).abs() < 1e-6);
         assert!((p.t_e().unwrap() - te).abs() < 1e-6);
@@ -172,10 +177,31 @@ mod tests {
     fn second_job_needs_one_partition() {
         let (tf1, tf2, te) = (3.0, 7.0, 0.5);
         let mut p = Profiler::new();
-        p.observe(0, ProfileSample { active_edges: 100.0, total_edges: 400.0, time_ns: tf1 * 100.0 + te * 400.0 });
-        p.observe(0, ProfileSample { active_edges: 300.0, total_edges: 350.0, time_ns: tf1 * 300.0 + te * 350.0 });
+        p.observe(
+            0,
+            ProfileSample {
+                active_edges: 100.0,
+                total_edges: 400.0,
+                time_ns: tf1 * 100.0 + te * 400.0,
+            },
+        );
+        p.observe(
+            0,
+            ProfileSample {
+                active_edges: 300.0,
+                total_edges: 350.0,
+                time_ns: tf1 * 300.0 + te * 350.0,
+            },
+        );
         assert!(p.t_e().is_some(), "T(E) profiled once for the graph");
-        p.observe(1, ProfileSample { active_edges: 200.0, total_edges: 500.0, time_ns: tf2 * 200.0 + te * 500.0 });
+        p.observe(
+            1,
+            ProfileSample {
+                active_edges: 200.0,
+                total_edges: 500.0,
+                time_ns: tf2 * 200.0 + te * 500.0,
+            },
+        );
         assert!(p.is_profiled(1), "later jobs profile from a single partition");
         assert!((p.t_f(1).unwrap() - tf2).abs() < 1e-6);
     }
@@ -200,8 +226,22 @@ mod tests {
         let active = AtomicBitmap::new(5);
         active.set(0); // vertex 0 has 4 out-edges in the chunk (i=0,3,6,9)
         let mut p = Profiler::new();
-        p.observe(0, ProfileSample { active_edges: 10.0, total_edges: 40.0, time_ns: 10.0 * 2.0 + 40.0 * 1.0 });
-        p.observe(0, ProfileSample { active_edges: 40.0, total_edges: 40.0, time_ns: 40.0 * 2.0 + 40.0 * 1.0 });
+        p.observe(
+            0,
+            ProfileSample {
+                active_edges: 10.0,
+                total_edges: 40.0,
+                time_ns: 10.0 * 2.0 + 40.0 * 1.0,
+            },
+        );
+        p.observe(
+            0,
+            ProfileSample {
+                active_edges: 40.0,
+                total_edges: 40.0,
+                time_ns: 40.0 * 2.0 + 40.0 * 1.0,
+            },
+        );
         let tf = p.t_f(0).unwrap();
         let te = p.t_e().unwrap();
         assert!((tf - 2.0).abs() < 1e-6 && (te - 1.0).abs() < 1e-6);

@@ -116,9 +116,7 @@ impl RunnerConfig {
     /// Effective parallel speedup available to `k` concurrently running
     /// jobs on this profile.
     pub fn effective_parallelism(&self, k: usize) -> f64 {
-        (self.profile.cores as f64)
-            .min(k as f64 * self.single_job_parallelism)
-            .max(1.0)
+        (self.profile.cores as f64).min(k as f64 * self.single_job_parallelism).max(1.0)
     }
 }
 
@@ -306,11 +304,7 @@ impl JobState {
 }
 
 fn active_pids(source: &dyn PartitionSource, job: &dyn GraphJob) -> Vec<usize> {
-    source
-        .order()
-        .into_iter()
-        .filter(|&pid| source.partition_active(pid, job.active()))
-        .collect()
+    source.order().into_iter().filter(|&pid| source.partition_active(pid, job.active())).collect()
 }
 
 fn finish_report(
@@ -390,8 +384,7 @@ fn run_sequential(
                 js.clock.disk_ns += ctx.touch_buffer(shared_graph_region(pid), bytes, false);
                 partition_loads += 1;
                 let addr = addrs.addr_of(&ctx, shared_graph_region(pid), bytes);
-                let run =
-                    ctx.stream_edges_for_job(js.job.as_mut(), &edges, addr, js.state_addr);
+                let run = ctx.stream_edges_for_job(js.job.as_mut(), &edges, addr, js.state_addr);
                 js.absorb(&run);
             }
             js.iterations_guard += 1;
@@ -801,8 +794,7 @@ fn run_shared(
         }
     }
 
-    let mut report =
-        finish_report(Scheme::Shared, &ctx, jobs, vnow, partition_loads, sync_total);
+    let mut report = finish_report(Scheme::Shared, &ctx, jobs, vnow, partition_loads, sync_total);
     report.metrics.set("chunk_bytes", gm.chunk_bytes as f64);
     report.metrics.set("chunk_table_bytes", gm.overhead_bytes() as f64);
     report.metrics.set("preprocess_ns", gm.preprocess_ns);
@@ -834,9 +826,7 @@ mod tests {
     }
 
     fn counting_subs(n: u32, jobs: usize, iters: usize) -> Vec<Submission> {
-        (0..jobs)
-            .map(|_| Submission::immediate(Box::new(CountingJob::new(n, iters))))
-            .collect()
+        (0..jobs).map(|_| Submission::immediate(Box::new(CountingJob::new(n, iters)))).collect()
     }
 
     fn cfg() -> RunnerConfig {
@@ -905,12 +895,7 @@ mod tests {
         let source = make_big_source(256, 8192, 4);
         let m = run_scheme(Scheme::Shared, counting_subs(256, 4, 30), &source, &cfg8);
         let s = run_scheme(Scheme::Sequential, counting_subs(256, 4, 30), &source, &cfg8);
-        assert!(
-            m.makespan_ns < s.makespan_ns,
-            "M {} vs S {}",
-            m.makespan_ns,
-            s.makespan_ns
-        );
+        assert!(m.makespan_ns < s.makespan_ns, "M {} vs S {}", m.makespan_ns, s.makespan_ns);
     }
 
     #[test]

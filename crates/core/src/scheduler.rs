@@ -67,10 +67,8 @@ pub fn loading_order(table: &GlobalTable, policy: SchedulingPolicy) -> Vec<usize
             for j in counts.keys().copied().collect::<Vec<_>>() {
                 counts.insert(j, table.active_partitions_of(j));
             }
-            let mut scored: Vec<(usize, f64)> = active
-                .iter()
-                .map(|&pid| (pid, priority(&table.jobs_for(pid), &counts)))
-                .collect();
+            let mut scored: Vec<(usize, f64)> =
+                active.iter().map(|&pid| (pid, priority(&table.jobs_for(pid), &counts))).collect();
             scored.sort_by(|a, b| {
                 b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
             });

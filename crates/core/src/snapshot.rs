@@ -73,9 +73,7 @@ impl SnapshotStore {
     pub fn from_partitions(partitions: &[Vec<Edge>], chunk_edges: usize) -> SnapshotStore {
         let chunked = partitions
             .iter()
-            .map(|p| {
-                p.chunks(chunk_edges.max(1)).map(|c| c.to_vec()).collect::<Vec<_>>()
-            })
+            .map(|p| p.chunks(chunk_edges.max(1)).map(|c| c.to_vec()).collect::<Vec<_>>())
             .collect();
         SnapshotStore::new(chunked)
     }
@@ -170,15 +168,10 @@ impl SnapshotStore {
     /// Drops superseded update records: for every chunk, keep records newer
     /// than the oldest live snapshot plus the newest record at or below it.
     fn gc(&mut self) {
-        let min_live =
-            self.job_versions.values().copied().min().unwrap_or(self.next_version);
+        let min_live = self.job_versions.values().copied().min().unwrap_or(self.next_version);
         for cv in self.updates.values_mut() {
             // Index of the newest record with version <= min_live.
-            let keep_from = cv
-                .updates
-                .iter()
-                .rposition(|r| r.version <= min_live)
-                .unwrap_or(0);
+            let keep_from = cv.updates.iter().rposition(|r| r.version <= min_live).unwrap_or(0);
             if keep_from > 0 {
                 cv.updates.drain(..keep_from);
             }
@@ -204,12 +197,7 @@ mod tests {
     fn store() -> SnapshotStore {
         // One partition, two chunks of two edges each.
         SnapshotStore::from_partitions(
-            &[vec![
-                Edge::new(0, 1),
-                Edge::new(1, 2),
-                Edge::new(2, 3),
-                Edge::new(3, 0),
-            ]],
+            &[vec![Edge::new(0, 1), Edge::new(1, 2), Edge::new(2, 3), Edge::new(3, 0)]],
             2,
         )
     }

@@ -112,10 +112,7 @@ mod tests {
     #[test]
     fn vec_source_basics() {
         let g = generators::path(10);
-        let s = VecSource::new(
-            10,
-            vec![g.edges[..4].to_vec(), g.edges[4..].to_vec()],
-        );
+        let s = VecSource::new(10, vec![g.edges[..4].to_vec(), g.edges[4..].to_vec()]);
         assert_eq!(s.num_partitions(), 2);
         assert_eq!(s.num_vertices(), 10);
         assert_eq!(s.load(0).len(), 4);

@@ -159,8 +159,7 @@ pub fn run_chaos(
             Scheme::Shared => {
                 // GraphM sweep: one stream per iteration serves every job
                 // in the group; sweeps continue until the longest job ends.
-                let max_iters_g =
-                    iters_of.iter().map(|&(_, it)| it).max().unwrap_or(0) as f64;
+                let max_iters_g = iters_of.iter().map(|&(_, it)| it).max().unwrap_or(0) as f64;
                 let stream = cluster.disk_stream_ns(graph_bytes, nodes_g, 1) * max_iters_g;
                 disk_bytes += graph_bytes * max_iters_g;
                 let sync_ns = max_iters_g * job_ids.len() as f64 * cluster.net_latency_ns;

@@ -36,11 +36,8 @@ pub fn run_iteration(job: &mut dyn GraphJob, node_edges: &[Arc<Vec<Edge>>]) -> D
     let converged = job.end_iteration();
     // After end_iteration the active bitmap holds the *next* frontier =
     // the vertices updated this iteration; dense jobs update everything.
-    let updated = if job.skips_inactive() {
-        job.active().count() as f64
-    } else {
-        job.active().len() as f64
-    };
+    let updated =
+        if job.skips_inactive() { job.active().count() as f64 } else { job.active().len() as f64 };
     DistIterStats { processed_per_node: processed, updated_vertices: updated, converged }
 }
 

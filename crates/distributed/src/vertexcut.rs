@@ -40,8 +40,8 @@ impl VertexCut {
         // sets compactly with a per-vertex sorted small-vec of node ids.
         let mut presence: Vec<Vec<u16>> = vec![Vec::new(); n];
         for (i, e) in graph.edges.iter().enumerate() {
-            let node = (mix(i as u64 ^ ((e.src as u64) << 32 | e.dst as u64)) % nodes as u64)
-                as usize;
+            let node =
+                (mix(i as u64 ^ ((e.src as u64) << 32 | e.dst as u64)) % nodes as u64) as usize;
             node_edges[node].push(*e);
             for v in [e.src as usize, e.dst as usize] {
                 let nid = node as u16;
@@ -89,11 +89,8 @@ mod tests {
         assert_eq!(vc.nodes(), 8);
         // Multiset equality.
         let mut orig: Vec<(u32, u32)> = g.edges.iter().map(|e| (e.src, e.dst)).collect();
-        let mut got: Vec<(u32, u32)> = vc
-            .node_edges
-            .iter()
-            .flat_map(|ne| ne.iter().map(|e| (e.src, e.dst)))
-            .collect();
+        let mut got: Vec<(u32, u32)> =
+            vc.node_edges.iter().flat_map(|ne| ne.iter().map(|e| (e.src, e.dst))).collect();
         orig.sort_unstable();
         got.sort_unstable();
         assert_eq!(orig, got);

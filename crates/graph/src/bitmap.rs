@@ -162,11 +162,7 @@ impl AtomicBitmap {
 
 impl Clone for AtomicBitmap {
     fn clone(&self) -> Self {
-        let words = self
-            .words
-            .iter()
-            .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
-            .collect();
+        let words = self.words.iter().map(|w| AtomicU64::new(w.load(Ordering::Relaxed))).collect();
         AtomicBitmap { words, len: self.len }
     }
 }

@@ -69,15 +69,9 @@ impl Csr {
     }
 
     /// `(neighbor, weight)` pairs of `v`.
-    pub fn neighbors_weighted(
-        &self,
-        v: VertexId,
-    ) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+    pub fn neighbors_weighted(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let range = self.offsets[v as usize]..self.offsets[v as usize + 1];
-        self.targets[range.clone()]
-            .iter()
-            .copied()
-            .zip(self.weights[range].iter().copied())
+        self.targets[range.clone()].iter().copied().zip(self.weights[range].iter().copied())
     }
 
     /// Builds the transpose (CSC of the original graph: in-edges as

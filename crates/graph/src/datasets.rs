@@ -238,7 +238,8 @@ mod tests {
             let spec = id.spec();
             let fits = spec.size_bytes() <= p.memory_bytes;
             assert_eq!(
-                fits, spec.fits_in_memory,
+                fits,
+                spec.fits_in_memory,
                 "{}: size {} vs memory {}",
                 id.name(),
                 spec.size_bytes(),

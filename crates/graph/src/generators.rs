@@ -120,18 +120,14 @@ pub fn erdos_renyi(num_vertices: VertexId, num_edges: usize, seed: u64) -> EdgeL
 /// propagation chains (worst case for WCC/BFS iteration counts).
 pub fn ring(num_vertices: VertexId) -> EdgeList {
     assert!(num_vertices > 0);
-    let edges = (0..num_vertices)
-        .map(|i| Edge::new(i, (i + 1) % num_vertices))
-        .collect();
+    let edges = (0..num_vertices).map(|i| Edge::new(i, (i + 1) % num_vertices)).collect();
     EdgeList { num_vertices, edges }
 }
 
 /// Directed path: `i -> i + 1` for `i < n - 1`.
 pub fn path(num_vertices: VertexId) -> EdgeList {
     assert!(num_vertices > 0);
-    let edges = (0..num_vertices.saturating_sub(1))
-        .map(|i| Edge::new(i, i + 1))
-        .collect();
+    let edges = (0..num_vertices.saturating_sub(1)).map(|i| Edge::new(i, i + 1)).collect();
     EdgeList { num_vertices, edges }
 }
 
@@ -179,11 +175,7 @@ mod tests {
         let g2 = rmat(1000, 5000, RmatParams::GRAPH500, 42);
         assert_eq!(g1.num_edges(), 5000);
         assert_eq!(g1.num_vertices, 1000);
-        assert!(g1
-            .edges
-            .iter()
-            .zip(&g2.edges)
-            .all(|(a, b)| a.src == b.src && a.dst == b.dst));
+        assert!(g1.edges.iter().zip(&g2.edges).all(|(a, b)| a.src == b.src && a.dst == b.dst));
         let g3 = rmat(1000, 5000, RmatParams::GRAPH500, 43);
         assert!(g1.edges.iter().zip(&g3.edges).any(|(a, b)| a.src != b.src || a.dst != b.dst));
     }
@@ -201,10 +193,7 @@ mod tests {
         let g = rmat(4096, 40960, RmatParams::SOCIAL, 1);
         let max = g.max_out_degree() as f64;
         let avg = g.avg_out_degree();
-        assert!(
-            max > avg * 10.0,
-            "expected skew: max {max} should exceed 10x avg {avg}"
-        );
+        assert!(max > avg * 10.0, "expected skew: max {max} should exceed 10x avg {avg}");
     }
 
     #[test]

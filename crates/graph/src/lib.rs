@@ -10,6 +10,9 @@
 //! * [`csr`] — PowerGraph's CSR/CSC adjacency.
 //!
 //! Chaos streams raw edge lists, which [`types::EdgeList`] already is.
+//! [`segment`] adds the disk-resident store format (`graphm-store` maps
+//! it): per-partition segment files plus a manifest of offsets, bounds,
+//! and byte counts.
 
 pub mod bitmap;
 pub mod csr;
@@ -17,6 +20,7 @@ pub mod datasets;
 pub mod generators;
 pub mod grid;
 pub mod partition;
+pub mod segment;
 pub mod shards;
 pub mod storage;
 pub mod types;
@@ -26,5 +30,6 @@ pub use csr::Csr;
 pub use datasets::{DatasetId, DatasetSpec, MemoryProfile};
 pub use grid::{Grid, GridFile};
 pub use partition::VertexRanges;
+pub use segment::{Manifest, ManifestEntry, StoreLayout};
 pub use shards::Shards;
 pub use types::{Edge, EdgeList, GraphError, Result, VertexId, Weight, EDGE_BYTES};

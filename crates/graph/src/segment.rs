@@ -1,0 +1,509 @@
+//! The on-disk partition-store format: segment files + manifest.
+//!
+//! This is the output of the store's `Convert()` preprocessing (Figure 5's
+//! "converted graph data" box made real): each engine partition — a grid
+//! block or a shard — becomes one *segment file* of raw 12-byte edge
+//! records behind a small aligned header, and a *manifest* records, per
+//! partition, its file, byte count, source-vertex bounds, and charged load
+//! bytes, plus the engine's streaming order.
+//!
+//! Layout invariants the mmap reader relies on:
+//!
+//! * segment headers are [`SEGMENT_HEADER_BYTES`] (16) bytes, so the record
+//!   array starts 4-byte aligned in a page-aligned mapping and can be
+//!   reinterpreted as `&[Edge]` in place on little-endian hosts;
+//! * all multi-byte fields are little-endian;
+//! * every length is validated against the actual file length before any
+//!   allocation, so a corrupt header yields a typed
+//!   [`GraphError::Truncated`] instead of an abort or a bare I/O error.
+
+use crate::types::{Edge, GraphError, Result, VertexId, EDGE_BYTES};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"GMSEG001";
+
+/// Magic bytes opening the manifest.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"GMMAN001";
+
+/// Fixed segment header size: magic (8) + `num_edges` (8). Keeps the record
+/// array 4-byte aligned within the file.
+pub const SEGMENT_HEADER_BYTES: usize = 16;
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.bin";
+
+/// How the partitions of a store were produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreLayout {
+    /// GridGraph's `P × P` grid; partitions are blocks in row-major index
+    /// order and the manifest order is the column-major streaming order.
+    Grid { p: u32 },
+    /// GraphChi's source-sorted destination shards; one partition per
+    /// interval, in interval order.
+    Shards { p: u32 },
+}
+
+impl StoreLayout {
+    /// Stable numeric tag identifying the layout *kind* (grid vs shards),
+    /// independent of `p`. Also the on-disk encoding.
+    pub fn tag(self) -> u32 {
+        match self {
+            StoreLayout::Grid { .. } => 0,
+            StoreLayout::Shards { .. } => 1,
+        }
+    }
+
+    fn p(self) -> u32 {
+        match self {
+            StoreLayout::Grid { p } | StoreLayout::Shards { p } => p,
+        }
+    }
+}
+
+/// One partition's entry in the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Segment file name, relative to the store directory.
+    pub file: String,
+    /// Number of edge records in the segment.
+    pub num_edges: u64,
+    /// Edge payload bytes (`num_edges * EDGE_BYTES`).
+    pub byte_len: u64,
+    /// Source-vertex bounds `[src_lo, src_hi)` for activity checks. For
+    /// grid blocks these are the block row's range bounds (matching
+    /// GridGraph's `should_access_shard`), not the observed min/max.
+    pub src_lo: VertexId,
+    /// Exclusive upper source bound.
+    pub src_hi: VertexId,
+    /// Bytes charged when this partition is loaded from secondary storage.
+    /// Equals `byte_len` for grid blocks; for shards it also counts the
+    /// sliding windows dragged in per interval.
+    pub load_bytes: u64,
+}
+
+/// The store's table of contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Partitioning scheme the segments were converted into.
+    pub layout: StoreLayout,
+    /// Total vertex count.
+    pub num_vertices: VertexId,
+    /// Per-partition metadata, in partition-index order.
+    pub partitions: Vec<ManifestEntry>,
+    /// The engine's native partition traversal order.
+    pub order: Vec<u32>,
+}
+
+impl Manifest {
+    /// Total structure bytes across all partitions (`S_G` in Formula 1).
+    pub fn graph_bytes(&self) -> u64 {
+        self.partitions.iter().map(|e| e.byte_len).sum()
+    }
+
+    /// Total edge count across all partitions.
+    pub fn num_edges(&self) -> u64 {
+        self.partitions.iter().map(|e| e.num_edges).sum()
+    }
+
+    /// Writes the manifest into `dir` as [`MANIFEST_FILE`].
+    pub fn write_to_dir(&self, dir: &Path) -> Result<PathBuf> {
+        let path = dir.join(MANIFEST_FILE);
+        let mut w = BufWriter::new(File::create(&path)?);
+        w.write_all(MANIFEST_MAGIC)?;
+        w.write_all(&self.layout.tag().to_le_bytes())?;
+        w.write_all(&self.layout.p().to_le_bytes())?;
+        w.write_all(&self.num_vertices.to_le_bytes())?;
+        w.write_all(&(self.partitions.len() as u32).to_le_bytes())?;
+        for e in &self.partitions {
+            let name = e.file.as_bytes();
+            if name.len() > u16::MAX as usize {
+                return Err(GraphError::Format(format!("segment file name too long: {}", e.file)));
+            }
+            w.write_all(&(name.len() as u16).to_le_bytes())?;
+            w.write_all(name)?;
+            w.write_all(&e.num_edges.to_le_bytes())?;
+            w.write_all(&e.byte_len.to_le_bytes())?;
+            w.write_all(&e.src_lo.to_le_bytes())?;
+            w.write_all(&e.src_hi.to_le_bytes())?;
+            w.write_all(&e.load_bytes.to_le_bytes())?;
+        }
+        for pid in &self.order {
+            w.write_all(&pid.to_le_bytes())?;
+        }
+        w.flush()?;
+        Ok(path)
+    }
+
+    /// Reads a manifest previously written by [`Manifest::write_to_dir`].
+    pub fn read_from_dir(dir: &Path) -> Result<Manifest> {
+        let path = dir.join(MANIFEST_FILE);
+        let available = std::fs::metadata(&path)?.len();
+        let mut r = CountingReader::new(BufReader::new(File::open(&path)?), available);
+        let mut magic = [0u8; 8];
+        r.read_exact_or_truncated(&mut magic, "manifest magic")?;
+        if &magic != MANIFEST_MAGIC {
+            return Err(GraphError::Format(format!(
+                "bad manifest magic in {}: {magic:?}",
+                path.display()
+            )));
+        }
+        let tag = r.read_u32("layout tag")?;
+        let p = r.read_u32("grid dimension")?;
+        let num_vertices = r.read_u32("vertex count")?;
+        let layout = match tag {
+            0 => StoreLayout::Grid { p },
+            1 => StoreLayout::Shards { p },
+            t => return Err(GraphError::Format(format!("unknown store layout tag {t}"))),
+        };
+        let num_partitions = r.read_u32("partition count")? as usize;
+        // Each entry is at least 34 bytes; reject counts the file cannot hold
+        // before allocating.
+        r.check_remaining(num_partitions as u64 * 34, "manifest entries")?;
+        let mut partitions = Vec::with_capacity(num_partitions);
+        for i in 0..num_partitions {
+            let name_len = r.read_u16(&format!("entry {i} name length"))? as usize;
+            let mut name = vec![0u8; name_len];
+            r.read_exact_or_truncated(&mut name, &format!("entry {i} file name"))?;
+            let file = String::from_utf8(name).map_err(|_| {
+                GraphError::Format(format!("entry {i}: segment file name is not UTF-8"))
+            })?;
+            let num_edges = r.read_u64(&format!("entry {i} edge count"))?;
+            let byte_len = r.read_u64(&format!("entry {i} byte length"))?;
+            let expect_len = num_edges.checked_mul(EDGE_BYTES as u64).ok_or_else(|| {
+                GraphError::Format(format!("entry {i}: edge count {num_edges} overflows"))
+            })?;
+            if byte_len != expect_len {
+                return Err(GraphError::Format(format!(
+                    "entry {i}: byte length {byte_len} does not match {num_edges} edges"
+                )));
+            }
+            let src_lo = r.read_u32(&format!("entry {i} src_lo"))?;
+            let src_hi = r.read_u32(&format!("entry {i} src_hi"))?;
+            let load_bytes = r.read_u64(&format!("entry {i} load bytes"))?;
+            partitions.push(ManifestEntry {
+                file,
+                num_edges,
+                byte_len,
+                src_lo,
+                src_hi,
+                load_bytes,
+            });
+        }
+        r.check_remaining(num_partitions as u64 * 4, "traversal order")?;
+        let mut order = Vec::with_capacity(num_partitions);
+        let mut seen = vec![false; num_partitions];
+        for i in 0..num_partitions {
+            let pid = r.read_u32(&format!("order entry {i}"))?;
+            if pid as usize >= num_partitions {
+                return Err(GraphError::Format(format!(
+                    "order entry {i} = {pid} out of range (n = {num_partitions})"
+                )));
+            }
+            // The order must be a permutation: a duplicate would stream one
+            // partition twice and silently skip another.
+            if std::mem::replace(&mut seen[pid as usize], true) {
+                return Err(GraphError::Format(format!(
+                    "order entry {i} = {pid} duplicates an earlier entry"
+                )));
+            }
+            order.push(pid);
+        }
+        Ok(Manifest { layout, num_vertices, partitions, order })
+    }
+}
+
+/// Writes one partition's edges as a segment file. Returns the payload
+/// byte count.
+pub fn write_segment(edges: &[Edge], path: &Path) -> Result<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(SEGMENT_MAGIC)?;
+    w.write_all(&(edges.len() as u64).to_le_bytes())?;
+    for e in edges {
+        w.write_all(&e.src.to_le_bytes())?;
+        w.write_all(&e.dst.to_le_bytes())?;
+        w.write_all(&e.weight.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok((edges.len() * EDGE_BYTES) as u64)
+}
+
+/// Validates a segment header against the file's real length and the
+/// manifest's expectation. Returns the record count.
+///
+/// `bytes` is the full segment file contents (or its mapped view).
+pub fn validate_segment(bytes: &[u8], expect_edges: Option<u64>, what: &str) -> Result<u64> {
+    if bytes.len() < SEGMENT_HEADER_BYTES {
+        return Err(GraphError::Truncated {
+            what: format!("{what}: segment header"),
+            needed: SEGMENT_HEADER_BYTES as u64,
+            available: bytes.len() as u64,
+        });
+    }
+    if &bytes[..8] != SEGMENT_MAGIC {
+        return Err(GraphError::Format(format!("{what}: bad segment magic")));
+    }
+    let num_edges = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let payload = (bytes.len() - SEGMENT_HEADER_BYTES) as u64;
+    let needed = num_edges
+        .checked_mul(EDGE_BYTES as u64)
+        .ok_or_else(|| GraphError::Format(format!("{what}: edge count overflows")))?;
+    if needed > payload {
+        return Err(GraphError::Truncated {
+            what: format!("{what}: {num_edges} edge records"),
+            needed,
+            available: payload,
+        });
+    }
+    if let Some(expect) = expect_edges {
+        if expect != num_edges {
+            return Err(GraphError::Format(format!(
+                "{what}: manifest says {expect} edges, segment header says {num_edges}"
+            )));
+        }
+    }
+    Ok(num_edges)
+}
+
+/// Reads a segment file eagerly (the non-mmap path; also the portability
+/// fallback for big-endian hosts).
+pub fn read_segment(path: &Path) -> Result<Vec<Edge>> {
+    let available = std::fs::metadata(path)?.len();
+    let mut r = BufReader::new(File::open(path)?);
+    let mut header = [0u8; SEGMENT_HEADER_BYTES];
+    if available < SEGMENT_HEADER_BYTES as u64 {
+        return Err(GraphError::Truncated {
+            what: format!("{}: segment header", path.display()),
+            needed: SEGMENT_HEADER_BYTES as u64,
+            available,
+        });
+    }
+    r.read_exact(&mut header)?;
+    if &header[..8] != SEGMENT_MAGIC {
+        return Err(GraphError::Format(format!("bad segment magic in {}", path.display())));
+    }
+    let num_edges = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let needed = num_edges
+        .checked_mul(EDGE_BYTES as u64)
+        .ok_or_else(|| GraphError::Format(format!("{}: edge count overflows", path.display())))?;
+    let payload = available - SEGMENT_HEADER_BYTES as u64;
+    if needed > payload {
+        return Err(GraphError::Truncated {
+            what: format!("{}: {num_edges} edge records", path.display()),
+            needed,
+            available: payload,
+        });
+    }
+    let mut edges = Vec::with_capacity(num_edges as usize);
+    let mut rec = [0u8; EDGE_BYTES];
+    for _ in 0..num_edges {
+        r.read_exact(&mut rec)?;
+        edges.push(Edge {
+            src: VertexId::from_le_bytes(rec[0..4].try_into().unwrap()),
+            dst: VertexId::from_le_bytes(rec[4..8].try_into().unwrap()),
+            weight: f32::from_le_bytes(rec[8..12].try_into().unwrap()),
+        });
+    }
+    Ok(edges)
+}
+
+/// A reader that tracks remaining bytes so header-driven reads can fail
+/// with typed truncation errors before allocating.
+struct CountingReader<R> {
+    inner: R,
+    remaining: u64,
+}
+
+impl<R: Read> CountingReader<R> {
+    fn new(inner: R, total: u64) -> Self {
+        CountingReader { inner, remaining: total }
+    }
+
+    fn check_remaining(&self, needed: u64, what: &str) -> Result<()> {
+        if needed > self.remaining {
+            return Err(GraphError::Truncated {
+                what: what.to_string(),
+                needed,
+                available: self.remaining,
+            });
+        }
+        Ok(())
+    }
+
+    fn read_exact_or_truncated(&mut self, buf: &mut [u8], what: &str) -> Result<()> {
+        self.check_remaining(buf.len() as u64, what)?;
+        self.inner.read_exact(buf)?;
+        self.remaining -= buf.len() as u64;
+        Ok(())
+    }
+
+    fn read_u16(&mut self, what: &str) -> Result<u16> {
+        let mut b = [0u8; 2];
+        self.read_exact_or_truncated(&mut b, what)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    fn read_u32(&mut self, what: &str) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact_or_truncated(&mut b, what)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn read_u64(&mut self, what: &str) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact_or_truncated(&mut b, what)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("graphm-segment-test-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn segment_round_trip() {
+        let g = generators::rmat(200, 1500, generators::RmatParams::GRAPH500, 3);
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("part-00000.seg");
+        let bytes = write_segment(&g.edges, &path).unwrap();
+        assert_eq!(bytes, (1500 * EDGE_BYTES) as u64);
+        let back = read_segment(&path).unwrap();
+        assert_eq!(back.len(), 1500);
+        for (a, b) in g.edges.iter().zip(&back) {
+            assert_eq!((a.src, a.dst), (b.src, b.dst));
+            assert_eq!(a.weight, b.weight);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_segment_round_trip() {
+        let dir = tmpdir("empty");
+        let path = dir.join("part-00000.seg");
+        write_segment(&[], &path).unwrap();
+        assert!(read_segment(&path).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_rejects_truncation_and_overflow() {
+        let dir = tmpdir("bad");
+        let path = dir.join("part-00000.seg");
+        // Header promises u64::MAX edges: must be a typed error, not an
+        // allocation attempt.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SEGMENT_MAGIC);
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_segment(&path).unwrap_err(), GraphError::Format(_)));
+        // Header promises 10 edges but carries 1.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SEGMENT_MAGIC);
+        bytes.extend_from_slice(&10u64.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; EDGE_BYTES]);
+        std::fs::write(&path, &bytes).unwrap();
+        match read_segment(&path).unwrap_err() {
+            GraphError::Truncated { needed, available, .. } => {
+                assert_eq!(needed, 120);
+                assert_eq!(available, 12);
+            }
+            e => panic!("expected Truncated, got {e}"),
+        }
+        // Same checks through the slice validator.
+        assert!(matches!(
+            validate_segment(&bytes, None, "slice").unwrap_err(),
+            GraphError::Truncated { .. }
+        ));
+        assert!(matches!(
+            validate_segment(b"short", None, "slice").unwrap_err(),
+            GraphError::Truncated { .. }
+        ));
+        assert!(matches!(
+            validate_segment(b"NOTMAGIC_____________", None, "slice").unwrap_err(),
+            GraphError::Format(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let dir = tmpdir("manifest");
+        let m = Manifest {
+            layout: StoreLayout::Grid { p: 2 },
+            num_vertices: 100,
+            partitions: (0..4)
+                .map(|i| ManifestEntry {
+                    file: format!("part-{i:05}.seg"),
+                    num_edges: 10 * i,
+                    byte_len: 10 * i * EDGE_BYTES as u64,
+                    src_lo: (i * 25) as u32,
+                    src_hi: (i * 25 + 25) as u32,
+                    load_bytes: 10 * i * EDGE_BYTES as u64,
+                })
+                .collect(),
+            order: vec![0, 2, 1, 3],
+        };
+        m.write_to_dir(&dir).unwrap();
+        let back = Manifest::read_from_dir(&dir).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.graph_bytes(), (10 + 20 + 30) * EDGE_BYTES as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_rejects_duplicate_order_entries() {
+        let dir = tmpdir("manifest-duporder");
+        let mut m = Manifest {
+            layout: StoreLayout::Grid { p: 2 },
+            num_vertices: 10,
+            partitions: (0..4)
+                .map(|i| ManifestEntry {
+                    file: format!("part-{i:05}.seg"),
+                    num_edges: 0,
+                    byte_len: 0,
+                    src_lo: 0,
+                    src_hi: 0,
+                    load_bytes: 0,
+                })
+                .collect(),
+            order: vec![0, 0, 1, 3], // duplicates 0, drops 2
+        };
+        m.write_to_dir(&dir).unwrap();
+        assert!(matches!(Manifest::read_from_dir(&dir).unwrap_err(), GraphError::Format(_)));
+        m.order = vec![0, 2, 1, 3];
+        m.write_to_dir(&dir).unwrap();
+        assert!(Manifest::read_from_dir(&dir).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_rejects_corruption() {
+        let dir = tmpdir("manifest-bad");
+        // Bad magic.
+        std::fs::write(dir.join(MANIFEST_FILE), b"NOTMAGIC").unwrap();
+        assert!(matches!(Manifest::read_from_dir(&dir).unwrap_err(), GraphError::Format(_)));
+        // Truncated mid-header.
+        std::fs::write(dir.join(MANIFEST_FILE), &MANIFEST_MAGIC[..4]).unwrap();
+        assert!(matches!(Manifest::read_from_dir(&dir).unwrap_err(), GraphError::Truncated { .. }));
+        // Entry count the file cannot hold.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MANIFEST_MAGIC);
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // grid
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // p
+        bytes.extend_from_slice(&9u32.to_le_bytes()); // vertices
+        bytes.extend_from_slice(&1_000_000u32.to_le_bytes()); // partitions
+        std::fs::write(dir.join(MANIFEST_FILE), &bytes).unwrap();
+        assert!(matches!(Manifest::read_from_dir(&dir).unwrap_err(), GraphError::Truncated { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

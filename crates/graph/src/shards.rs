@@ -92,10 +92,8 @@ impl Shards {
     /// shard plus every sliding window. This is GraphChi's per-interval I/O.
     pub fn interval_load_bytes(&self, s: usize) -> usize {
         let shard_edges = self.shards[s].len();
-        let window_edges: usize = (0..self.num_shards())
-            .filter(|&t| t != s)
-            .map(|t| self.windows[s][t].len())
-            .sum();
+        let window_edges: usize =
+            (0..self.num_shards()).filter(|&t| t != s).map(|t| self.windows[s][t].len()).sum();
         (shard_edges + window_edges) * crate::types::EDGE_BYTES
     }
 }

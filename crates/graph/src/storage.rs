@@ -29,25 +29,53 @@ pub fn write_edge_list(graph: &EdgeList, path: &Path) -> Result<()> {
     Ok(())
 }
 
+/// Header size of the edge-list format: magic + vertex count + edge count.
+const HEADER_BYTES: u64 = 8 + 4 + 8;
+
 /// Reads a graph previously written by [`write_edge_list`].
+///
+/// The header is untrusted: the promised edge count is validated against
+/// the file's real length *before* any allocation, so a corrupt or
+/// truncated file yields a typed [`GraphError::Truncated`] (or
+/// [`GraphError::Format`] on overflow) instead of a giant speculative
+/// `Vec` or a bare I/O error mid-stream.
 pub fn read_edge_list(path: &Path) -> Result<EdgeList> {
+    let file_len = std::fs::metadata(path)?.len();
     let file = File::open(path)?;
     let mut r = BufReader::new(file);
+    if file_len < HEADER_BYTES {
+        return Err(GraphError::Truncated {
+            what: format!("{}: header", path.display()),
+            needed: HEADER_BYTES,
+            available: file_len,
+        });
+    }
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(GraphError::Format(format!(
-            "bad magic in {}: {:?}",
-            path.display(),
-            magic
-        )));
+        return Err(GraphError::Format(format!("bad magic in {}: {:?}", path.display(), magic)));
     }
     let mut buf4 = [0u8; 4];
     let mut buf8 = [0u8; 8];
     r.read_exact(&mut buf4)?;
     let num_vertices = VertexId::from_le_bytes(buf4);
     r.read_exact(&mut buf8)?;
-    let num_edges = u64::from_le_bytes(buf8) as usize;
+    let num_edges_u64 = u64::from_le_bytes(buf8);
+    let needed = num_edges_u64.checked_mul(12).ok_or_else(|| {
+        GraphError::Format(format!(
+            "{}: edge count {num_edges_u64} overflows the format",
+            path.display()
+        ))
+    })?;
+    let available = file_len - HEADER_BYTES;
+    if needed > available {
+        return Err(GraphError::Truncated {
+            what: format!("{}: {num_edges_u64} edge records", path.display()),
+            needed,
+            available,
+        });
+    }
+    let num_edges = num_edges_u64 as usize;
     let mut edges = Vec::with_capacity(num_edges);
     let mut rec = [0u8; 12];
     for _ in 0..num_edges {
@@ -79,11 +107,9 @@ pub fn parse_text_edge_list(text: &str) -> Result<EdgeList> {
         }
         let mut it = line.split_whitespace();
         let parse = |tok: Option<&str>, what: &str| -> Result<VertexId> {
-            tok.ok_or_else(|| {
-                GraphError::Format(format!("line {}: missing {what}", lineno + 1))
-            })?
-            .parse::<VertexId>()
-            .map_err(|e| GraphError::Format(format!("line {}: {e}", lineno + 1)))
+            tok.ok_or_else(|| GraphError::Format(format!("line {}: missing {what}", lineno + 1)))?
+                .parse::<VertexId>()
+                .map_err(|e| GraphError::Format(format!("line {}: {e}", lineno + 1)))
         };
         let src = parse(it.next(), "source")?;
         let dst = parse(it.next(), "destination")?;
@@ -125,6 +151,71 @@ mod tests {
             assert_eq!(a.dst, b.dst);
             assert_eq!(a.weight, b.weight);
         }
+    }
+
+    #[test]
+    fn empty_graph_round_trip() {
+        let g = EdgeList::new(7);
+        let path = tmp("empty.bin");
+        write_edge_list(&g, &path).unwrap();
+        let back = read_edge_list(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.num_vertices, 7);
+        assert_eq!(back.num_edges(), 0);
+    }
+
+    #[test]
+    fn rejects_truncated_header_and_records() {
+        let path = tmp("truncated.bin");
+        // File shorter than the header.
+        std::fs::write(&path, &MAGIC[..6]).unwrap();
+        assert!(matches!(read_edge_list(&path).unwrap_err(), GraphError::Truncated { .. }));
+        // Header promises 3 edges, file carries half a record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.extend_from_slice(&3u64.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 6]);
+        std::fs::write(&path, &bytes).unwrap();
+        match read_edge_list(&path).unwrap_err() {
+            GraphError::Truncated { needed, available, .. } => {
+                assert_eq!(needed, 36);
+                assert_eq!(available, 6);
+            }
+            e => panic!("expected Truncated, got {e}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_overflowing_edge_count() {
+        let path = tmp("overflow.bin");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        // Must fail with a typed error before allocating u64::MAX capacity.
+        assert!(matches!(read_edge_list(&path).unwrap_err(), GraphError::Format(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let path = tmp("outofrange.bin");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // num_vertices = 2
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&9u32.to_le_bytes()); // src = 9: out of range
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_edge_list(&path).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 9, num_vertices: 2 }
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -133,8 +133,14 @@ impl EdgeList {
 pub enum GraphError {
     /// An I/O error while reading/writing on-disk formats.
     Io(std::io::Error),
-    /// A malformed on-disk file (bad magic, truncated records, ...).
+    /// A malformed on-disk file (bad magic, inconsistent metadata, ...).
     Format(String),
+    /// A file ended before the payload its header promised: `needed` bytes
+    /// were required past the point described by `what`, but only
+    /// `available` remained. Distinguished from [`GraphError::Io`] so
+    /// callers can tell a corrupt/truncated file from a failing device, and
+    /// so untrusted headers never drive huge speculative allocations.
+    Truncated { what: String, needed: u64, available: u64 },
     /// An edge referenced a vertex outside `0..num_vertices`.
     VertexOutOfRange { vertex: VertexId, num_vertices: VertexId },
 }
@@ -144,6 +150,9 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::Format(m) => write!(f, "format error: {m}"),
+            GraphError::Truncated { what, needed, available } => {
+                write!(f, "truncated file: {what} needs {needed} bytes but only {available} remain")
+            }
             GraphError::VertexOutOfRange { vertex, num_vertices } => {
                 write!(f, "vertex {vertex} out of range (num_vertices = {num_vertices})")
             }

@@ -11,6 +11,7 @@ pub mod engine;
 pub mod source;
 
 pub use engine::GraphChiEngine;
+pub use graphm_store::DiskShardSource;
 pub use source::ChiSource;
 
 use graphm_core::{run_scheme, RunReport, RunnerConfig, Scheme, Submission};
@@ -24,6 +25,18 @@ pub fn run_graphchi(
 ) -> RunReport {
     let source = ChiSource::new(engine.shards());
     run_scheme(scheme, subs, &source, cfg)
+}
+
+/// Runs a job mix on a *disk-resident* shard store under the given scheme.
+/// Same runtime as [`run_graphchi`]; shards stream from the mmap'd
+/// segments and per-interval load bytes come from the store manifest.
+pub fn run_graphchi_disk(
+    scheme: Scheme,
+    subs: Vec<Submission>,
+    source: &DiskShardSource,
+    cfg: &RunnerConfig,
+) -> RunReport {
+    run_scheme(scheme, subs, source, cfg)
 }
 
 #[cfg(test)]
@@ -44,8 +57,13 @@ mod tests {
             (0..n)
                 .map(|i| {
                     Submission::immediate(Box::new(
-                        PageRank::new(g.num_vertices, engine.out_degrees(), 0.5 + 0.1 * i as f64, 20)
-                            .with_tolerance(0.0),
+                        PageRank::new(
+                            g.num_vertices,
+                            engine.out_degrees(),
+                            0.5 + 0.1 * i as f64,
+                            20,
+                        )
+                        .with_tolerance(0.0),
                     ))
                 })
                 .collect()

@@ -7,7 +7,9 @@
 //! loop with selective scheduling — independent of any execution scheme.
 
 use graphm_core::GraphJob;
-use graphm_graph::{EdgeList, Grid};
+use graphm_graph::{EdgeList, Grid, Manifest};
+use graphm_store::{Convert, DiskGridSource};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,10 +28,26 @@ impl GridGraphEngine {
         let grid = Grid::convert(graph, p);
         let out_degrees = graph.out_degrees();
         let elapsed = start.elapsed();
-        (
-            GridGraphEngine { grid: Arc::new(grid), out_degrees: Arc::new(out_degrees) },
-            elapsed,
-        )
+        (GridGraphEngine { grid: Arc::new(grid), out_degrees: Arc::new(out_degrees) }, elapsed)
+    }
+
+    /// `Convert()` with durable output: grid-partitions `graph` and writes
+    /// it as a disk-resident store (segments + manifest) under `dir`,
+    /// returning the manifest and the wall-clock preprocessing time.
+    pub fn convert_to_disk(
+        graph: &EdgeList,
+        p: usize,
+        dir: &Path,
+    ) -> graphm_graph::Result<(Manifest, Duration)> {
+        let start = Instant::now();
+        let manifest = Convert::grid(p).write(graph, dir)?;
+        Ok((manifest, start.elapsed()))
+    }
+
+    /// Opens a disk-resident grid store as a GraphM partition source. The
+    /// returned source drops into every place a `GridSource` fits.
+    pub fn open_disk(dir: &Path) -> graphm_graph::Result<DiskGridSource> {
+        DiskGridSource::open(dir)
     }
 
     /// The underlying grid.
@@ -96,8 +114,8 @@ mod tests {
         let g = graph();
         let (engine, prep) = GridGraphEngine::convert(&g, 4);
         assert!(prep.as_nanos() > 0);
-        let mut pr = PageRank::new(g.num_vertices, engine.out_degrees(), 0.85, 8)
-            .with_tolerance(0.0);
+        let mut pr =
+            PageRank::new(g.num_vertices, engine.out_degrees(), 0.85, 8).with_tolerance(0.0);
         let iters = engine.run_job(&mut pr, 100);
         assert_eq!(iters, 8);
         let oracle = reference::pagerank_ref(&g, 0.85, 8, 0.0);

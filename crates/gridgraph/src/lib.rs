@@ -18,5 +18,6 @@ pub mod schemes;
 pub mod source;
 
 pub use engine::GridGraphEngine;
-pub use schemes::{graphm_preprocess_wall, run_gridgraph, wall};
+pub use graphm_store::DiskGridSource;
+pub use schemes::{graphm_preprocess_wall, run_gridgraph, run_gridgraph_disk, wall};
 pub use source::GridSource;

@@ -31,6 +31,18 @@ pub fn run_gridgraph(
     run_scheme(scheme, subs, &source, cfg)
 }
 
+/// Runs a job mix on a *disk-resident* grid store under the given scheme.
+/// Same runtime as [`run_gridgraph`]; partitions stream from the mmap'd
+/// segments and per-partition byte counts come from the store manifest.
+pub fn run_gridgraph_disk(
+    scheme: Scheme,
+    subs: Vec<Submission>,
+    source: &graphm_store::DiskGridSource,
+    cfg: &RunnerConfig,
+) -> RunReport {
+    run_scheme(scheme, subs, source, cfg)
+}
+
 /// Table-3 helper: wall-clock time of GraphM's extra preprocessing
 /// (Formula-1 sizing + Algorithm-1 labelling) on top of the grid convert.
 pub fn graphm_preprocess_wall(
@@ -76,12 +88,7 @@ pub mod wall {
             iterations.push(iters);
             results.push(job.vertex_values());
         }
-        WallReport {
-            total_ms: start.elapsed().as_secs_f64() * 1e3,
-            results,
-            iterations,
-            loads,
-        }
+        WallReport { total_ms: start.elapsed().as_secs_f64() * 1e3, results, iterations, loads }
     }
 
     /// GridGraph-C: one OS thread per job; each thread clones every block
@@ -105,15 +112,13 @@ pub mod wall {
                         let (row, _) = grid.block_coords(idx);
                         let (lo, hi) = grid.ranges().bounds(row);
                         if job.skips_inactive()
-                            && !(lo < hi
-                                && job.active().any_in_range(lo as usize, hi as usize))
+                            && !(lo < hi && job.active().any_in_range(lo as usize, hi as usize))
                         {
                             continue;
                         }
                         // The private copy: this job's own buffer of the
                         // block, re-materialized like a private read.
-                        let private: Vec<graphm_graph::Edge> =
-                            grid.block_by_index(idx).to_vec();
+                        let private: Vec<graphm_graph::Edge> = grid.block_by_index(idx).to_vec();
                         loads += 1;
                         for e in &private {
                             if !job.skips_inactive() || job.active().get(e.src as usize) {
@@ -138,12 +143,7 @@ pub mod wall {
             iterations.push(iters);
             loads += l;
         }
-        WallReport {
-            total_ms: start.elapsed().as_secs_f64() * 1e3,
-            results,
-            iterations,
-            loads,
-        }
+        WallReport { total_ms: start.elapsed().as_secs_f64() * 1e3, results, iterations, loads }
     }
 
     /// GridGraph-M: one OS thread per job, loads routed through the
@@ -156,11 +156,7 @@ pub mod wall {
     ) -> WallReport {
         let start = Instant::now();
         let source = Arc::new(GridSource::new(engine.grid()));
-        let gm = Arc::new(GraphM::init(
-            source.as_ref(),
-            8,
-            GraphMConfig::default(),
-        ));
+        let gm = Arc::new(GraphM::init(source.as_ref(), 8, GraphMConfig::default()));
         let rt = SharingRuntime::new(
             source.clone() as Arc<dyn PartitionSource>,
             graphm_core::SchedulingPolicy::Prioritized,
@@ -194,9 +190,7 @@ pub mod wall {
                                 continue;
                             }
                             for e in &sp.edges[chunk.edges.clone()] {
-                                if !job.skips_inactive()
-                                    || job.active().get(e.src as usize)
-                                {
+                                if !job.skips_inactive() || job.active().get(e.src as usize) {
                                     job.process_edge(e);
                                 }
                             }
@@ -258,21 +252,12 @@ mod tests {
         (g, e)
     }
 
-    fn pr_subs(
-        g: &graphm_graph::EdgeList,
-        engine: &GridGraphEngine,
-        n: usize,
-    ) -> Vec<Submission> {
+    fn pr_subs(g: &graphm_graph::EdgeList, engine: &GridGraphEngine, n: usize) -> Vec<Submission> {
         (0..n)
             .map(|i| {
                 Submission::immediate(Box::new(
-                    PageRank::new(
-                        g.num_vertices,
-                        engine.out_degrees(),
-                        0.5 + 0.05 * i as f64,
-                        25,
-                    )
-                    .with_tolerance(0.0),
+                    PageRank::new(g.num_vertices, engine.out_degrees(), 0.5 + 0.05 * i as f64, 25)
+                        .with_tolerance(0.0),
                 ))
             })
             .collect()

@@ -1,0 +1,172 @@
+//! Read-only memory mapping without external crates.
+//!
+//! The build environment cannot fetch `memmap2`, so on 64-bit Unix this
+//! module binds `mmap`/`munmap` from the C library directly (always linked
+//! on the glibc/musl targets this workspace builds for). The gate is
+//! 64-bit-only because the hand-declared prototype types `offset` as
+//! `i64`, which matches `off_t` only on LP64 targets; 32-bit unix would
+//! need `mmap64` or `_FILE_OFFSET_BITS` awareness. Elsewhere — and for
+//! empty files, which `mmap` rejects — it falls back to reading the file
+//! into an owned buffer behind the same API.
+
+use std::fs::File;
+use std::io;
+
+/// A read-only view of a whole file: mapped when the platform allows,
+/// owned otherwise. Either way `as_slice` is the file's contents.
+pub enum FileView {
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped(MappedRegion),
+    Owned(Vec<u8>),
+}
+
+impl FileView {
+    /// Maps (or reads) `file` in its entirety.
+    pub fn open(file: &File) -> io::Result<FileView> {
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(FileView::Owned(Vec::new()));
+        }
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too large to map on this platform",
+            ));
+        }
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            MappedRegion::map(file, len as usize).map(FileView::Mapped)
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::with_capacity(len as usize);
+            let mut f = file.try_clone()?;
+            f.read_to_end(&mut buf)?;
+            Ok(FileView::Owned(buf))
+        }
+    }
+
+    /// The file's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            FileView::Mapped(m) => m.as_slice(),
+            FileView::Owned(v) => v,
+        }
+    }
+
+    /// Whether this view is a real memory mapping (used by tests and the
+    /// bench banner).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            FileView::Mapped(_) => true,
+            FileView::Owned(_) => false,
+        }
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+pub use unix::MappedRegion;
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod unix {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+    use std::ptr::NonNull;
+
+    // Raw libc bindings: the C library is linked into every Rust binary on
+    // the unix targets we support, so no crate is needed for these two
+    // symbols. Constants match Linux and the BSDs (PROT_READ and
+    // MAP_PRIVATE are 1 and 2 everywhere POSIX-ish); the i64 offset is
+    // correct only for 64-bit off_t, hence the module's LP64-only gate.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// An owned read-only mapping of a whole file.
+    pub struct MappedRegion {
+        ptr: NonNull<u8>,
+        len: usize,
+    }
+
+    // The region is immutable shared memory; the pointer never escapes
+    // except through `as_slice`.
+    unsafe impl Send for MappedRegion {}
+    unsafe impl Sync for MappedRegion {}
+
+    impl MappedRegion {
+        pub(super) fn map(file: &File, len: usize) -> io::Result<MappedRegion> {
+            debug_assert!(len > 0, "mmap rejects zero-length mappings");
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            match NonNull::new(ptr as *mut u8) {
+                Some(ptr) => Ok(MappedRegion { ptr, len }),
+                None => Err(io::Error::other("mmap returned null")),
+            }
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: the mapping is PROT_READ, lives until Drop, and is
+            // page-aligned; len is the mapped length.
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        }
+    }
+
+    impl Drop for MappedRegion {
+        fn drop(&mut self) {
+            // SAFETY: ptr/len are the exact values returned by mmap.
+            unsafe {
+                munmap(self.ptr.as_ptr() as *mut c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("graphm-mmap-test-{}", std::process::id()));
+        let payload = b"hello mapped world".repeat(1000);
+        std::fs::File::create(&path).unwrap().write_all(&payload).unwrap();
+        let view = FileView::open(&std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(view.as_slice(), &payload[..]);
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(view.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_owned_empty() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("graphm-mmap-empty-{}", std::process::id()));
+        std::fs::File::create(&path).unwrap();
+        let view = FileView::open(&std::fs::File::open(&path).unwrap()).unwrap();
+        assert!(view.as_slice().is_empty());
+        assert!(!view.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+}

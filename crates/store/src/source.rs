@@ -1,0 +1,335 @@
+//! Disk-resident `PartitionSource` implementations.
+//!
+//! [`DiskGridSource`] and [`DiskShardSource`] mirror the in-memory
+//! `GridSource` / `ChiSource` adapters exactly — same partition order,
+//! same activity semantics, same byte accounting (taken from the manifest
+//! instead of recomputed) — so `run_scheme`, the `SharingRuntime`, and the
+//! §4 scheduler produce bit-identical reports on disk-resident graphs.
+//!
+//! Segments stay mapped, not loaded: [`edges`](DiskGridSource::edges) is a
+//! zero-copy `&[Edge]` view into the mapping (the 12-byte `#[repr(C)]`
+//! record layout matches the file format on little-endian hosts), and
+//! `load` materializes an `Arc<Vec<Edge>>` only on demand, memoized
+//! through a `Weak` so concurrent jobs share one copy while any of them
+//! holds it — the in-memory half of the paper's "one copy of the graph
+//! structure".
+
+use crate::mmap::FileView;
+use graphm_core::PartitionSource;
+use graphm_graph::segment::{validate_segment, Manifest, StoreLayout, SEGMENT_HEADER_BYTES};
+use graphm_graph::{AtomicBitmap, Edge, GraphError, Result, VertexId, EDGE_BYTES};
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, Weak};
+
+/// One mapped (or, on exotic platforms, decoded) segment.
+enum SegmentData {
+    /// Zero-copy: the file mapping itself, records reinterpreted in place.
+    Mapped(FileView),
+    /// Eagerly decoded records (big-endian hosts, or unmapped non-empty
+    /// views whose buffers lack `Edge` alignment).
+    Decoded(Vec<Edge>),
+}
+
+struct Segment {
+    data: SegmentData,
+    num_edges: usize,
+}
+
+impl Segment {
+    fn open(path: &Path, expect_edges: u64) -> Result<Segment> {
+        if cfg!(target_endian = "little") {
+            let view = FileView::open(&File::open(path)?)?;
+            let num_edges =
+                validate_segment(view.as_slice(), Some(expect_edges), &path.display().to_string())?
+                    as usize;
+            let payload = &view.as_slice()[SEGMENT_HEADER_BYTES..];
+            let aligned = (payload.as_ptr() as usize).is_multiple_of(std::mem::align_of::<Edge>());
+            if view.is_mapped() || num_edges == 0 || aligned {
+                Ok(Segment { data: SegmentData::Mapped(view), num_edges })
+            } else {
+                // Owned fallback buffer without Edge alignment: decode.
+                let edges = graphm_graph::segment::read_segment(path)?;
+                Ok(Segment { data: SegmentData::Decoded(edges), num_edges })
+            }
+        } else {
+            let edges = graphm_graph::segment::read_segment(path)?;
+            if edges.len() as u64 != expect_edges {
+                return Err(GraphError::Format(format!(
+                    "{}: manifest says {expect_edges} edges, segment holds {}",
+                    path.display(),
+                    edges.len()
+                )));
+            }
+            let num_edges = edges.len();
+            Ok(Segment { data: SegmentData::Decoded(edges), num_edges })
+        }
+    }
+
+    fn edges(&self) -> &[Edge] {
+        match &self.data {
+            SegmentData::Mapped(view) => {
+                if self.num_edges == 0 {
+                    return &[];
+                }
+                let bytes = &view.as_slice()
+                    [SEGMENT_HEADER_BYTES..SEGMENT_HEADER_BYTES + self.num_edges * EDGE_BYTES];
+                // SAFETY: validated at open — the range is in bounds, the
+                // pointer is 4-byte aligned (page-aligned mapping + 16-byte
+                // header; the unaligned owned case was decoded instead),
+                // `Edge` is `#[repr(C)] { u32, u32, f32 }` with no padding
+                // and no invalid bit patterns, and the file's little-endian
+                // layout matches the host's (big-endian hosts decode).
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const Edge, self.num_edges) }
+            }
+            SegmentData::Decoded(edges) => edges,
+        }
+    }
+}
+
+/// Shared machinery of the two disk sources.
+struct DiskStore {
+    dir: PathBuf,
+    manifest: Manifest,
+    segments: Vec<Segment>,
+    /// Per-partition memoized materialization: jobs running concurrently
+    /// share one `Arc` per partition; once every holder drops it the
+    /// memory is returned and only the mapping remains.
+    cache: Vec<Mutex<Weak<Vec<Edge>>>>,
+}
+
+impl DiskStore {
+    fn open(dir: &Path) -> Result<DiskStore> {
+        let manifest = Manifest::read_from_dir(dir)?;
+        let mut segments = Vec::with_capacity(manifest.partitions.len());
+        for entry in &manifest.partitions {
+            segments.push(Segment::open(&dir.join(&entry.file), entry.num_edges)?);
+        }
+        // Records are untrusted: every endpoint must be in range before any
+        // job indexes its vertex-state arrays with them (same guarantee
+        // `storage::read_edge_list` gives, as a typed error, not a panic).
+        let nv = manifest.num_vertices;
+        for seg in &segments {
+            for e in seg.edges() {
+                if e.src >= nv {
+                    return Err(GraphError::VertexOutOfRange { vertex: e.src, num_vertices: nv });
+                }
+                if e.dst >= nv {
+                    return Err(GraphError::VertexOutOfRange { vertex: e.dst, num_vertices: nv });
+                }
+            }
+        }
+        let cache = (0..segments.len()).map(|_| Mutex::new(Weak::new())).collect();
+        Ok(DiskStore { dir: dir.to_path_buf(), manifest, segments, cache })
+    }
+
+    fn load(&self, pid: usize) -> Arc<Vec<Edge>> {
+        let mut slot = self.cache[pid].lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(live) = slot.upgrade() {
+            return live;
+        }
+        let materialized = Arc::new(self.segments[pid].edges().to_vec());
+        *slot = Arc::downgrade(&materialized);
+        materialized
+    }
+
+    fn out_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.manifest.num_vertices as usize];
+        for seg in &self.segments {
+            for e in seg.edges() {
+                deg[e.src as usize] += 1;
+            }
+        }
+        deg
+    }
+}
+
+impl std::fmt::Debug for DiskGridSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskGridSource")
+            .field("dir", &self.store.dir)
+            .field("p", &self.p)
+            .field("partitions", &self.store.segments.len())
+            .finish()
+    }
+}
+
+/// A grid-layout store on disk, exposed to GraphM. Drop-in replacement for
+/// the in-memory `GridSource`.
+pub struct DiskGridSource {
+    store: DiskStore,
+    p: usize,
+    order: Vec<usize>,
+}
+
+impl DiskGridSource {
+    /// Opens a store directory written by [`Convert::grid`](crate::Convert::grid).
+    pub fn open(dir: &Path) -> Result<DiskGridSource> {
+        let store = DiskStore::open(dir)?;
+        let p = match store.manifest.layout {
+            StoreLayout::Grid { p } => p as usize,
+            other => {
+                return Err(GraphError::Format(format!(
+                    "{}: expected a grid store, found {other:?}",
+                    dir.display()
+                )))
+            }
+        };
+        if store.segments.len() != p * p {
+            return Err(GraphError::Format(format!(
+                "{}: grid p = {p} implies {} partitions, manifest has {}",
+                dir.display(),
+                p * p,
+                store.segments.len()
+            )));
+        }
+        let order = store.manifest.order.iter().map(|&v| v as usize).collect();
+        Ok(DiskGridSource { store, p, order })
+    }
+
+    /// Grid dimension `P`.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The store's manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.store.manifest
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.store.dir
+    }
+
+    /// Zero-copy view of partition `pid`'s records inside the mapping.
+    pub fn edges(&self, pid: usize) -> &[Edge] {
+        self.store.segments[pid].edges()
+    }
+
+    /// Out-degrees, streamed from the mapped segments (PageRank-family
+    /// jobs need them; no `EdgeList` is ever materialized).
+    pub fn out_degrees(&self) -> Vec<u32> {
+        self.store.out_degrees()
+    }
+}
+
+impl PartitionSource for DiskGridSource {
+    fn num_partitions(&self) -> usize {
+        self.store.segments.len()
+    }
+
+    fn num_vertices(&self) -> VertexId {
+        self.store.manifest.num_vertices
+    }
+
+    fn load(&self, pid: usize) -> Arc<Vec<Edge>> {
+        self.store.load(pid)
+    }
+
+    fn partition_bytes(&self, pid: usize) -> usize {
+        self.store.manifest.partitions[pid].load_bytes as usize
+    }
+
+    fn graph_bytes(&self) -> usize {
+        self.store.manifest.graph_bytes() as usize
+    }
+
+    fn order(&self) -> Vec<usize> {
+        self.order.clone()
+    }
+
+    fn partition_active(&self, pid: usize, active: &AtomicBitmap) -> bool {
+        if self.store.segments[pid].num_edges == 0 {
+            return false;
+        }
+        let e = &self.store.manifest.partitions[pid];
+        e.src_lo < e.src_hi && active.any_in_range(e.src_lo as usize, e.src_hi as usize)
+    }
+}
+
+impl std::fmt::Debug for DiskShardSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskShardSource")
+            .field("dir", &self.store.dir)
+            .field("partitions", &self.store.segments.len())
+            .finish()
+    }
+}
+
+/// A shard-layout store on disk, exposed to GraphM. Drop-in replacement
+/// for the in-memory `ChiSource`.
+pub struct DiskShardSource {
+    store: DiskStore,
+    /// Distinct source vertices per shard, rebuilt from the mapped records
+    /// at open — the exact activity semantics of `ChiSource`.
+    srcs: Vec<Vec<VertexId>>,
+}
+
+impl DiskShardSource {
+    /// Opens a store directory written by [`Convert::shards`](crate::Convert::shards).
+    pub fn open(dir: &Path) -> Result<DiskShardSource> {
+        let store = DiskStore::open(dir)?;
+        match store.manifest.layout {
+            StoreLayout::Shards { .. } => {}
+            other => {
+                return Err(GraphError::Format(format!(
+                    "{}: expected a shard store, found {other:?}",
+                    dir.display()
+                )))
+            }
+        }
+        let srcs = store
+            .segments
+            .iter()
+            .map(|seg| {
+                let mut sv: Vec<VertexId> = seg.edges().iter().map(|e| e.src).collect();
+                sv.sort_unstable();
+                sv.dedup();
+                sv
+            })
+            .collect();
+        Ok(DiskShardSource { store, srcs })
+    }
+
+    /// The store's manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.store.manifest
+    }
+
+    /// Zero-copy view of shard `pid`'s records inside the mapping.
+    pub fn edges(&self, pid: usize) -> &[Edge] {
+        self.store.segments[pid].edges()
+    }
+
+    /// Out-degrees, streamed from the mapped segments.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        self.store.out_degrees()
+    }
+}
+
+impl PartitionSource for DiskShardSource {
+    fn num_partitions(&self) -> usize {
+        self.store.segments.len()
+    }
+
+    fn num_vertices(&self) -> VertexId {
+        self.store.manifest.num_vertices
+    }
+
+    fn load(&self, pid: usize) -> Arc<Vec<Edge>> {
+        self.store.load(pid)
+    }
+
+    fn partition_bytes(&self, pid: usize) -> usize {
+        self.store.manifest.partitions[pid].load_bytes as usize
+    }
+
+    fn graph_bytes(&self) -> usize {
+        self.store.manifest.graph_bytes() as usize
+    }
+
+    fn partition_active(&self, pid: usize, active: &AtomicBitmap) -> bool {
+        self.srcs[pid].iter().any(|&v| active.get(v as usize))
+    }
+}

@@ -7,9 +7,10 @@
 
 use crate::arrivals;
 use crate::jobmix::{generate_mix, JobSpec, MixConfig};
-use graphm_core::{RunReport, RunnerConfig, Scheme, SchedulingPolicy, Submission};
+use graphm_core::{run_scheme, RunReport, RunnerConfig, SchedulingPolicy, Scheme, Submission};
 use graphm_graph::{DatasetId, EdgeList, MemoryProfile};
-use graphm_gridgraph::{run_gridgraph, GridGraphEngine};
+use graphm_gridgraph::{run_gridgraph, DiskGridSource, GridGraphEngine};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Scales a memory profile down by `divisor`, used when datasets are
@@ -29,12 +30,24 @@ pub fn scaled_profile(base: MemoryProfile, divisor: usize) -> MemoryProfile {
     }
 }
 
+/// Where a workbench's partitions come from.
+pub enum WorkbenchBackend {
+    /// The in-memory GridGraph host engine (the original path).
+    InMemory(GridGraphEngine),
+    /// A disk-resident grid store; partitions stream from mmap'd segments.
+    Disk(Arc<DiskGridSource>),
+}
+
 /// A prepared experiment environment over one graph.
 pub struct Workbench {
-    /// The raw graph.
-    pub graph: EdgeList,
-    /// The GridGraph host engine over it.
-    pub engine: GridGraphEngine,
+    /// The raw graph; `None` for disk-backed workbenches, where the
+    /// structure stays on disk (that being the point). Access through
+    /// [`Workbench::graph`] / [`Workbench::num_vertices`].
+    graph: Option<EdgeList>,
+    /// Total vertex count (valid in both modes).
+    num_vertices: graphm_graph::VertexId,
+    /// The partition backend experiments stream from.
+    pub backend: WorkbenchBackend,
     /// Out-degrees (for PageRank-family jobs).
     pub out_degrees: Arc<Vec<u32>>,
     /// The memory profile experiments run under.
@@ -43,6 +56,9 @@ pub struct Workbench {
     pub dataset: Option<DatasetId>,
     /// Scale divisor the dataset was generated at.
     pub scale: usize,
+    /// Total structure bytes (`S_G`); for disk workbenches this comes from
+    /// the store manifest rather than the (unpopulated) edge list.
+    pub structure_bytes: usize,
 }
 
 impl Workbench {
@@ -59,6 +75,27 @@ impl Workbench {
         Workbench::build(graph, p, profile, None, 1)
     }
 
+    /// Builds a workbench over a disk-resident grid store written by
+    /// `graphm_store::Convert::grid` (or `GridGraphEngine::convert_to_disk`).
+    /// The graph structure stays on disk behind the mmap; only vertex
+    /// metadata (out-degrees for PageRank-family jobs) is materialized.
+    pub fn from_disk(dir: &Path, profile: MemoryProfile) -> graphm_graph::Result<Workbench> {
+        let source = DiskGridSource::open(dir)?;
+        let out_degrees = Arc::new(source.out_degrees());
+        let num_vertices = graphm_core::PartitionSource::num_vertices(&source);
+        let structure_bytes = graphm_core::PartitionSource::graph_bytes(&source);
+        Ok(Workbench {
+            graph: None,
+            num_vertices,
+            backend: WorkbenchBackend::Disk(Arc::new(source)),
+            out_degrees,
+            profile,
+            dataset: None,
+            scale: 1,
+            structure_bytes,
+        })
+    }
+
     fn build(
         graph: EdgeList,
         p: usize,
@@ -68,12 +105,65 @@ impl Workbench {
     ) -> Workbench {
         let (engine, _) = GridGraphEngine::convert(&graph, p);
         let out_degrees = engine.out_degrees();
-        Workbench { graph, engine, out_degrees, profile, dataset, scale }
+        let structure_bytes = graph.size_bytes();
+        let num_vertices = graph.num_vertices;
+        Workbench {
+            graph: Some(graph),
+            num_vertices,
+            backend: WorkbenchBackend::InMemory(engine),
+            out_degrees,
+            profile,
+            dataset,
+            scale,
+            structure_bytes,
+        }
+    }
+
+    /// Total vertex count (valid for both in-memory and disk-backed
+    /// workbenches).
+    pub fn num_vertices(&self) -> graphm_graph::VertexId {
+        self.num_vertices
+    }
+
+    /// The raw edge list. Panics for disk-backed workbenches — the
+    /// structure never leaves disk there; use [`Workbench::num_vertices`],
+    /// [`Workbench::out_degrees`][Self], or [`Workbench::disk_source`]
+    /// instead.
+    pub fn graph(&self) -> &EdgeList {
+        self.graph.as_ref().unwrap_or_else(|| {
+            panic!("workbench is disk-backed; the edge list is not materialized")
+        })
+    }
+
+    /// The raw edge list, when this workbench holds one in memory.
+    pub fn graph_opt(&self) -> Option<&EdgeList> {
+        self.graph.as_ref()
+    }
+
+    /// The in-memory host engine. Panics for disk-backed workbenches —
+    /// callers that need raw blocks should use [`Workbench::disk_source`]
+    /// or match on [`Workbench::backend`] instead.
+    pub fn engine(&self) -> &GridGraphEngine {
+        match &self.backend {
+            WorkbenchBackend::InMemory(engine) => engine,
+            WorkbenchBackend::Disk(src) => panic!(
+                "workbench is disk-backed ({}); it has no in-memory engine",
+                src.dir().display()
+            ),
+        }
+    }
+
+    /// The disk source, when this workbench is disk-backed.
+    pub fn disk_source(&self) -> Option<&Arc<DiskGridSource>> {
+        match &self.backend {
+            WorkbenchBackend::Disk(src) => Some(src),
+            WorkbenchBackend::InMemory(_) => None,
+        }
     }
 
     /// Whether the graph exceeds the simulated memory budget.
     pub fn out_of_core(&self) -> bool {
-        self.graph.size_bytes() > self.profile.memory_bytes
+        self.structure_bytes > self.profile.memory_bytes
     }
 
     /// Default runner configuration for this workbench.
@@ -85,7 +175,7 @@ impl Workbench {
 
     /// The paper's §5.1 mix of `count` jobs.
     pub fn paper_mix(&self, count: usize, seed: u64) -> Vec<JobSpec> {
-        generate_mix(self.graph.num_vertices, &MixConfig::paper(count, seed))
+        generate_mix(self.num_vertices, &MixConfig::paper(count, seed))
     }
 
     /// Turns specs + arrival times into submissions.
@@ -94,9 +184,7 @@ impl Workbench {
         specs
             .iter()
             .zip(arrivals)
-            .map(|(s, &t)| {
-                Submission::at(s.instantiate(self.graph.num_vertices, &self.out_degrees), t)
-            })
+            .map(|(s, &t)| Submission::at(s.instantiate(self.num_vertices, &self.out_degrees), t))
             .collect()
     }
 
@@ -116,7 +204,10 @@ impl Workbench {
         cfg: &RunnerConfig,
     ) -> RunReport {
         let subs = self.submissions(specs, arrivals);
-        run_gridgraph(scheme, subs, &self.engine, cfg)
+        match &self.backend {
+            WorkbenchBackend::InMemory(engine) => run_gridgraph(scheme, subs, engine, cfg),
+            WorkbenchBackend::Disk(source) => run_scheme(scheme, subs, source.as_ref(), cfg),
+        }
     }
 
     /// Convenience: run all three schemes on the same workload, immediate
@@ -170,20 +261,14 @@ mod tests {
         assert!(m.makespan_ns < s.makespan_ns, "M {} vs S {}", m.makespan_ns, s.makespan_ns);
         assert!(m.makespan_ns < c.makespan_ns, "M {} vs C {}", m.makespan_ns, c.makespan_ns);
         // And reads no more from disk.
-        assert!(
-            m.metrics.get(keys::DISK_READ_BYTES) <= c.metrics.get(keys::DISK_READ_BYTES)
-        );
+        assert!(m.metrics.get(keys::DISK_READ_BYTES) <= c.metrics.get(keys::DISK_READ_BYTES));
         // Same jobs converge to the same results across schemes (exact for
         // min-propagation jobs; PageRank agrees within fp tolerance).
         for (js, jm) in s.jobs.iter().zip(&m.jobs) {
             assert_eq!(js.name, jm.name);
             for (a, b) in js.values.iter().zip(&jm.values) {
                 let both_unreached = a.is_infinite() && b.is_infinite();
-                assert!(
-                    both_unreached || (a - b).abs() < 1e-9,
-                    "{}: {a} vs {b}",
-                    js.name
-                );
+                assert!(both_unreached || (a - b).abs() < 1e-9, "{}: {a} vs {b}", js.name);
             }
         }
     }

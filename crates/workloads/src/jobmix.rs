@@ -88,11 +88,9 @@ impl JobSpec {
                 self.damping,
                 self.max_iters,
             )),
-            AlgoKind::LabelProp => Box::new(LabelPropagation::new(
-                num_vertices,
-                self.root as u64,
-                self.max_iters,
-            )),
+            AlgoKind::LabelProp => {
+                Box::new(LabelPropagation::new(num_vertices, self.root as u64, self.max_iters))
+            }
         }
     }
 }

@@ -16,6 +16,6 @@ pub mod jobmix;
 pub mod trace;
 
 pub use arrivals::{immediate_arrivals, poisson_arrivals, HOUR_NS};
-pub use harness::{scaled_profile, Workbench};
+pub use harness::{scaled_profile, Workbench, WorkbenchBackend};
 pub use jobmix::{generate_mix, roots_within_hops, AlgoKind, JobSpec, MixConfig};
 pub use trace::{similarity_stats, weekly_concurrency, Trace, TRACE_HOURS};

@@ -45,9 +45,7 @@ impl Trace {
         let hourly_jobs = curve
             .iter()
             .enumerate()
-            .map(|(h, &n)| {
-                generate_mix(num_vertices, &MixConfig::paper(n, seed ^ (h as u64) << 8))
-            })
+            .map(|(h, &n)| generate_mix(num_vertices, &MixConfig::paper(n, seed ^ (h as u64) << 8)))
             .collect();
         Trace { hourly_jobs }
     }

@@ -46,9 +46,6 @@ fn main() {
         Box::new(Bfs::new(graph.num_vertices, 0)),
     ];
     let solo = wall::run_concurrent(jobs, &engine, 100);
-    println!(
-        "private streaming: {:.1} ms with {} per-job block loads",
-        solo.total_ms, solo.loads
-    );
+    println!("private streaming: {:.1} ms with {} per-job block loads", solo.total_ms, solo.loads);
     assert!(report.loads < solo.loads, "sharing must amortize loads");
 }

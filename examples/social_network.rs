@@ -16,8 +16,8 @@ fn main() {
     let wb = Workbench::dataset(DatasetId::LiveJ, 16, 4);
     println!(
         "social graph (livej-sim @ 1/16): {} vertices, {} edges",
-        wb.graph.num_vertices,
-        wb.graph.num_edges()
+        wb.num_vertices(),
+        wb.graph().num_edges()
     );
 
     // A stream of 12 jobs arriving at λ = 16 per (scaled) hour — the

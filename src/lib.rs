@@ -11,12 +11,14 @@
 //! * [`core`] — the GraphM storage system itself (chunking, sharing,
 //!   synchronization, snapshots, scheduling);
 //! * [`graph`] — graph formats, generators, and the dataset registry;
+//! * [`store`] — the disk-resident, mmap-backed partition store
+//!   (`Convert()` preprocessing + `DiskGridSource` / `DiskShardSource`);
 //! * [`cachesim`] — the simulated memory hierarchy behind the figures;
 //! * [`gridgraph`] / [`graphchi`] / [`distributed`] — the host engines;
 //! * [`algos`] — PageRank, WCC, BFS, SSSP and variants as GraphM jobs;
 //! * [`workloads`] — job mixes, arrival processes, traces, the workbench.
 //!
-//! ## Quickstart
+//! ## Quickstart (in memory)
 //!
 //! ```
 //! use graphm::prelude::*;
@@ -33,6 +35,33 @@
 //! assert!(shared.metrics.get(keys::DISK_READ_BYTES)
 //!     <= concurrent.metrics.get(keys::DISK_READ_BYTES));
 //! ```
+//!
+//! ## Quickstart (disk-resident store)
+//!
+//! GraphM is a *storage system*: the graph lives in secondary storage and
+//! is converted once into the engine's partition format. The disk path
+//! makes that real — `Convert` writes per-partition segment files plus a
+//! manifest, and the workbench streams them through an `mmap`-backed
+//! source with identical results to the in-memory path:
+//!
+//! ```
+//! use graphm::prelude::*;
+//!
+//! let graph = graphm::graph::generators::rmat(
+//!     1000, 8000, graphm::graph::generators::RmatParams::GRAPH500, 42);
+//! let dir = std::env::temp_dir().join(format!("graphm-doc-{}", std::process::id()));
+//!
+//! // Convert(): grid-partition and persist (segments + manifest.bin).
+//! Convert::grid(4).write(&graph, &dir).unwrap();
+//!
+//! // The structure now stays on disk; jobs stream mmap'd partitions.
+//! let wb = Workbench::from_disk(&dir, MemoryProfile::TEST).unwrap();
+//! let specs = wb.paper_mix(4, 7);
+//! let (_, concurrent, shared) = wb.run_all_schemes(&specs);
+//! assert!(shared.metrics.get(keys::DISK_READ_BYTES)
+//!     <= concurrent.metrics.get(keys::DISK_READ_BYTES));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
 
 pub use graphm_algos as algos;
 pub use graphm_cachesim as cachesim;
@@ -41,16 +70,18 @@ pub use graphm_distributed as distributed;
 pub use graphm_graph as graph;
 pub use graphm_graphchi as graphchi;
 pub use graphm_gridgraph as gridgraph;
+pub use graphm_store as store;
 pub use graphm_workloads as workloads;
 
 /// The names most programs need.
 pub mod prelude {
     pub use graphm_cachesim::{keys, Metrics};
     pub use graphm_core::{
-        GraphJob, GraphM, GraphMConfig, RunReport, RunnerConfig, Scheme, SchedulingPolicy,
-        SharingRuntime, Submission,
+        GraphJob, GraphM, GraphMConfig, PartitionSource, RunReport, RunnerConfig, SchedulingPolicy,
+        Scheme, SharingRuntime, Submission,
     };
     pub use graphm_graph::{DatasetId, EdgeList, MemoryProfile};
     pub use graphm_gridgraph::GridGraphEngine;
+    pub use graphm_store::{Convert, DiskGridSource, DiskShardSource};
     pub use graphm_workloads::{AlgoKind, JobSpec, MixConfig, Workbench};
 }

@@ -11,12 +11,7 @@ use graphm::prelude::*;
 use std::sync::Arc;
 
 fn graph() -> EdgeList {
-    graphm::graph::generators::rmat(
-        400,
-        3600,
-        graphm::graph::generators::RmatParams::GRAPH500,
-        123,
-    )
+    graphm::graph::generators::rmat(400, 3600, graphm::graph::generators::RmatParams::GRAPH500, 123)
 }
 
 #[test]
@@ -75,7 +70,12 @@ fn graphm_helps_every_single_machine_engine() {
     let (grid, _) = GridGraphEngine::convert(&g, 4);
     let gm = run_gridgraph(Scheme::Shared, mk(4), &grid, &cfg);
     let gc = run_gridgraph(Scheme::Concurrent, mk(4), &grid, &cfg);
-    assert!(gm.makespan_ns < gc.makespan_ns, "gridgraph: M {} C {}", gm.makespan_ns, gc.makespan_ns);
+    assert!(
+        gm.makespan_ns < gc.makespan_ns,
+        "gridgraph: M {} C {}",
+        gm.makespan_ns,
+        gc.makespan_ns
+    );
 
     let (chi, _) = GraphChiEngine::convert(&g, 4);
     let cm = run_graphchi(Scheme::Shared, mk(4), &chi, &cfg);

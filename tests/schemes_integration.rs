@@ -22,16 +22,14 @@ fn all_schemes_match_oracles_on_paper_mix() {
                 AlgoKind::PageRank => {
                     // PageRank may converge early; replay the oracle for
                     // exactly the iterations the job ran.
-                    reference::pagerank_ref(&wb.graph, spec.damping, job.iterations, 0.0)
+                    reference::pagerank_ref(wb.graph(), spec.damping, job.iterations, 0.0)
                 }
-                AlgoKind::Bfs => reference::bfs_ref(&wb.graph, spec.root)
-                    .iter()
-                    .map(|&l| l as f64)
-                    .collect(),
-                AlgoKind::Sssp => reference::sssp_ref(&wb.graph, spec.root)
-                    .iter()
-                    .map(|&d| d as f64)
-                    .collect(),
+                AlgoKind::Bfs => {
+                    reference::bfs_ref(wb.graph(), spec.root).iter().map(|&l| l as f64).collect()
+                }
+                AlgoKind::Sssp => {
+                    reference::sssp_ref(wb.graph(), spec.root).iter().map(|&d| d as f64).collect()
+                }
                 AlgoKind::Wcc => continue, // capped WCC has no closed oracle
                 _ => continue,
             };
@@ -88,8 +86,7 @@ fn scheduling_and_sync_overheads() {
     let specs = wb.paper_mix(8, 5);
     let arr = graphm::workloads::immediate_arrivals(specs.len());
     let with = wb.run_with(Scheme::Shared, &specs, &arr, &wb.runner_config());
-    let without =
-        wb.run_with(Scheme::Shared, &specs, &arr, &wb.runner_config_without_scheduling());
+    let without = wb.run_with(Scheme::Shared, &specs, &arr, &wb.runner_config_without_scheduling());
     assert!(
         with.makespan_ns <= without.makespan_ns * 1.05,
         "priority order must not make things worse: {} vs {}",
@@ -109,9 +106,9 @@ fn chunk_table_overhead_in_paper_band() {
     use graphm::gridgraph::GridSource;
     for id in DatasetId::ALL {
         let wb = Workbench::dataset(id, 64, 4);
-        let source = GridSource::new(wb.engine.grid());
+        let source = GridSource::new(wb.engine().grid());
         let gm = GraphM::init(&source, 8, GraphMConfig::new(wb.profile));
-        let ratio = gm.overhead_ratio(wb.graph.size_bytes());
+        let ratio = gm.overhead_ratio(wb.structure_bytes);
         assert!(
             ratio > 0.01 && ratio < 0.40,
             "{}: overhead ratio {ratio} outside plausible band",

@@ -1,0 +1,221 @@
+//! Minimal, dependency-free stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro over `arg in strategy` parameters, range and tuple
+//! strategies, `any::<bool>()`, `collection::vec` / `collection::btree_set`,
+//! and `prop_assert!` / `prop_assert_eq!`. Cases are generated from a
+//! deterministic per-test seed; there is no shrinking — a failing case
+//! panics with the regular assert message.
+
+/// Cases generated per property (real proptest defaults to 256; 64 keeps
+/// the heavier cache-simulator properties fast in CI).
+pub const NUM_CASES: usize = 64;
+
+pub mod test_runner {
+    use rand::{Rng, SeedableRng, StdRng};
+
+    /// Deterministic case generator.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        pub fn deterministic(seed: u64) -> TestRng {
+            TestRng { inner: StdRng::seed_from_u64(seed) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.random::<u64>()
+        }
+
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Strategy for "any value of T" (`any::<T>()`).
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<u32> {
+        type Value = u32;
+        fn generate(&self, rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s with *up to* `size` elements
+    /// (collisions deduplicate, as in real proptest).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`NUM_CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                // Per-test deterministic seed from the test name.
+                let mut _seed = 0xcbf29ce484222325u64;
+                for b in stringify!($name).bytes() {
+                    _seed = (_seed ^ b as u64).wrapping_mul(0x100000001b3);
+                }
+                let mut _rng = $crate::test_runner::TestRng::deterministic(_seed);
+                for _case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut _rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds and tuples compose.
+        #[test]
+        fn ranges_and_tuples(x in 3u32..10, pair in (0usize..4, any::<bool>())) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(pair.0 < 4);
+        }
+
+        #[test]
+        fn collections_respect_size(v in crate::collection::vec(0u64..5, 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the API surface the workspace uses: `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::random`, and `Rng::random_range`.
+//! The generator is xoshiro256** seeded through SplitMix64 — deterministic
+//! across platforms, which is all the workloads and generators require.
+
+pub mod rngs {
+    /// The standard deterministic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Construction from seeds (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng::from_u64(seed)
+    }
+}
+
+/// Types samplable uniformly over their "standard" domain (`[0, 1)` for
+/// floats, the full domain for integers and bool).
+pub trait StandardSample: Sized {
+    fn sample_standard(bits: u64) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard(bits: u64) -> f64 {
+        // 53 high bits -> [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard(bits: u64) -> f32 {
+        ((bits >> 40) as u32) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard(bits: u64) -> u64 {
+        bits
+    }
+}
+
+/// Half-open ranges samplable by an `Rng` (subset of
+/// `rand::distr::uniform::SampleRange`).
+pub trait SampleRange {
+    type Output;
+    fn sample_from(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); the slight
+                // modulo bias of the simple fallback is irrelevant here.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize, i64);
+
+/// Object-safe generator core.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+/// The user-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore + Sized {
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self.next_u64())
+    }
+
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+            let f: f32 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.random_range(5u32..17);
+            assert!((5..17).contains(&v));
+            let v = r.random_range(0usize..3);
+            assert!(v < 3);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Minimal, dependency-free stand-in for `rayon`.
+//!
+//! Exposes the `prelude` entry points the workspace uses
+//! (`into_par_iter`, `flat_map_iter`) as sequential iterator adapters, so
+//! call sites keep rayon's shape and can switch to the real crate when the
+//! build environment gains network access.
+
+pub mod prelude {
+    /// `IntoParallelIterator`, sequentially: yields the ordinary iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// The subset of `ParallelIterator` adapters used by the workspace,
+    /// as sequential equivalents.
+    pub trait ParallelIterator: Iterator + Sized {
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_equivalents() {
+        let v: Vec<usize> =
+            (0..4usize).into_par_iter().flat_map_iter(|i| vec![i, i * 10]).collect();
+        assert_eq!(v, vec![0, 0, 1, 10, 2, 20, 3, 30]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! The real serde defines `Serialize` abstractly over serializers; this
+//! workspace only ever serializes to JSON, so the trait lives in the
+//! vendored `serde_json` and is re-exported here. Types implement it by
+//! hand (the derive macro is not vendored).
+
+pub use serde_json::Serialize;

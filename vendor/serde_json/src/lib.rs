@@ -1,0 +1,276 @@
+//! Minimal, dependency-free stand-in for `serde_json`.
+//!
+//! Implements the surface the workspace uses: [`Value`], [`Map`], the
+//! [`json!`] macro for flat literals, [`to_string`] / [`to_string_pretty`],
+//! and a [`Serialize`] trait (re-exported through the vendored `serde`
+//! crate) that types implement by hand instead of deriving.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object storage. serde_json's `Map` preserves insertion order by default;
+/// a BTreeMap's sorted order is deterministic too, which is what the bench
+/// JSON records actually need.
+pub type Map<K = String, V = Value> = BTreeMap<K, V>;
+
+/// A parsed/constructed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    fn write_escaped(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write_number(v: f64, out: &mut String) {
+        if v.is_finite() {
+            if v == v.trunc() && v.abs() < 1e15 {
+                out.push_str(&format!("{}", v as i64));
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+        } else {
+            // JSON has no Inf/NaN; serde_json refuses them, we emit null.
+            out.push_str("null");
+        }
+    }
+
+    fn write(&self, out: &mut String, pretty: bool, depth: usize) {
+        let pad = |out: &mut String, d: usize| {
+            if pretty {
+                out.push('\n');
+                for _ in 0..d {
+                    out.push_str("  ");
+                }
+            }
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(v) => Self::write_number(*v, out),
+            Value::String(s) => Self::write_escaped(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                        if pretty {
+                            // newline added by pad below
+                        }
+                    }
+                    pad(out, depth + 1);
+                    item.write(out, pretty, depth + 1);
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    Self::write_escaped(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, pretty, depth + 1);
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    fn render(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        self.write(&mut out, pretty, 0);
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(false))
+    }
+}
+
+macro_rules! impl_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(v as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+/// Types serializable to a JSON [`Value`]. The real serde derives this;
+/// here the handful of implementing types write it by hand.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect())
+    }
+}
+
+/// Serialization error. The vendored implementation is infallible, but the
+/// real crate's `Result` shape is kept so call sites stay source-compatible.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact serialization.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render(false))
+}
+
+/// Pretty (2-space indented) serialization.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().render(true))
+}
+
+/// Builds a [`Value`] from a flat literal: `json!(expr)`,
+/// `json!({ "k": expr, ... })`, or `json!([expr, ...])`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($k:tt : $v:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($k.to_string(), $crate::Value::from($v)); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($v:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::Value::from($v)),* ])
+    };
+    ($v:expr) => { $crate::Value::from($v) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_object_literal() {
+        let rows = vec![json!(1.0), json!("two")];
+        let v = json!({ "a": 1.5, "b": "x", "rows": rows });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":1.5,"b":"x","rows":[1,"two"]}"#);
+    }
+
+    #[test]
+    fn pretty_nests() {
+        let v = json!({ "k": 3usize });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\n  \"k\": 3"));
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(to_string(&json!(3.0)).unwrap(), "3");
+        assert_eq!(to_string(&json!(3.25)).unwrap(), "3.25");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(to_string(&json!("a\"b\n")).unwrap(), r#""a\"b\n""#);
+    }
+}
