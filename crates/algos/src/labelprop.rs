@@ -1,6 +1,6 @@
 //! Label propagation — the second concurrent-workload family the paper's
 //! introduction cites at Facebook (Boldi et al.'s layered label
-//! propagation [8]).
+//! propagation, the paper's reference \[8\]).
 //!
 //! This streaming variant is *min-hash* label propagation: vertices start
 //! with pseudo-random labels (a hash of their id with a per-job salt) and

@@ -15,7 +15,7 @@
 //! | [`PersonalizedPageRank`] | dense, seed-specific state | 1.0 |
 //! | [`LabelPropagation`] | salted frontiers | 0.9 |
 //!
-//! [`reference`] holds the sequential oracles the integration tests
+//! [`mod@reference`] holds the sequential oracles the integration tests
 //! compare every scheme against.
 
 pub mod bfs;

@@ -1,0 +1,104 @@
+//! Daemon serving throughput: N concurrent client connections submitting
+//! the paper mix against one `graphm-server` over a disk-resident store.
+//!
+//! The in-process figure harnesses measure *virtual* time; this binary
+//! measures the serving path itself — wall-clock jobs/sec through the
+//! socket, plus the storage-sharing evidence (total partition loads vs
+//! what per-job loading would have cost).
+//!
+//! Knobs: `GRAPHM_SCALE` (dataset divisor), `GRAPHM_JOBS` (total jobs),
+//! `GRAPHM_CLIENTS` (concurrent connections), `GRAPHM_SEED`.
+
+use graphm_server::{Client, Server, ServerConfig};
+use serde_json::json;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn main() {
+    graphm_bench::banner(
+        "server-throughput",
+        "concurrent socket clients vs one shared-store daemon (wall clock)",
+    );
+    let id = graphm_graph::DatasetId::LiveJ;
+    let wb = graphm_bench::workbench(id);
+    let clients = graphm_bench::env_usize("GRAPHM_CLIENTS", 8).max(1);
+    let total_jobs = graphm_bench::jobs().max(clients);
+    let specs = wb.paper_mix(total_jobs, graphm_bench::seed());
+
+    let dir = std::env::temp_dir().join(format!("graphm-server-bench-{}", std::process::id()));
+    let manifest = graphm_store::Convert::grid(graphm_bench::GRID_P)
+        .write(wb.graph(), &dir)
+        .expect("convert to disk");
+
+    let mut config = ServerConfig::new(&dir);
+    config.socket_path = Some(dir.join("graphm.sock"));
+    config.profile = wb.profile;
+    config.batch_window = Duration::from_millis(50);
+    let server = Server::start(config).expect("server starts");
+    let socket = server.socket_path().unwrap().to_path_buf();
+    eprintln!(
+        "[daemon] {} partitions, {} clients x {} jobs",
+        manifest.partitions.len(),
+        clients,
+        total_jobs.div_ceil(clients)
+    );
+
+    // Shard the mix across client connections; every client submits its
+    // slice, then waits for all of its reports.
+    let barrier = Arc::new(Barrier::new(clients));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let socket = socket.clone();
+        let barrier = Arc::clone(&barrier);
+        let slice: Vec<_> = specs.iter().copied().skip(c).step_by(clients).collect();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect_unix(&socket).expect("connect");
+            barrier.wait();
+            let ids: Vec<_> = slice.iter().map(|s| client.submit(s).expect("submit")).collect();
+            ids.into_iter().map(|id| client.wait(id).expect("wait")).count()
+        }));
+    }
+    let completed: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    let jobs_per_sec = completed as f64 / wall_s.max(1e-9);
+    let per_job_loads = stats.jobs_completed * stats.num_partitions;
+    graphm_bench::header(&[
+        "clients",
+        "jobs",
+        "wall_s",
+        "jobs_per_s",
+        "loads",
+        "loads_1pass_per_job",
+    ]);
+    graphm_bench::row(&[
+        clients.to_string(),
+        completed.to_string(),
+        format!("{wall_s:.3}"),
+        format!("{jobs_per_sec:.2}"),
+        stats.partition_loads.to_string(),
+        per_job_loads.to_string(),
+    ]);
+    println!(
+        "\n(loads = shared (sweep, partition) loads across all rounds; \
+         loads_1pass_per_job = what one unshared pass per job would cost)"
+    );
+    graphm_bench::save_json(
+        "server_throughput",
+        &json!({
+            "dataset": id.name(),
+            "clients": clients,
+            "jobs": completed,
+            "wall_s": wall_s,
+            "jobs_per_sec": jobs_per_sec,
+            "partition_loads": stats.partition_loads,
+            "one_pass_per_job_loads": per_job_loads,
+            "rounds": stats.rounds,
+            "virtual_ns": stats.virtual_ns,
+        }),
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

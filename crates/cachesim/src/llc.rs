@@ -26,7 +26,8 @@ impl LlcConfig {
         (self.capacity_bytes / (self.ways * self.line_bytes)).max(1)
     }
 
-    /// Scaled default matching [`graphm_graph::MemoryProfile::DEFAULT`]:
+    /// Scaled default matching `graphm_graph::MemoryProfile::DEFAULT`
+    /// (not linkable from here — cachesim sits below the graph crate):
     /// 2 MB, 8-way, 64-byte lines.
     pub const DEFAULT: LlcConfig = LlcConfig { capacity_bytes: 2 << 20, ways: 8, line_bytes: 64 };
 }

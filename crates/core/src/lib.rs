@@ -21,7 +21,9 @@
 //! * [`profile`] — the profiling/syncing phases, Formulas 2–4 (§3.4.2);
 //! * [`scheduler`] — the loading-order strategy, Formula 5 (§4);
 //! * [`exec`] / [`runner`] — deterministic replay of the S/C/M execution
-//!   schemes through the simulated memory hierarchy (§5).
+//!   schemes through the simulated memory hierarchy (§5);
+//! * [`service`] — the Shared scheme as a long-lived, incremental-arrival
+//!   runtime loop (what the `graphm-server` daemon drives).
 
 pub mod chunk;
 pub mod exec;
@@ -31,6 +33,7 @@ pub mod job;
 pub mod profile;
 pub mod runner;
 pub mod scheduler;
+pub mod service;
 pub mod sharing;
 pub mod snapshot;
 pub mod source;
@@ -43,6 +46,7 @@ pub use job::{EdgeOutcome, GraphJob, JobHandle, JobId};
 pub use profile::{ProfileSample, Profiler};
 pub use runner::{run_scheme, JobReport, RunReport, RunnerConfig, Scheme, Submission};
 pub use scheduler::{loading_order, priority, SchedulingPolicy};
+pub use service::{JobPhase, SharingService};
 pub use sharing::{SharedPartition, SharingRuntime};
 pub use snapshot::{SnapshotStore, Version};
 pub use source::{PartitionSource, VecSource};

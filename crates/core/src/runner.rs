@@ -19,11 +19,8 @@
 //! sequential) and globally for `-C`/`-M` (jobs overlap).
 
 use crate::exec::{StreamContext, StreamRun};
-use crate::global_table::GlobalTable;
-use crate::graphm::{GraphM, GraphMConfig};
 use crate::job::{GraphJob, JobId};
-use crate::profile::{ProfileSample, Profiler};
-use crate::scheduler::{loading_order, SchedulingPolicy};
+use crate::scheduler::SchedulingPolicy;
 use crate::source::PartitionSource;
 use graphm_cachesim::{keys, Metrics, VirtualClock};
 use graphm_graph::{MemoryProfile, EDGE_BYTES};
@@ -200,10 +197,10 @@ pub fn run_scheme(
 
 const KIND_STATE: u64 = 1 << 56;
 const KIND_SHARED_GRAPH: u64 = 2 << 56;
-const KIND_META: u64 = 4 << 56;
+pub(crate) const KIND_META: u64 = 4 << 56;
 const KIND_STREAM_BUF: u64 = 5 << 56;
 
-fn state_region(job: JobId) -> u64 {
+pub(crate) fn state_region(job: JobId) -> u64 {
     KIND_STATE | job as u64
 }
 
@@ -214,7 +211,7 @@ fn state_region(job: JobId) -> u64 {
 /// once"). What `-C` does NOT share is *timing*: uncoordinated traversal
 /// phases drag different partitions through the LLC at once, which is the
 /// interference GraphM's regularized streaming removes.
-fn shared_graph_region(pid: usize) -> u64 {
+pub(crate) fn shared_graph_region(pid: usize) -> u64 {
     KIND_SHARED_GRAPH | pid as u64
 }
 
@@ -226,16 +223,16 @@ fn stream_buf_region(job: JobId) -> u64 {
 
 /// Stable synthetic addresses per region (reloads land at the same place,
 /// like a re-established mmap of the same file).
-struct AddrMap {
+pub(crate) struct AddrMap {
     map: HashMap<u64, u64>,
 }
 
 impl AddrMap {
-    fn new() -> AddrMap {
+    pub(crate) fn new() -> AddrMap {
         AddrMap { map: HashMap::new() }
     }
 
-    fn addr_of(&mut self, ctx: &StreamContext, region: u64, bytes: usize) -> u64 {
+    pub(crate) fn addr_of(&mut self, ctx: &StreamContext, region: u64, bytes: usize) -> u64 {
         *self.map.entry(region).or_insert_with(|| ctx.addr.alloc(bytes))
     }
 }
@@ -244,23 +241,23 @@ impl AddrMap {
 // Shared bookkeeping.
 // ---------------------------------------------------------------------------
 
-struct JobState {
-    id: JobId,
-    job: Box<dyn GraphJob>,
-    submit_ns: f64,
-    state_addr: u64,
-    state_bytes: usize,
-    clock: VirtualClock,
-    instructions: u64,
-    edges_processed: u64,
-    iterations_guard: usize,
-    admitted: bool,
-    finished: bool,
-    finish_ns: f64,
+pub(crate) struct JobState {
+    pub(crate) id: JobId,
+    pub(crate) job: Box<dyn GraphJob>,
+    pub(crate) submit_ns: f64,
+    pub(crate) state_addr: u64,
+    pub(crate) state_bytes: usize,
+    pub(crate) clock: VirtualClock,
+    pub(crate) instructions: u64,
+    pub(crate) edges_processed: u64,
+    pub(crate) iterations_guard: usize,
+    pub(crate) admitted: bool,
+    pub(crate) finished: bool,
+    pub(crate) finish_ns: f64,
 }
 
 impl JobState {
-    fn new(id: JobId, sub: Submission, num_vertices: u32) -> JobState {
+    pub(crate) fn new(id: JobId, sub: Submission, num_vertices: u32) -> JobState {
         let state_bytes = num_vertices as usize * sub.job.state_bytes_per_vertex();
         JobState {
             id,
@@ -278,7 +275,7 @@ impl JobState {
         }
     }
 
-    fn absorb(&mut self, run: &StreamRun) {
+    pub(crate) fn absorb(&mut self, run: &StreamRun) {
         self.clock.merge(&run.clock);
         self.instructions += run.instructions;
         self.edges_processed += run.edges_processed;
@@ -288,7 +285,7 @@ impl JobState {
         self.clock.compute_ns + self.clock.mem_access_ns
     }
 
-    fn into_report(self) -> JobReport {
+    pub(crate) fn into_report(self) -> JobReport {
         JobReport {
             id: self.id,
             name: self.job.name().to_string(),
@@ -566,7 +563,7 @@ fn run_concurrent(
 
 /// Measures the average per-edge data-access time `T(E)` by replaying the
 /// first non-empty partition's record stream through a scratch LLC.
-fn calibrate_te(cfg: &RunnerConfig, source: &dyn PartitionSource) -> Option<f64> {
+pub(crate) fn calibrate_te(cfg: &RunnerConfig, source: &dyn PartitionSource) -> Option<f64> {
     use graphm_cachesim::{CostParams, Llc, LlcConfig};
     let pid = (0..source.num_partitions()).find(|&p| source.partition_bytes(p) > 0)?;
     let edges = source.load(pid);
@@ -591,217 +588,14 @@ fn run_shared(
     source: &dyn PartitionSource,
     cfg: &RunnerConfig,
 ) -> RunReport {
-    let mut ctx = StreamContext::new(cfg.profile);
-    let mut addrs = AddrMap::new();
-    let n = source.num_vertices();
     let state_bytes_per_vertex =
         subs.iter().map(|s| s.job.state_bytes_per_vertex()).max().unwrap_or(8);
-
-    let mut gm_cfg = GraphMConfig::new(cfg.profile);
-    gm_cfg.policy = cfg.policy;
-    gm_cfg.chunk_bytes_override = cfg.chunk_bytes_override;
-    gm_cfg.fine_sync = cfg.fine_sync;
-    gm_cfg.out_of_core = cfg.out_of_core;
-    let gm = GraphM::init(source, state_bytes_per_vertex, gm_cfg);
-
-    // The chunk tables live in memory for the whole run (Figure 11: part of
-    // GraphM's extra footprint over scheme S). Built during Init(), not
-    // read from disk.
-    ctx.mem.reserve(KIND_META | 1, gm.overhead_bytes(), true);
-
-    let global = GlobalTable::new(source.num_partitions());
-    let mut profiler = Profiler::new();
-    // Calibrate T(E) once per graph (§3.4.2: "T(E) is a constant for the
-    // same graph and only needs to be profiled once for different jobs"):
-    // stream one partition through a scratch cache with no compute attached
-    // and average the per-edge access cost. Without this, jobs that never
-    // skip edges (PageRank-style) produce collinear Formula-2 samples.
-    if let Some(te) = calibrate_te(cfg, source) {
-        profiler.set_te(te);
+    let mut svc = crate::service::SharingService::new(source, *cfg, state_bytes_per_vertex);
+    for sub in subs {
+        svc.enqueue(sub);
     }
-    let mut jobs: Vec<JobState> =
-        subs.into_iter().enumerate().map(|(id, s)| JobState::new(id, s, n)).collect();
-
-    let mut sync_total = 0.0f64;
-    // Disk and CPU overlap across the whole run (as in the Concurrent
-    // scheme's accumulation): the makespan is max(io, cpu) + sync.
-    let mut io_acc = 0.0f64;
-    let mut cpu_acc = 0.0f64;
-    let mut vnow = 0.0f64;
-    let mut partition_loads = 0u64;
-    // Prediction-quality accounting for the profiling phase (Formula 3):
-    let mut pred_abs_err = 0.0f64;
-    let mut pred_samples = 0u64;
-
-    loop {
-        // Admissions.
-        for js in jobs.iter_mut() {
-            if !js.admitted && js.submit_ns <= vnow {
-                js.admitted = true;
-                js.state_addr = addrs.addr_of(&ctx, state_region(js.id), js.state_bytes);
-                ctx.mem.touch_dirty(state_region(js.id), js.state_bytes, true);
-                let pids: Vec<usize> = source
-                    .order()
-                    .into_iter()
-                    .filter(|&pid| gm.partition_active(pid, js.job.active()))
-                    .collect();
-                global.set_active_partitions(js.id, &pids);
-            }
-        }
-        let alive: Vec<usize> = jobs
-            .iter()
-            .enumerate()
-            .filter(|(_, j)| j.admitted && !j.finished)
-            .map(|(i, _)| i)
-            .collect();
-        if alive.is_empty() {
-            match jobs
-                .iter()
-                .filter(|j| !j.admitted)
-                .map(|j| j.submit_ns)
-                .min_by(|a, b| a.partial_cmp(b).unwrap())
-            {
-                Some(next) => {
-                    vnow = vnow.max(next);
-                    continue;
-                }
-                None => break,
-            }
-        }
-
-        // One sweep = one iteration for every live job, partitions loaded
-        // in the §4 priority order. The sweep's elapsed time is assembled
-        // from its own I/O and CPU totals below.
-        let mut sweep_io = 0.0f64;
-        let mut sweep_cpu = 0.0f64;
-        let mut sweep_sync = 0.0f64;
-        let order = loading_order(&global, cfg.policy);
-        for pid in &order {
-            let pid = *pid;
-            let needing: Vec<usize> = alive
-                .iter()
-                .copied()
-                .filter(|&i| global.jobs_for(pid).contains(&jobs[i].id))
-                .collect();
-            if needing.is_empty() {
-                continue;
-            }
-            let edges = source.load(pid);
-            let bytes = source.partition_bytes(pid);
-            let disk = ctx.touch_buffer(shared_graph_region(pid), bytes, false);
-            sweep_io += disk;
-            partition_loads += 1;
-            // Amortize the one shared load across its consumers (Figure 10
-            // attribution; the makespan already counts it once).
-            let share = disk / needing.len() as f64;
-            for &i in &needing {
-                jobs[i].clock.disk_ns += share;
-            }
-            let base = addrs.addr_of(&ctx, shared_graph_region(pid), bytes);
-
-            // Per-(job, partition) Formula-2 accumulators.
-            let mut acc: HashMap<JobId, (f64, f64, f64)> = HashMap::new();
-            if cfg.fine_sync {
-                for (ci, chunk) in gm.tables[pid].chunks.iter().enumerate() {
-                    // Rotate the round-robin start so no job always pays
-                    // the cold first touch (§3.2: "the jobs are triggered
-                    // to handle the loaded data in a round-robin way").
-                    for k in 0..needing.len() {
-                        let i = needing[(k + ci) % needing.len()];
-                        let js = &mut jobs[i];
-                        if js.job.skips_inactive() && !chunk.any_active(js.job.active()) {
-                            continue;
-                        }
-                        // Syncing-phase prediction (Formula 3) vs measurement.
-                        let predicted = profiler.chunk_load(js.id, chunk, js.job.active());
-                        let run = ctx.stream_edges_for_job(
-                            js.job.as_mut(),
-                            &edges[chunk.edges.clone()],
-                            base + (chunk.edges.start * EDGE_BYTES) as u64,
-                            js.state_addr,
-                        );
-                        if let Some(p) = predicted {
-                            pred_abs_err += (p - run.clock.compute_ns).abs();
-                            pred_samples += 1;
-                        }
-                        sweep_cpu += run.clock.compute_ns + run.clock.mem_access_ns;
-                        js.absorb(&run);
-                        let e = acc.entry(js.id).or_insert((0.0, 0.0, 0.0));
-                        e.0 += run.edges_processed as f64;
-                        e.1 += run.edges_streamed as f64;
-                        e.2 += run.clock.compute_ns + run.clock.mem_access_ns;
-                        // Chunk barrier bookkeeping.
-                        js.clock.sync_ns += ctx.cost.sync_event_ns;
-                        sweep_sync += ctx.cost.sync_event_ns;
-                    }
-                }
-            } else {
-                // Ablation: memory-level sharing only; each job streams the
-                // whole partition independently (no LLC-level regularity).
-                for &i in &needing {
-                    let js = &mut jobs[i];
-                    let run =
-                        ctx.stream_edges_for_job(js.job.as_mut(), &edges, base, js.state_addr);
-                    sweep_cpu += run.clock.compute_ns + run.clock.mem_access_ns;
-                    js.absorb(&run);
-                    let e = acc.entry(js.id).or_insert((0.0, 0.0, 0.0));
-                    e.0 += run.edges_processed as f64;
-                    e.1 += run.edges_streamed as f64;
-                    e.2 += run.clock.compute_ns + run.clock.mem_access_ns;
-                }
-            }
-            // Profiling phase: feed Formula 2 with this partition's totals.
-            for (&job_id, &(a, b, t)) in &acc {
-                profiler
-                    .observe(job_id, ProfileSample { active_edges: a, total_edges: b, time_ns: t });
-            }
-            // Global-table maintenance cost.
-            sweep_sync += ctx.cost.schedule_event_ns * needing.len() as f64;
-        }
-
-        // End of sweep: fold this sweep's work into the run accumulators.
-        let eff = cfg.effective_parallelism(alive.len());
-        io_acc += sweep_io;
-        cpu_acc += sweep_cpu / eff;
-        sync_total += sweep_sync;
-        vnow = vnow.max(io_acc.max(cpu_acc + sync_total));
-        for &i in &alive {
-            let js = &mut jobs[i];
-            js.iterations_guard += 1;
-            let converged = js.job.end_iteration() || js.iterations_guard >= cfg.max_iterations;
-            if converged {
-                js.finished = true;
-                js.finish_ns = vnow;
-                ctx.mem.release(state_region(js.id));
-                global.remove_job(js.id);
-                profiler.retire(js.id);
-            } else {
-                let pids: Vec<usize> = source
-                    .order()
-                    .into_iter()
-                    .filter(|&pid| gm.partition_active(pid, js.job.active()))
-                    .collect();
-                if pids.is_empty() {
-                    js.finished = true;
-                    js.finish_ns = vnow;
-                    ctx.mem.release(state_region(js.id));
-                    global.remove_job(js.id);
-                    profiler.retire(js.id);
-                } else {
-                    global.set_active_partitions(js.id, &pids);
-                }
-            }
-        }
-    }
-
-    let mut report = finish_report(Scheme::Shared, &ctx, jobs, vnow, partition_loads, sync_total);
-    report.metrics.set("chunk_bytes", gm.chunk_bytes as f64);
-    report.metrics.set("chunk_table_bytes", gm.overhead_bytes() as f64);
-    report.metrics.set("preprocess_ns", gm.preprocess_ns);
-    if pred_samples > 0 {
-        report.metrics.set("profile_mae_ns", pred_abs_err / pred_samples as f64);
-    }
-    report
+    svc.run_until_idle();
+    svc.into_run_report()
 }
 
 #[cfg(test)]

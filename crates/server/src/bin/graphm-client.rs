@@ -1,0 +1,150 @@
+//! `graphm-client` — command-line client for `graphm-server`.
+//!
+//! ```text
+//! graphm-client (--socket PATH | --tcp ADDR) COMMAND
+//!
+//! commands:
+//!   submit ALGO [--damping X] [--root N] [--max-iters N] [--wait]
+//!   status JOB_ID
+//!   wait JOB_ID
+//!   stats
+//!   ping
+//!   shutdown
+//! ```
+//!
+//! `submit` prints `{"job_id":N}` (or, with `--wait`, the full report
+//! JSON); `wait` prints the report; `stats` prints the daemon counters.
+
+use graphm_server::protocol::{report_to_json, spec_from_json};
+use graphm_server::Client;
+use serde_json::json;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graphm-client (--socket PATH | --tcp ADDR) COMMAND\n\
+         \n\
+         commands:\n\
+         submit ALGO [--damping X] [--root N] [--max-iters N] [--wait]\n\
+         \x20       ALGO: pagerank|wcc|bfs|sssp|ppr|labelprop\n\
+         status JOB_ID\n\
+         wait JOB_ID\n\
+         stats\n\
+         ping\n\
+         shutdown"
+    );
+    exit(2);
+}
+
+fn connect(socket: Option<String>, tcp: Option<String>) -> Client {
+    let result = match (&socket, &tcp) {
+        (Some(path), None) => Client::connect_unix(std::path::Path::new(path)),
+        (None, Some(addr)) => Client::connect_tcp(addr.as_str()),
+        _ => usage(),
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("failed to connect: {e}");
+        exit(1);
+    })
+}
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("{e}");
+    exit(1);
+}
+
+fn main() {
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(args.next().unwrap_or_else(|| usage())),
+            "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => {
+                rest.push(arg);
+                rest.extend(args);
+                break;
+            }
+        }
+    }
+    if rest.is_empty() {
+        usage();
+    }
+
+    let mut client = connect(socket, tcp);
+    let job_id_arg = |rest: &[String]| -> usize {
+        rest.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+    };
+    match rest[0].as_str() {
+        "ping" => {
+            client.ping().unwrap_or_else(|e| fail(e));
+            println!("{}", json!({ "pong": true }));
+        }
+        "stats" => {
+            let stats = client.stats().unwrap_or_else(|e| fail(e));
+            println!("{}", stats.to_json());
+        }
+        "shutdown" => {
+            client.shutdown_server().unwrap_or_else(|e| fail(e));
+            println!("{}", json!({ "shutting_down": true }));
+        }
+        "status" => {
+            let state = client.status(job_id_arg(&rest)).unwrap_or_else(|e| fail(e));
+            println!("{}", json!({ "state": state.name() }));
+        }
+        "wait" => {
+            let report = client.wait(job_id_arg(&rest)).unwrap_or_else(|e| fail(e));
+            println!("{}", report_to_json(&report));
+        }
+        "submit" => {
+            let algo = rest.get(1).unwrap_or_else(|| usage()).clone();
+            let mut params = json!({ "algo": algo });
+            let serde_json::Value::Object(map) = &mut params else { unreachable!() };
+            let mut wait = false;
+            let mut it = rest[2..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next().map(|s| s.as_str()).unwrap_or_else(|| {
+                        eprintln!("{name} needs a value");
+                        usage()
+                    })
+                };
+                match flag.as_str() {
+                    "--damping" => {
+                        let d: f64 = value("--damping").parse().unwrap_or_else(|_| usage());
+                        map.insert("damping".into(), serde_json::Value::Number(d));
+                    }
+                    "--root" => {
+                        let r: u64 = value("--root").parse().unwrap_or_else(|_| usage());
+                        map.insert("root".into(), serde_json::Value::from(r));
+                    }
+                    "--max-iters" => {
+                        let m: u64 = value("--max-iters").parse().unwrap_or_else(|_| usage());
+                        map.insert("max_iters".into(), serde_json::Value::from(m));
+                    }
+                    "--wait" => wait = true,
+                    other => {
+                        eprintln!("unknown flag: {other}");
+                        usage();
+                    }
+                }
+            }
+            let spec = spec_from_json(&params).unwrap_or_else(|e| fail(e));
+            let id = client.submit(&spec).unwrap_or_else(|e| fail(e));
+            if wait {
+                let report = client.wait(id).unwrap_or_else(|e| fail(e));
+                println!("{}", report_to_json(&report));
+            } else {
+                println!("{}", json!({ "job_id": id }));
+            }
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! `graphm-server` — the multi-tenant graph-job daemon.
+//!
+//! Opens one disk-resident grid store and serves job submissions over a
+//! unix-domain socket and/or TCP until a client sends `shutdown` (or the
+//! process is killed).
+//!
+//! ```text
+//! graphm-server --store DIR [--socket PATH] [--tcp ADDR]
+//!               [--batch-window-ms N] [--profile default|test]
+//! ```
+
+use graphm_server::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graphm-server --store DIR [--socket PATH] [--tcp ADDR] \
+         [--batch-window-ms N] [--profile default|test]\n\
+         \n\
+         --store DIR          grid store written by graphm-convert (required)\n\
+         --socket PATH        unix-domain socket to listen on\n\
+         --tcp ADDR           tcp address to listen on, e.g. 127.0.0.1:7421\n\
+         --batch-window-ms N  idle-round batching window (default 20)\n\
+         --profile NAME       simulated memory profile (default|test)\n\
+         \n\
+         at least one of --socket / --tcp is required"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut store: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut tcp: Option<String> = None;
+    let mut window_ms: u64 = 20;
+    let mut profile = graphm_graph::MemoryProfile::DEFAULT;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--store" => store = Some(PathBuf::from(value("--store"))),
+            "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--tcp" => tcp = Some(value("--tcp")),
+            "--batch-window-ms" => {
+                window_ms = value("--batch-window-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--profile" => {
+                profile = match value("--profile").as_str() {
+                    "default" => graphm_graph::MemoryProfile::DEFAULT,
+                    "test" => graphm_graph::MemoryProfile::TEST,
+                    other => {
+                        eprintln!("unknown profile {other:?}");
+                        usage();
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let Some(store) = store else { usage() };
+    if socket.is_none() && tcp.is_none() {
+        usage();
+    }
+
+    let mut config = ServerConfig::new(store);
+    config.socket_path = socket;
+    config.tcp_addr = tcp;
+    config.batch_window = Duration::from_millis(window_ms);
+    config.profile = profile;
+
+    let server = Server::start(config).unwrap_or_else(|e| {
+        eprintln!("failed to start: {e}");
+        exit(1);
+    });
+    if let Some(path) = server.socket_path() {
+        eprintln!("[graphm-server] listening on unix socket {}", path.display());
+    }
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("[graphm-server] listening on tcp {addr}");
+    }
+    let stats = server.stats();
+    eprintln!(
+        "[graphm-server] serving {} partitions over {} vertices; submit with graphm-client",
+        stats.num_partitions, stats.num_vertices
+    );
+    // Park until a client requests shutdown; queued jobs drain first.
+    server.join();
+    eprintln!("[graphm-server] shut down");
+}

@@ -1,0 +1,141 @@
+//! Blocking client for the `graphm-server` line protocol.
+//!
+//! One [`Client`] wraps one connection (unix-domain or TCP) and issues
+//! requests synchronously; open several clients for concurrent
+//! submissions (the daemon handles each connection on its own thread).
+
+use crate::protocol::{report_from_json, request_to_json, JobState, Request, ServerStats};
+use graphm_core::{JobId, JobReport};
+use graphm_workloads::JobSpec;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or server hangup).
+    Io(std::io::Error),
+    /// The server answered `{"ok":false,...}` with this message.
+    Server(String),
+    /// The server answered something this client cannot decode.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a daemon.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Client {
+    /// Connects over a unix-domain socket.
+    pub fn connect_unix(path: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let read = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(Box::new(read)), writer: Box::new(stream) })
+    }
+
+    /// Connects over TCP (e.g. `"127.0.0.1:7421"`).
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let read = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(Box::new(read)), writer: Box::new(stream) })
+    }
+
+    /// One request/response round trip.
+    fn request(&mut self, req: &Request) -> Result<Value, ClientError> {
+        let line =
+            serde_json::to_string(&request_to_json(req)).expect("serialization is infallible");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let v = serde_json::from_str(response.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("bad response json: {e}")))?;
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => Err(ClientError::Server(
+                v.get("error").and_then(Value::as_str).unwrap_or("unspecified").to_string(),
+            )),
+            None => Err(ClientError::Protocol("response missing \"ok\"".to_string())),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Ping).map(|_| ())
+    }
+
+    /// Submits a job; returns its daemon-assigned id immediately.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<JobId, ClientError> {
+        let v = self.request(&Request::Submit(*spec))?;
+        v.get("job_id")
+            .and_then(Value::as_u64)
+            .map(|id| id as JobId)
+            .ok_or_else(|| ClientError::Protocol("submit ack missing job_id".to_string()))
+    }
+
+    /// Non-blocking lifecycle query.
+    pub fn status(&mut self, id: JobId) -> Result<JobState, ClientError> {
+        let v = self.request(&Request::Status(id))?;
+        v.get("state")
+            .and_then(Value::as_str)
+            .and_then(JobState::from_name)
+            .ok_or_else(|| ClientError::Protocol("status missing state".to_string()))
+    }
+
+    /// Blocks until job `id` finishes; returns its full report.
+    pub fn wait(&mut self, id: JobId) -> Result<JobReport, ClientError> {
+        let v = self.request(&Request::Wait(id))?;
+        let report = v
+            .get("report")
+            .ok_or_else(|| ClientError::Protocol("wait response missing report".to_string()))?;
+        report_from_json(report).map_err(ClientError::Protocol)
+    }
+
+    /// Submits and waits in one call.
+    pub fn run(&mut self, spec: &JobSpec) -> Result<JobReport, ClientError> {
+        let id = self.submit(spec)?;
+        self.wait(id)
+    }
+
+    /// Daemon-wide counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        let v = self.request(&Request::Stats)?;
+        let stats =
+            v.get("stats").ok_or_else(|| ClientError::Protocol("missing stats".to_string()))?;
+        ServerStats::from_json(stats).map_err(ClientError::Protocol)
+    }
+
+    /// Asks the daemon to shut down (queued jobs still drain).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}

@@ -1,0 +1,590 @@
+//! The daemon: listeners, the submission queue, and the runtime thread.
+//!
+//! Dataflow (one box per thread):
+//!
+//! ```text
+//!  unix accept loop ─┐                         ┌─> conn handler ─┐
+//!  tcp  accept loop ─┴─> one thread per conn ──┤   parse line    │
+//!                                              └─> respond <─────┘
+//!          conn handlers push (job_id, job) ──> submission queue
+//!                                                     │ drain (batched)
+//!                                                     v
+//!          runtime thread: SharingService over one shared DiskGridSource
+//!            - drains arrivals before every step (mid-round joiners
+//!              enter at the next sweep boundary),
+//!            - publishes JobReports + wakes `wait`ers as jobs finish.
+//! ```
+//!
+//! One `SharingService` lives for the whole daemon: `Init()` preprocessing
+//! and `T(E)` calibration happen once at startup, then every socket-
+//! submitted job shares partition passes with whatever else is in flight —
+//! the paper's concurrency story with real clients instead of an arrival
+//! script.
+//!
+//! Batching: when the runtime is idle, the first arrival starts a round
+//! only after [`ServerConfig::batch_window`] elapses, so a concurrent
+//! burst of submissions lands in one admission and shares from the first
+//! sweep. Jobs arriving mid-round join at the next sweep boundary.
+
+use crate::protocol::{
+    error_response, parse_request, report_to_json, JobState, Request, ServerStats,
+};
+use graphm_core::{GraphJob, JobId, JobReport, PartitionSource, RunnerConfig, SharingService};
+use graphm_graph::{GraphError, MemoryProfile, Result};
+use graphm_store::DiskGridSource;
+use graphm_workloads::JobSpec;
+use serde_json::{json, Value};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a daemon is configured.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Directory holding a grid store written by `graphm-convert` /
+    /// `Convert::grid`. Opened read-only through the shared-mapping
+    /// registry; the daemon never writes it (single-writer/multi-reader —
+    /// see `docs/ARCHITECTURE.md`).
+    pub store_dir: PathBuf,
+    /// Unix-domain socket to listen on (removed and re-created at bind).
+    pub socket_path: Option<PathBuf>,
+    /// TCP address to listen on, e.g. `"127.0.0.1:7421"` (port 0 picks a
+    /// free port; read it back with [`Server::tcp_addr`]).
+    pub tcp_addr: Option<String>,
+    /// Simulated memory hierarchy for the runtime (the same profile a
+    /// `Workbench` would use; out-of-core is derived from the store size
+    /// exactly like `Workbench::runner_config`).
+    pub profile: MemoryProfile,
+    /// Idle-round batching window: how long the runtime waits after the
+    /// first arrival of a fresh round before draining, so a concurrent
+    /// burst shares from sweep one.
+    pub batch_window: Duration,
+    /// Formula-1 `U_v` used for chunk sizing (8 covers every shipped
+    /// algorithm; see `SharingService::new`).
+    pub state_bytes_per_vertex: usize,
+    /// How many finished reports to retain for `wait`/`status` (each
+    /// holds an `O(num_vertices)` values vector, so unbounded retention
+    /// would grow a long-lived daemon without limit). Oldest finished
+    /// jobs are evicted past this cap; waiting on an evicted id reports
+    /// an unknown job.
+    pub max_done_reports: usize,
+}
+
+impl ServerConfig {
+    /// Defaults over `store_dir`: no listeners yet (set at least one),
+    /// `MemoryProfile::DEFAULT`, a 20 ms batch window, 8-byte `U_v`.
+    pub fn new(store_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            store_dir: store_dir.into(),
+            socket_path: None,
+            tcp_addr: None,
+            profile: MemoryProfile::DEFAULT,
+            batch_window: Duration::from_millis(20),
+            state_bytes_per_vertex: 8,
+            max_done_reports: 1024,
+        }
+    }
+}
+
+/// Daemon-side job lifecycle entry.
+enum JobEntry {
+    Queued,
+    Running,
+    Done(Arc<JobReport>),
+}
+
+/// Submission queue: ids are assigned here, in push order, and the single
+/// runtime thread drains in FIFO order — which is what keeps daemon ids
+/// equal to `SharingService` ids.
+struct Queue {
+    next_id: JobId,
+    pending: VecDeque<(JobId, Box<dyn GraphJob>)>,
+}
+
+/// Job lifecycle table with bounded retention of finished reports.
+struct JobsTable {
+    entries: HashMap<JobId, JobEntry>,
+    /// Finished ids, oldest first, for eviction past `retain`.
+    done_order: VecDeque<JobId>,
+    retain: usize,
+}
+
+impl JobsTable {
+    /// Marks `id` done and evicts the oldest finished entries past the
+    /// retention cap (in-flight responders keep their `Arc` alive).
+    fn finish(&mut self, report: JobReport) {
+        let id = report.id;
+        self.entries.insert(id, JobEntry::Done(Arc::new(report)));
+        self.done_order.push_back(id);
+        while self.done_order.len() > self.retain.max(1) {
+            if let Some(old) = self.done_order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+    }
+}
+
+/// State shared between listeners, connection handlers, and the runtime.
+///
+/// Lock order: `queue` before `jobs` before `stats`; never the reverse.
+struct Shared {
+    queue: Mutex<Queue>,
+    queue_cv: Condvar,
+    jobs: Mutex<JobsTable>,
+    done_cv: Condvar,
+    stats: Mutex<ServerStats>,
+    shutdown: AtomicBool,
+    /// Set (under the `jobs` lock) when the runtime thread exits, so
+    /// `wait`ers can fail cleanly instead of blocking on a job that will
+    /// never be drained.
+    runtime_exited: AtomicBool,
+    num_vertices: u32,
+    out_degrees: Arc<Vec<u32>>,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+}
+
+/// A running daemon. Dropping it (or calling [`Server::shutdown`]) stops
+/// the listeners, drains the queue, and joins the runtime thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    socket_path: Option<PathBuf>,
+    tcp_addr: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Opens the store, starts the runtime thread and the configured
+    /// listeners, and returns once all are accepting.
+    pub fn start(config: ServerConfig) -> Result<Server> {
+        if config.socket_path.is_none() && config.tcp_addr.is_none() {
+            return Err(GraphError::Format(
+                "server config needs a unix socket path or a tcp address".to_string(),
+            ));
+        }
+        let source = DiskGridSource::open_shared(&config.store_dir)?;
+        let out_degrees = Arc::new(source.out_degrees());
+        let num_vertices = PartitionSource::num_vertices(source.as_ref());
+        let num_partitions = source.num_partitions() as u64;
+        let graph_bytes = PartitionSource::graph_bytes(source.as_ref());
+
+        // Same derivation as Workbench::runner_config, so socket-submitted
+        // jobs replay identically to in-process runs over the same store.
+        let mut runner_cfg = RunnerConfig::new(config.profile);
+        runner_cfg.out_of_core = graph_bytes > config.profile.memory_bytes;
+
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue { next_id: 0, pending: VecDeque::new() }),
+            queue_cv: Condvar::new(),
+            jobs: Mutex::new(JobsTable {
+                entries: HashMap::new(),
+                done_order: VecDeque::new(),
+                retain: config.max_done_reports,
+            }),
+            done_cv: Condvar::new(),
+            stats: Mutex::new(ServerStats {
+                num_partitions,
+                num_vertices: num_vertices as u64,
+                ..ServerStats::default()
+            }),
+            shutdown: AtomicBool::new(false),
+            runtime_exited: AtomicBool::new(false),
+            num_vertices,
+            out_degrees,
+        });
+
+        // Bind every listener *before* spawning any thread: a bind
+        // failure must return cleanly, not leak a parked runtime thread
+        // (which would also pin the shared store mapping).
+        let unix = match &config.socket_path {
+            Some(path) => {
+                // A stale socket file from a dead daemon would fail the
+                // bind; a *live* daemon's socket is taken over the same
+                // way, so point two daemons at distinct paths.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Some((listener, path.clone()))
+            }
+            None => None,
+        };
+        let tcp = match &config.tcp_addr {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                listener.set_nonblocking(true)?;
+                let local = listener.local_addr()?;
+                Some((listener, local))
+            }
+            None => None,
+        };
+
+        // From here on, an error must tear down what already started.
+        let mut threads: Vec<JoinHandle<()>> = Vec::new();
+        let socket_path = unix.as_ref().map(|(_, path)| path.clone());
+        let abort = |threads: &mut Vec<JoinHandle<()>>, e: std::io::Error| {
+            shared.request_shutdown();
+            for t in threads.drain(..) {
+                let _ = t.join();
+            }
+            if let Some(path) = &socket_path {
+                let _ = std::fs::remove_file(path);
+            }
+            GraphError::Io(e)
+        };
+        {
+            let shared = Arc::clone(&shared);
+            let window = config.batch_window;
+            let sbpv = config.state_bytes_per_vertex.max(1);
+            let spawned = std::thread::Builder::new()
+                .name("graphm-runtime".to_string())
+                .spawn(move || runtime_loop(&shared, source.as_ref(), runner_cfg, sbpv, window))
+                .map_err(|e| abort(&mut threads, e));
+            threads.push(spawned?);
+        }
+        if let Some((listener, _)) = unix {
+            let shared_for_loop = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name("graphm-accept-unix".to_string())
+                .spawn(move || accept_loop(listener_unix(listener), &shared_for_loop))
+                .map_err(|e| abort(&mut threads, e));
+            threads.push(spawned?);
+        }
+        let tcp_addr = match tcp {
+            Some((listener, local)) => {
+                let shared_for_loop = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("graphm-accept-tcp".to_string())
+                    .spawn(move || accept_loop(listener_tcp(listener), &shared_for_loop))
+                    .map_err(|e| abort(&mut threads, e));
+                threads.push(spawned?);
+                Some(local)
+            }
+            None => None,
+        };
+
+        Ok(Server { shared, threads, socket_path, tcp_addr })
+    }
+
+    /// The unix socket the daemon listens on, if configured.
+    pub fn socket_path(&self) -> Option<&Path> {
+        self.socket_path.as_deref()
+    }
+
+    /// The TCP address the daemon listens on, if configured (with the
+    /// real port when the config asked for port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Current daemon-wide counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.shared.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether a shutdown has been requested (via this handle or a
+    /// client's `shutdown` command).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the daemon's threads exit (after a `shutdown` request
+    /// from any client or [`Server::shutdown`] from another thread).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    /// Requests shutdown and joins all daemon threads. Queued jobs still
+    /// run to completion; connections waiting on them are answered first.
+    pub fn shutdown(mut self) {
+        self.shared.request_shutdown();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.request_shutdown();
+        self.join_threads();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime thread.
+// ---------------------------------------------------------------------------
+
+fn runtime_loop(
+    shared: &Shared,
+    source: &dyn PartitionSource,
+    cfg: RunnerConfig,
+    state_bytes_per_vertex: usize,
+    batch_window: Duration,
+) {
+    let mut svc = SharingService::new(source, cfg, state_bytes_per_vertex);
+    {
+        let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.chunk_bytes = svc.chunk_bytes() as u64;
+    }
+    loop {
+        // Idle: wait for the first arrival of the next round (or shutdown).
+        {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while q.pending.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            if q.pending.is_empty() {
+                break; // Shutdown with an empty queue.
+            }
+        }
+        // Let the concurrent burst land in one admission.
+        if !batch_window.is_zero() {
+            std::thread::sleep(batch_window);
+        }
+        {
+            // Counted at round start so it is stable by the time any job
+            // of this round reports done.
+            let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+            stats.rounds += 1;
+        }
+        // Round: drain arrivals before every step so mid-round submitters
+        // join at the next sweep boundary; publish finishers as they come.
+        loop {
+            let drained: Vec<(JobId, Box<dyn GraphJob>)> = {
+                let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                q.pending.drain(..).collect()
+            };
+            if !drained.is_empty() {
+                let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+                for (id, job) in drained {
+                    let sid = svc.submit(job);
+                    assert_eq!(sid, id, "queue order must match service ids");
+                    jobs.entries.insert(id, JobEntry::Running);
+                }
+            }
+            let more = svc.step();
+            publish_finished(shared, &mut svc);
+            if !more {
+                break;
+            }
+        }
+    }
+    // Publish the exit under the jobs lock so a waiter's check-then-wait
+    // cannot race past it, then wake every waiter for its final check.
+    let jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    shared.runtime_exited.store(true, Ordering::SeqCst);
+    drop(jobs);
+    shared.done_cv.notify_all();
+}
+
+fn publish_finished(shared: &Shared, svc: &mut SharingService<'_>) {
+    let finished = svc.take_finished();
+    {
+        let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.partition_loads = svc.partition_loads();
+        stats.virtual_ns = svc.now_ns();
+        stats.jobs_completed += finished.len() as u64;
+    }
+    if finished.is_empty() {
+        return;
+    }
+    let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    for report in finished {
+        jobs.finish(report);
+    }
+    drop(jobs);
+    shared.done_cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Listeners and connection handlers.
+// ---------------------------------------------------------------------------
+
+/// A connection split into transferable read/write halves.
+type ConnPair = (Box<dyn Read + Send>, Box<dyn Write + Send>);
+
+/// A polling accept function: `Ok(Some)` on connection, `Ok(None)` when
+/// none is pending (nonblocking), `Err` on listener failure.
+type Acceptor = Box<dyn FnMut() -> std::io::Result<Option<ConnPair>> + Send>;
+
+fn listener_unix(listener: UnixListener) -> Acceptor {
+    Box::new(move || match listener.accept() {
+        Ok((stream, _)) => Ok(Some(split_unix(stream)?)),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) => Err(e),
+    })
+}
+
+fn listener_tcp(listener: TcpListener) -> Acceptor {
+    Box::new(move || match listener.accept() {
+        Ok((stream, _)) => Ok(Some(split_tcp(stream)?)),
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) => Err(e),
+    })
+}
+
+fn split_unix(s: UnixStream) -> std::io::Result<ConnPair> {
+    s.set_nonblocking(false)?;
+    let r = s.try_clone()?;
+    Ok((Box::new(r), Box::new(s)))
+}
+
+fn split_tcp(s: TcpStream) -> std::io::Result<ConnPair> {
+    s.set_nonblocking(false)?;
+    let r = s.try_clone()?;
+    Ok((Box::new(r), Box::new(s)))
+}
+
+fn accept_loop(mut accept: Acceptor, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match accept() {
+            Ok(Some((read, write))) => {
+                let shared = Arc::clone(shared);
+                // Handlers are detached: they exit at client EOF, on
+                // transport errors, or when shutdown wakes their waits.
+                let _ = std::thread::Builder::new()
+                    .name("graphm-conn".to_string())
+                    .spawn(move || serve_connection(read, write, &shared));
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+            Err(_) => break,
+        }
+    }
+}
+
+fn write_line(w: &mut dyn Write, v: &Value) -> std::io::Result<()> {
+    let line = serde_json::to_string(v).expect("serialization is infallible");
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+fn serve_connection(read: Box<dyn Read + Send>, mut write: Box<dyn Write + Send>, shared: &Shared) {
+    let reader = BufReader::new(read);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Err(msg) => error_response(&msg),
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let resp = respond(req, shared);
+                let _ = write_line(write.as_mut(), &resp);
+                if is_shutdown {
+                    return;
+                }
+                continue;
+            }
+        };
+        if write_line(write.as_mut(), &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(req: Request, shared: &Shared) -> Value {
+    match req {
+        Request::Ping => json!({ "ok": true, "pong": true }),
+        Request::Stats => {
+            let stats = *shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+            json!({ "ok": true, "stats": stats.to_json() })
+        }
+        Request::Shutdown => {
+            shared.request_shutdown();
+            json!({ "ok": true, "shutting_down": true })
+        }
+        Request::Submit(spec) => submit(spec, shared),
+        Request::Status(id) => match job_state(shared, id) {
+            Some(state) => json!({ "ok": true, "job_id": id, "state": state.name() }),
+            None => error_response(&format!("unknown job {id}")),
+        },
+        Request::Wait(id) => wait_for(shared, id),
+    }
+}
+
+fn submit(spec: JobSpec, shared: &Shared) -> Value {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return error_response("server is shutting down");
+    }
+    if spec.root >= shared.num_vertices {
+        return error_response(&format!(
+            "root {} out of range (store has {} vertices)",
+            spec.root, shared.num_vertices
+        ));
+    }
+    let job = spec.instantiate(shared.num_vertices, &shared.out_degrees);
+    let id = {
+        // Lock order queue -> jobs (see `Shared`); the entry must exist
+        // before the runtime can drain the submission and mark it Running.
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let id = q.next_id;
+        q.next_id += 1;
+        shared.jobs.lock().unwrap_or_else(|e| e.into_inner()).entries.insert(id, JobEntry::Queued);
+        q.pending.push_back((id, job));
+        id
+    };
+    shared.queue_cv.notify_all();
+    let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    stats.jobs_submitted += 1;
+    drop(stats);
+    json!({ "ok": true, "job_id": id })
+}
+
+fn job_state(shared: &Shared, id: JobId) -> Option<JobState> {
+    let jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    Some(match jobs.entries.get(&id)? {
+        JobEntry::Queued => JobState::Queued,
+        JobEntry::Running => JobState::Running,
+        JobEntry::Done(_) => JobState::Done,
+    })
+}
+
+fn wait_for(shared: &Shared, id: JobId) -> Value {
+    let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        match jobs.entries.get(&id) {
+            None => return error_response(&format!("unknown job {id}")),
+            Some(JobEntry::Done(report)) => {
+                let report = Arc::clone(report);
+                drop(jobs);
+                return json!({
+                    "ok": true,
+                    "job_id": id,
+                    "state": JobState::Done.name(),
+                    "report": report_to_json(&report),
+                });
+            }
+            Some(_) => {
+                // The runtime drains queued jobs before exiting on
+                // shutdown, so normally this wait ends in Done; the exit
+                // flag covers the race where a submission slips in after
+                // the runtime's final queue check.
+                if shared.runtime_exited.load(Ordering::SeqCst) {
+                    return error_response("server shut down before the job finished");
+                }
+                jobs = shared.done_cv.wait(jobs).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # graphm-server — a multi-tenant graph-job daemon over one shared store
+//!
+//! The paper's whole point is amortizing one storage pass across
+//! *concurrent* jobs; this crate turns that from an in-process arrival
+//! script into a service. A long-lived daemon opens one mmap'd disk store
+//! ([`graphm_store::DiskGridSource`], through the shared-mapping
+//! registry), listens on a unix-domain socket and/or TCP, and feeds
+//! client submissions into one [`graphm_core::SharingService`] — so jobs
+//! submitted by independent clients share partition loads, LLC residency,
+//! and the §4 loading order exactly like the in-process Shared scheme.
+//!
+//! * [`protocol`] — the newline-delimited JSON wire format (requests,
+//!   reports with bit-exact `f64` round-trips, stats);
+//! * [`daemon`] — [`Server`]: listeners, the submission queue, and the
+//!   batched-round runtime thread;
+//! * [`client`] — [`Client`]: a blocking connection wrapper.
+//!
+//! Binaries: `graphm-server` (the daemon) and `graphm-client` (submit /
+//! status / wait / stats / shutdown from the command line); convert a
+//! graph for serving with `graphm-convert` (in `graphm-store`).
+//!
+//! ## In-process quickstart
+//!
+//! ```
+//! use graphm_server::{Client, Server, ServerConfig};
+//! use graphm_workloads::{AlgoKind, JobSpec};
+//!
+//! // A store to serve (normally written once by `graphm-convert`).
+//! let graph = graphm_graph::generators::rmat(
+//!     500, 4000, graphm_graph::generators::RmatParams::GRAPH500, 7);
+//! let dir = std::env::temp_dir().join(format!("graphm-server-doc-{}", std::process::id()));
+//! graphm_store::Convert::grid(4).write(&graph, &dir).unwrap();
+//!
+//! // Daemon on a unix socket; TEST profile keeps the doctest fast.
+//! let mut config = ServerConfig::new(&dir);
+//! config.socket_path = Some(dir.join("graphm.sock"));
+//! config.profile = graphm_graph::MemoryProfile::TEST;
+//! let server = Server::start(config).unwrap();
+//!
+//! // Any number of clients; here one submits PageRank and waits.
+//! let mut client = Client::connect_unix(server.socket_path().unwrap()).unwrap();
+//! let spec = JobSpec { kind: AlgoKind::PageRank, damping: 0.85, root: 0, max_iters: 10 };
+//! let report = client.run(&spec).unwrap();
+//! assert_eq!(report.name, "PageRank");
+//! assert_eq!(report.values.len(), 500);
+//!
+//! server.shutdown();
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+
+pub use client::{Client, ClientError};
+pub use daemon::{Server, ServerConfig};
+pub use protocol::{JobState, Request, ServerStats};

@@ -1,0 +1,452 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, over a unix-domain or TCP
+//! stream. Requests are objects with a `cmd` member:
+//!
+//! | request | response |
+//! |---------|----------|
+//! | `{"cmd":"ping"}` | `{"ok":true,"pong":true}` |
+//! | `{"cmd":"submit","algo":"pagerank","damping":0.85,"root":0,"max_iters":30}` | `{"ok":true,"job_id":N}` |
+//! | `{"cmd":"status","job_id":N}` | `{"ok":true,"job_id":N,"state":"queued"\|"running"\|"done"}` |
+//! | `{"cmd":"wait","job_id":N}` | `{"ok":true,"job_id":N,"state":"done","report":{...}}` |
+//! | `{"cmd":"stats"}` | `{"ok":true,"stats":{...}}` |
+//! | `{"cmd":"shutdown"}` | `{"ok":true,"shutting_down":true}` |
+//!
+//! Failures answer `{"ok":false,"error":"..."}` and keep the connection
+//! open; only `shutdown`, EOF, or a transport error end it.
+//!
+//! ## Exactness
+//!
+//! A serialized [`JobReport`] decodes back to the *same bits*: numbers use
+//! Rust's shortest-round-trip formatting, and the one thing JSON cannot
+//! carry — non-finite vertex values (BFS/SSSP report unreached vertices as
+//! `+inf`) — is encoded as the strings `"inf"` / `"-inf"` / `"nan"`
+//! (NaN decodes to the canonical `f64::NAN`; no shipped algorithm emits
+//! NaN). This is what lets the end-to-end test demand bit-identical
+//! reports between socket-submitted and in-process jobs.
+
+use graphm_cachesim::VirtualClock;
+use graphm_core::{JobId, JobReport};
+use graphm_workloads::{AlgoKind, JobSpec};
+use serde_json::{json, Value};
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Liveness / banner check.
+    Ping,
+    /// Submit a job; answered with its id immediately (the job runs in a
+    /// later sharing round).
+    Submit(JobSpec),
+    /// Non-blocking lifecycle query.
+    Status(JobId),
+    /// Block until the job finishes; answered with its report.
+    Wait(JobId),
+    /// Daemon-wide counters.
+    Stats,
+    /// Stop accepting work and exit once the queue drains.
+    Shutdown,
+}
+
+/// Lifecycle of a submitted job, as reported by `status`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for its sharing round.
+    Queued,
+    /// Participating in sweeps.
+    Running,
+    /// Finished; report available via `wait`.
+    Done,
+}
+
+impl JobState {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            _ => None,
+        }
+    }
+}
+
+/// Daemon-wide counters returned by `stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServerStats {
+    /// Jobs accepted over the daemon's lifetime.
+    pub jobs_submitted: u64,
+    /// Jobs finished (reports published).
+    pub jobs_completed: u64,
+    /// Sharing rounds the runtime thread has completed.
+    pub rounds: u64,
+    /// Shared partition loads performed by the runtime — one per
+    /// `(sweep, partition)` with interested jobs, *not* one per job. The
+    /// gap to `jobs × partitions × iterations` is the sharing win.
+    pub partition_loads: u64,
+    /// Partitions in the served store.
+    pub num_partitions: u64,
+    /// Vertices in the served store.
+    pub num_vertices: u64,
+    /// Formula-1 chunk size the service preprocessed with.
+    pub chunk_bytes: u64,
+    /// Current virtual time of the runtime's clock.
+    pub virtual_ns: f64,
+}
+
+impl ServerStats {
+    /// Serializes to the `stats` response payload.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "rounds": self.rounds,
+            "partition_loads": self.partition_loads,
+            "num_partitions": self.num_partitions,
+            "num_vertices": self.num_vertices,
+            "chunk_bytes": self.chunk_bytes,
+            "virtual_ns": self.virtual_ns,
+        })
+    }
+
+    /// Decodes a `stats` response payload.
+    pub fn from_json(v: &Value) -> Result<ServerStats, String> {
+        let u = |k: &str| {
+            v.get(k).and_then(Value::as_u64).ok_or_else(|| format!("stats missing u64 {k:?}"))
+        };
+        Ok(ServerStats {
+            jobs_submitted: u("jobs_submitted")?,
+            jobs_completed: u("jobs_completed")?,
+            rounds: u("rounds")?,
+            partition_loads: u("partition_loads")?,
+            num_partitions: u("num_partitions")?,
+            num_vertices: u("num_vertices")?,
+            chunk_bytes: u("chunk_bytes")?,
+            virtual_ns: v
+                .get("virtual_ns")
+                .and_then(Value::as_f64)
+                .ok_or("stats missing virtual_ns")?,
+        })
+    }
+}
+
+/// Wire name of an algorithm family (lowercase).
+pub fn algo_name(kind: AlgoKind) -> &'static str {
+    match kind {
+        AlgoKind::Wcc => "wcc",
+        AlgoKind::PageRank => "pagerank",
+        AlgoKind::Sssp => "sssp",
+        AlgoKind::Bfs => "bfs",
+        AlgoKind::Ppr => "ppr",
+        AlgoKind::LabelProp => "labelprop",
+    }
+}
+
+/// Parses a wire algorithm name.
+pub fn algo_from_name(name: &str) -> Option<AlgoKind> {
+    match name {
+        "wcc" => Some(AlgoKind::Wcc),
+        "pagerank" => Some(AlgoKind::PageRank),
+        "sssp" => Some(AlgoKind::Sssp),
+        "bfs" => Some(AlgoKind::Bfs),
+        "ppr" => Some(AlgoKind::Ppr),
+        "labelprop" => Some(AlgoKind::LabelProp),
+        _ => None,
+    }
+}
+
+/// Encodes one `f64` for the wire: finite values as JSON numbers
+/// (shortest-round-trip, hence bit-exact), non-finite as marker strings.
+pub fn f64_to_wire(v: f64) -> Value {
+    if v.is_finite() {
+        Value::Number(v)
+    } else if v.is_nan() {
+        Value::String("nan".to_string())
+    } else if v > 0.0 {
+        Value::String("inf".to_string())
+    } else {
+        Value::String("-inf".to_string())
+    }
+}
+
+/// Decodes [`f64_to_wire`]'s encoding.
+pub fn f64_from_wire(v: &Value) -> Result<f64, String> {
+    match v {
+        Value::Number(n) => Ok(*n),
+        Value::String(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            other => Err(format!("not a wire float: {other:?}")),
+        },
+        other => Err(format!("not a wire float: {other}")),
+    }
+}
+
+/// Serializes a job spec into `submit` parameters.
+pub fn spec_to_json(spec: &JobSpec) -> Value {
+    json!({
+        "algo": algo_name(spec.kind),
+        "damping": spec.damping,
+        "root": spec.root,
+        "max_iters": spec.max_iters,
+    })
+}
+
+/// Decodes `submit` parameters into a spec. Only `algo` is required;
+/// `damping` defaults to 0.85, `root` to 0, `max_iters` to 30.
+pub fn spec_from_json(v: &Value) -> Result<JobSpec, String> {
+    let algo = v.get("algo").and_then(Value::as_str).ok_or("submit needs an \"algo\" string")?;
+    let kind = algo_from_name(algo).ok_or_else(|| format!("unknown algo {algo:?}"))?;
+    let damping = match v.get("damping") {
+        None => 0.85,
+        Some(d) => d.as_f64().ok_or("damping must be a number")?,
+    };
+    if !(0.0..=1.0).contains(&damping) {
+        return Err(format!("damping {damping} outside [0, 1]"));
+    }
+    let root = match v.get("root") {
+        None => 0,
+        Some(r) => r.as_u64().ok_or("root must be a non-negative integer")?,
+    };
+    let root = u32::try_from(root).map_err(|_| format!("root {root} exceeds u32"))?;
+    let max_iters = match v.get("max_iters") {
+        None => 30,
+        Some(m) => m.as_u64().ok_or("max_iters must be a non-negative integer")? as usize,
+    };
+    if max_iters == 0 {
+        return Err("max_iters must be at least 1".to_string());
+    }
+    Ok(JobSpec { kind, damping, root, max_iters })
+}
+
+/// Serializes a finished job's full report.
+pub fn report_to_json(r: &JobReport) -> Value {
+    json!({
+        "job_id": r.id,
+        "name": r.name.as_str(),
+        "iterations": r.iterations,
+        "instructions": r.instructions,
+        "edges_processed": r.edges_processed,
+        "submit_ns": r.submit_ns,
+        "finish_ns": r.finish_ns,
+        "clock": json!({
+            "compute_ns": r.clock.compute_ns,
+            "mem_access_ns": r.clock.mem_access_ns,
+            "disk_ns": r.clock.disk_ns,
+            "sync_ns": r.clock.sync_ns,
+        }),
+        "values": Value::Array(r.values.iter().map(|&v| f64_to_wire(v)).collect()),
+    })
+}
+
+/// Decodes [`report_to_json`]'s encoding back into a [`JobReport`].
+pub fn report_from_json(v: &Value) -> Result<JobReport, String> {
+    let f = |k: &str| {
+        v.get(k).and_then(Value::as_f64).ok_or_else(|| format!("report missing number {k:?}"))
+    };
+    let u = |k: &str| {
+        v.get(k).and_then(Value::as_u64).ok_or_else(|| format!("report missing u64 {k:?}"))
+    };
+    let clock = v.get("clock").ok_or("report missing clock")?;
+    let c = |k: &str| {
+        clock.get(k).and_then(Value::as_f64).ok_or_else(|| format!("clock missing {k:?}"))
+    };
+    let values = v
+        .get("values")
+        .and_then(Value::as_array)
+        .ok_or("report missing values array")?
+        .iter()
+        .map(f64_from_wire)
+        .collect::<Result<Vec<f64>, String>>()?;
+    Ok(JobReport {
+        id: u("job_id")? as JobId,
+        name: v.get("name").and_then(Value::as_str).ok_or("report missing name")?.to_string(),
+        iterations: u("iterations")? as usize,
+        clock: VirtualClock {
+            compute_ns: c("compute_ns")?,
+            mem_access_ns: c("mem_access_ns")?,
+            disk_ns: c("disk_ns")?,
+            sync_ns: c("sync_ns")?,
+        },
+        instructions: u("instructions")?,
+        edges_processed: u("edges_processed")?,
+        submit_ns: f("submit_ns")?,
+        finish_ns: f("finish_ns")?,
+        values,
+    })
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = serde_json::from_str(line).map_err(|e| format!("bad json: {e}"))?;
+    let cmd = v.get("cmd").and_then(Value::as_str).ok_or("request needs a \"cmd\" string")?;
+    let job_id = || {
+        v.get("job_id")
+            .and_then(Value::as_u64)
+            .map(|id| id as JobId)
+            .ok_or_else(|| format!("{cmd} needs a \"job_id\""))
+    };
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "submit" => Ok(Request::Submit(spec_from_json(&v)?)),
+        "status" => Ok(Request::Status(job_id()?)),
+        "wait" => Ok(Request::Wait(job_id()?)),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown cmd {other:?}")),
+    }
+}
+
+/// Serializes a request (the client side of [`parse_request`]).
+pub fn request_to_json(req: &Request) -> Value {
+    match req {
+        Request::Ping => json!({ "cmd": "ping" }),
+        Request::Submit(spec) => {
+            let mut v = spec_to_json(spec);
+            if let Value::Object(map) = &mut v {
+                map.insert("cmd".to_string(), Value::String("submit".to_string()));
+            }
+            v
+        }
+        Request::Status(id) => json!({ "cmd": "status", "job_id": *id }),
+        Request::Wait(id) => json!({ "cmd": "wait", "job_id": *id }),
+        Request::Stats => json!({ "cmd": "stats" }),
+        Request::Shutdown => json!({ "cmd": "shutdown" }),
+    }
+}
+
+/// An `{"ok":false,...}` error response.
+pub fn error_response(msg: &str) -> Value {
+    json!({ "ok": false, "error": msg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        for (line, expect) in [
+            (r#"{"cmd":"ping"}"#, "Ping"),
+            (r#"{"cmd":"stats"}"#, "Stats"),
+            (r#"{"cmd":"shutdown"}"#, "Shutdown"),
+            (r#"{"cmd":"status","job_id":3}"#, "Status(3)"),
+            (r#"{"cmd":"wait","job_id":0}"#, "Wait(0)"),
+        ] {
+            let req = parse_request(line).unwrap();
+            assert_eq!(format!("{req:?}"), expect);
+            // Client encoding parses back to the same request.
+            let re = parse_request(&serde_json::to_string(&request_to_json(&req)).unwrap());
+            assert_eq!(format!("{:?}", re.unwrap()), expect);
+        }
+    }
+
+    #[test]
+    fn submit_spec_round_trips_with_defaults() {
+        let req = parse_request(r#"{"cmd":"submit","algo":"pagerank","damping":0.5}"#).unwrap();
+        let Request::Submit(spec) = req else { panic!("not a submit") };
+        assert_eq!(spec.kind, AlgoKind::PageRank);
+        assert_eq!(spec.damping, 0.5);
+        assert_eq!(spec.root, 0);
+        assert_eq!(spec.max_iters, 30);
+
+        let spec2 = JobSpec { kind: AlgoKind::Sssp, damping: 0.2, root: 77, max_iters: 9 };
+        let back = spec_from_json(&spec_to_json(&spec2)).unwrap();
+        assert_eq!(back.kind, spec2.kind);
+        assert_eq!(back.damping.to_bits(), spec2.damping.to_bits());
+        assert_eq!(back.root, spec2.root);
+        assert_eq!(back.max_iters, spec2.max_iters);
+    }
+
+    #[test]
+    fn submit_rejects_bad_parameters() {
+        for line in [
+            r#"{"cmd":"submit"}"#,
+            r#"{"cmd":"submit","algo":"quicksort"}"#,
+            r#"{"cmd":"submit","algo":"pagerank","damping":1.5}"#,
+            r#"{"cmd":"submit","algo":"bfs","root":-1}"#,
+            r#"{"cmd":"submit","algo":"bfs","root":4294967296}"#,
+            r#"{"cmd":"submit","algo":"wcc","max_iters":0}"#,
+            r#"{"cmd":"nope"}"#,
+            r#"not json"#,
+        ] {
+            assert!(parse_request(line).is_err(), "accepted {line}");
+        }
+    }
+
+    #[test]
+    fn all_algo_names_round_trip() {
+        for kind in [
+            AlgoKind::Wcc,
+            AlgoKind::PageRank,
+            AlgoKind::Sssp,
+            AlgoKind::Bfs,
+            AlgoKind::Ppr,
+            AlgoKind::LabelProp,
+        ] {
+            assert_eq!(algo_from_name(algo_name(kind)), Some(kind));
+        }
+        assert_eq!(algo_from_name("dijkstra"), None);
+    }
+
+    #[test]
+    fn report_round_trips_bit_exactly() {
+        let report = JobReport {
+            id: 5,
+            name: "SSSP".to_string(),
+            iterations: 12,
+            clock: VirtualClock {
+                compute_ns: 1.0 / 3.0,
+                mem_access_ns: 0.1 + 0.2,
+                disk_ns: 1e9,
+                sync_ns: 0.0,
+            },
+            instructions: 123_456_789,
+            edges_processed: 42,
+            submit_ns: 17.25,
+            finish_ns: 1e12 + 0.5,
+            values: vec![0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, 1.0 / 7.0],
+        };
+        let line = serde_json::to_string(&report_to_json(&report)).unwrap();
+        let back = report_from_json(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(back.id, report.id);
+        assert_eq!(back.name, report.name);
+        assert_eq!(back.iterations, report.iterations);
+        assert_eq!(back.instructions, report.instructions);
+        assert_eq!(back.edges_processed, report.edges_processed);
+        assert_eq!(back.submit_ns.to_bits(), report.submit_ns.to_bits());
+        assert_eq!(back.finish_ns.to_bits(), report.finish_ns.to_bits());
+        assert_eq!(back.clock.compute_ns.to_bits(), report.clock.compute_ns.to_bits());
+        assert_eq!(back.clock.mem_access_ns.to_bits(), report.clock.mem_access_ns.to_bits());
+        assert_eq!(back.values.len(), report.values.len());
+        for (a, b) in back.values.iter().zip(&report.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let s = ServerStats {
+            jobs_submitted: 8,
+            jobs_completed: 7,
+            rounds: 2,
+            partition_loads: 96,
+            num_partitions: 16,
+            num_vertices: 600,
+            chunk_bytes: 4096,
+            virtual_ns: 1.5e9,
+        };
+        let back = ServerStats::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+}

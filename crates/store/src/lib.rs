@@ -213,6 +213,36 @@ mod tests {
     }
 
     #[test]
+    fn open_shared_returns_one_handle_per_store() {
+        let g = generators::rmat(120, 800, generators::RmatParams::GRAPH500, 12);
+        let dir = tmpdir("shared-handle");
+        Convert::grid(2).write(&g, &dir).unwrap();
+
+        let a = DiskGridSource::open_shared(&dir).unwrap();
+        let b = DiskGridSource::open_shared(&dir).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "same store, same mapping");
+        // A second *independent* opener still works and sees its own state.
+        let solo = DiskGridSource::open(&dir).unwrap();
+        assert_eq!(solo.num_partitions(), a.num_partitions());
+        // The shared materialization cache is one per store: a partition
+        // loaded through one handle is the same Arc through the other.
+        let pa = a.load(0);
+        let pb = b.load(0);
+        assert!(std::sync::Arc::ptr_eq(&pa, &pb));
+        drop((pa, pb, b));
+
+        // Once every handle drops, the registry entry dies and a fresh
+        // open maps the (possibly rewritten) store anew.
+        drop(a);
+        let g2 = generators::rmat(60, 300, generators::RmatParams::GRAPH500, 13);
+        std::fs::remove_dir_all(&dir).ok();
+        Convert::grid(2).write(&g2, &dir).unwrap();
+        let c = DiskGridSource::open_shared(&dir).unwrap();
+        assert_eq!(c.num_vertices(), 60, "fresh handle sees the new store");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn manifest_survives_reopen() {
         let g = generators::rmat(150, 1100, generators::RmatParams::GRAPH500, 6);
         let dir = tmpdir("reopen");

@@ -18,9 +18,49 @@ use crate::mmap::FileView;
 use graphm_core::PartitionSource;
 use graphm_graph::segment::{validate_segment, Manifest, StoreLayout, SEGMENT_HEADER_BYTES};
 use graphm_graph::{AtomicBitmap, Edge, GraphError, Result, VertexId, EDGE_BYTES};
+use std::collections::HashMap;
 use std::fs::File;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Process-wide registry of live shared openers, keyed by canonical store
+/// directory. Holds `Weak`s so a store unmaps once every handle drops.
+struct ShareRegistry<T> {
+    live: Mutex<HashMap<PathBuf, Weak<T>>>,
+}
+
+impl<T> ShareRegistry<T> {
+    fn new() -> ShareRegistry<T> {
+        ShareRegistry { live: Mutex::new(HashMap::new()) }
+    }
+
+    /// Returns the live handle for `dir` or opens one with `open`. The
+    /// key is the canonicalized directory, so `./store` and an absolute
+    /// path to it share a mapping.
+    ///
+    /// `open` runs *outside* the registry lock — opening validates every
+    /// record (O(E)), and holding the one global lock across that would
+    /// serialize unrelated store opens. Two threads racing to open the
+    /// same cold store may both do the work; the loser adopts the
+    /// winner's handle and drops its own.
+    fn open_shared(&self, dir: &Path, open: impl FnOnce() -> Result<T>) -> Result<Arc<T>> {
+        let key = std::fs::canonicalize(dir)?;
+        {
+            let live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(existing) = live.get(&key).and_then(Weak::upgrade) {
+                return Ok(existing);
+            }
+        }
+        let opened = Arc::new(open()?);
+        let mut live = self.live.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(raced) = live.get(&key).and_then(Weak::upgrade) {
+            return Ok(raced);
+        }
+        live.retain(|_, w| w.strong_count() > 0);
+        live.insert(key, Arc::downgrade(&opened));
+        Ok(opened)
+    }
+}
 
 /// One mapped (or, on exotic platforms, decoded) segment.
 enum SegmentData {
@@ -187,6 +227,20 @@ impl DiskGridSource {
         Ok(DiskGridSource { store, p, order })
     }
 
+    /// Opens `dir` through the process-wide share registry: while any
+    /// previously returned handle is alive, every `open_shared` of the
+    /// same (canonicalized) directory returns a clone of the same `Arc`,
+    /// so N workbenches/daemon threads over one store share one mapping,
+    /// one manifest, and one per-partition materialization cache instead
+    /// of N. Stores are single-writer/multi-reader: `Convert` writes a
+    /// directory once, readers never mutate it (see
+    /// `docs/ARCHITECTURE.md`), which is what makes the shared handle
+    /// sound.
+    pub fn open_shared(dir: &Path) -> Result<Arc<DiskGridSource>> {
+        static REGISTRY: OnceLock<ShareRegistry<DiskGridSource>> = OnceLock::new();
+        REGISTRY.get_or_init(ShareRegistry::new).open_shared(dir, || DiskGridSource::open(dir))
+    }
+
     /// Grid dimension `P`.
     pub fn p(&self) -> usize {
         self.p
@@ -290,6 +344,13 @@ impl DiskShardSource {
             })
             .collect();
         Ok(DiskShardSource { store, srcs })
+    }
+
+    /// Opens `dir` through the process-wide share registry (the shard
+    /// counterpart of [`DiskGridSource::open_shared`]).
+    pub fn open_shared(dir: &Path) -> Result<Arc<DiskShardSource>> {
+        static REGISTRY: OnceLock<ShareRegistry<DiskShardSource>> = OnceLock::new();
+        REGISTRY.get_or_init(ShareRegistry::new).open_shared(dir, || DiskShardSource::open(dir))
     }
 
     /// The store's manifest.

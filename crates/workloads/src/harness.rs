@@ -79,15 +79,19 @@ impl Workbench {
     /// `graphm_store::Convert::grid` (or `GridGraphEngine::convert_to_disk`).
     /// The graph structure stays on disk behind the mmap; only vertex
     /// metadata (out-degrees for PageRank-family jobs) is materialized.
+    ///
+    /// Opens through [`DiskGridSource::open_shared`], so any number of
+    /// workbenches (or a co-resident `graphm-server` daemon) over the
+    /// same store directory share one mapping instead of one each.
     pub fn from_disk(dir: &Path, profile: MemoryProfile) -> graphm_graph::Result<Workbench> {
-        let source = DiskGridSource::open(dir)?;
+        let source = DiskGridSource::open_shared(dir)?;
         let out_degrees = Arc::new(source.out_degrees());
-        let num_vertices = graphm_core::PartitionSource::num_vertices(&source);
-        let structure_bytes = graphm_core::PartitionSource::graph_bytes(&source);
+        let num_vertices = graphm_core::PartitionSource::num_vertices(source.as_ref());
+        let structure_bytes = graphm_core::PartitionSource::graph_bytes(source.as_ref());
         Ok(Workbench {
             graph: None,
             num_vertices,
-            backend: WorkbenchBackend::Disk(Arc::new(source)),
+            backend: WorkbenchBackend::Disk(source),
             out_degrees,
             profile,
             dataset: None,

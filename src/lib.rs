@@ -16,7 +16,9 @@
 //! * [`cachesim`] — the simulated memory hierarchy behind the figures;
 //! * [`gridgraph`] / [`graphchi`] / [`distributed`] — the host engines;
 //! * [`algos`] — PageRank, WCC, BFS, SSSP and variants as GraphM jobs;
-//! * [`workloads`] — job mixes, arrival processes, traces, the workbench.
+//! * [`workloads`] — job mixes, arrival processes, traces, the workbench;
+//! * [`server`] — the multi-tenant daemon serving a disk store over
+//!   unix-socket/TCP, plus its client library and wire protocol.
 //!
 //! ## Quickstart (in memory)
 //!
@@ -70,6 +72,7 @@ pub use graphm_distributed as distributed;
 pub use graphm_graph as graph;
 pub use graphm_graphchi as graphchi;
 pub use graphm_gridgraph as gridgraph;
+pub use graphm_server as server;
 pub use graphm_store as store;
 pub use graphm_workloads as workloads;
 
@@ -78,10 +81,11 @@ pub mod prelude {
     pub use graphm_cachesim::{keys, Metrics};
     pub use graphm_core::{
         GraphJob, GraphM, GraphMConfig, PartitionSource, RunReport, RunnerConfig, SchedulingPolicy,
-        Scheme, SharingRuntime, Submission,
+        Scheme, SharingRuntime, SharingService, Submission,
     };
     pub use graphm_graph::{DatasetId, EdgeList, MemoryProfile};
     pub use graphm_gridgraph::GridGraphEngine;
+    pub use graphm_server::{Client, Server, ServerConfig};
     pub use graphm_store::{Convert, DiskGridSource, DiskShardSource};
     pub use graphm_workloads::{AlgoKind, JobSpec, MixConfig, Workbench};
 }

@@ -1,0 +1,263 @@
+//! End-to-end daemon integration: a `graphm-server` over a disk-resident
+//! store must give concurrently connected socket clients *exactly* what an
+//! in-process `Workbench` run of the same job mix gives — bit-identical
+//! `JobReport`s — while actually sharing partition passes across the
+//! socket-submitted jobs (fewer total loads than jobs x partitions).
+
+use graphm::core::{JobReport, Scheme};
+use graphm::graph::{generators, MemoryProfile};
+use graphm::server::{Client, JobState, Server, ServerConfig};
+use graphm::store::Convert;
+use graphm::workloads::{immediate_arrivals, AlgoKind, JobSpec, MixConfig, Workbench};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn store_dir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("graphm-server-integration-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn test_server(dir: &std::path::Path, name: &str, batch_ms: u64) -> Server {
+    let mut config = ServerConfig::new(dir);
+    config.socket_path =
+        Some(std::env::temp_dir().join(format!("graphm-{name}-{}.sock", std::process::id())));
+    config.profile = MemoryProfile::TEST;
+    config.batch_window = Duration::from_millis(batch_ms);
+    Server::start(config).expect("server starts")
+}
+
+/// The headline test: 8 concurrent client connections, one job each,
+/// submitted into one batching window; reports must be bit-identical to
+/// the same mix run in-process, and the sharing scheduler must have
+/// merged partition passes across the socket-submitted jobs.
+#[test]
+fn eight_concurrent_clients_match_in_process_run_bit_for_bit() {
+    let g = generators::rmat(600, 5200, generators::RmatParams::GRAPH500, 33);
+    let dir = store_dir("concurrent");
+    Convert::grid(4).write(&g, &dir).unwrap();
+
+    // Capped iteration budgets keep total sweeps well below the job
+    // count, so the sharing criterion (loads < jobs x partitions) has
+    // teeth; the mix still rotates through all four paper algorithms.
+    let wb = Workbench::from_disk(&dir, MemoryProfile::TEST).unwrap();
+    let mix = MixConfig {
+        count: 8,
+        kinds: AlgoKind::PAPER_MIX.to_vec(),
+        seed: 11,
+        pr_max_iters: 4,
+        wcc_max_iters: 4,
+    };
+    let specs = graphm::workloads::generate_mix(wb.num_vertices(), &mix);
+
+    // A generous batching window: all 8 submissions (sent concurrently,
+    // right after startup) land in one admission, exactly like the
+    // in-process run's immediate arrivals.
+    let server = test_server(&dir, "concurrent", 1500);
+    let socket = server.socket_path().unwrap().to_path_buf();
+
+    let barrier = Arc::new(Barrier::new(specs.len()));
+    let mut handles = Vec::new();
+    for (i, spec) in specs.iter().copied().enumerate() {
+        let socket = socket.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect_unix(&socket).expect("connect");
+            barrier.wait();
+            let id = client.submit(&spec).expect("submit");
+            let report = client.wait(id).expect("wait");
+            (i, id, report)
+        }));
+    }
+    let mut by_server_id: Vec<Option<(usize, JobReport)>> = vec![None; specs.len()];
+    for h in handles {
+        let (spec_idx, id, report) = h.join().expect("client thread");
+        assert_eq!(report.id, id);
+        assert!(by_server_id[id].is_none(), "job ids are unique");
+        by_server_id[id] = Some((spec_idx, report));
+    }
+
+    // Replay the same mix in-process, ordered the way the daemon admitted
+    // it (ids are assigned in arrival order), with immediate arrivals.
+    let ordered_specs: Vec<JobSpec> =
+        by_server_id.iter().map(|e| specs[e.as_ref().unwrap().0]).collect();
+    let arr = immediate_arrivals(ordered_specs.len());
+    let expected = wb.run(Scheme::Shared, &ordered_specs, &arr);
+
+    for (id, entry) in by_server_id.iter().enumerate() {
+        let (_, served) = entry.as_ref().unwrap();
+        let want = &expected.jobs[id];
+        assert_eq!(served.name, want.name, "job {id}");
+        assert_eq!(served.iterations, want.iterations, "job {id}");
+        assert_eq!(served.instructions, want.instructions, "job {id}");
+        assert_eq!(served.edges_processed, want.edges_processed, "job {id}");
+        assert_eq!(served.submit_ns.to_bits(), want.submit_ns.to_bits(), "job {id}");
+        assert_eq!(served.finish_ns.to_bits(), want.finish_ns.to_bits(), "job {id}");
+        assert_eq!(served.clock.compute_ns.to_bits(), want.clock.compute_ns.to_bits(), "job {id}");
+        assert_eq!(served.clock.disk_ns.to_bits(), want.clock.disk_ns.to_bits(), "job {id}");
+        assert_eq!(served.clock.sync_ns.to_bits(), want.clock.sync_ns.to_bits(), "job {id}");
+        assert_eq!(served.values.len(), want.values.len(), "job {id}");
+        for (v, (a, b)) in served.values.iter().zip(&want.values).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "job {id} ({}) vertex {v}", served.name);
+        }
+    }
+
+    // Sharing engaged across socket-submitted jobs: the daemon's loads
+    // match the in-process Shared run exactly and stay below what
+    // per-job loading (jobs x partitions, even at one pass per job)
+    // would cost.
+    let stats = server.stats();
+    let expected_loads = expected.metrics.get(graphm::cachesim::keys::PARTITION_LOADS) as u64;
+    assert_eq!(stats.partition_loads, expected_loads, "daemon loads match in-process run");
+    let jobs_x_partitions = (specs.len() * stats.num_partitions as usize) as u64;
+    assert!(
+        stats.partition_loads < jobs_x_partitions,
+        "sharing must engage: {} loads vs jobs x partitions = {}",
+        stats.partition_loads,
+        jobs_x_partitions
+    );
+    assert_eq!(stats.jobs_submitted, 8);
+    assert_eq!(stats.jobs_completed, 8);
+    assert_eq!(stats.num_vertices, 600);
+    assert!(stats.rounds >= 1);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The TCP listener speaks the same protocol.
+#[test]
+fn tcp_listener_serves_jobs() {
+    let g = generators::rmat(300, 2400, generators::RmatParams::GRAPH500, 5);
+    let dir = store_dir("tcp");
+    Convert::grid(4).write(&g, &dir).unwrap();
+
+    let mut config = ServerConfig::new(&dir);
+    config.tcp_addr = Some("127.0.0.1:0".to_string());
+    config.profile = MemoryProfile::TEST;
+    config.batch_window = Duration::from_millis(5);
+    let server = Server::start(config).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    let mut client = Client::connect_tcp(addr).unwrap();
+    client.ping().unwrap();
+    let spec = JobSpec { kind: AlgoKind::Bfs, damping: 0.85, root: 3, max_iters: 30 };
+    let report = client.run(&spec).unwrap();
+    assert_eq!(report.name, "BFS");
+    assert_eq!(report.values.len(), 300);
+    // BFS levels: the root is 0, unreached vertices serialize as +inf and
+    // must survive the wire.
+    assert_eq!(report.values[3], 0.0);
+    assert!(report.values.iter().all(|v| v.is_infinite() || *v >= 0.0));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Lifecycle and error behavior over one connection.
+#[test]
+fn status_lifecycle_and_errors() {
+    let g = generators::rmat(200, 1500, generators::RmatParams::GRAPH500, 9);
+    let dir = store_dir("lifecycle");
+    Convert::grid(2).write(&g, &dir).unwrap();
+    let server = test_server(&dir, "lifecycle", 5);
+    let mut client = Client::connect_unix(server.socket_path().unwrap()).unwrap();
+
+    // Unknown job.
+    assert!(matches!(
+        client.status(99),
+        Err(graphm::server::ClientError::Server(ref m)) if m.contains("unknown job")
+    ));
+    // Out-of-range root is rejected at submit.
+    let bad = JobSpec { kind: AlgoKind::Bfs, damping: 0.85, root: 4_000, max_iters: 5 };
+    assert!(client.submit(&bad).is_err());
+
+    // Normal lifecycle: submitted -> (queued|running) -> done.
+    let spec = JobSpec { kind: AlgoKind::Wcc, damping: 0.85, root: 0, max_iters: 6 };
+    let id = client.submit(&spec).unwrap();
+    let early = client.status(id).unwrap();
+    assert!(matches!(early, JobState::Queued | JobState::Running | JobState::Done));
+    let report = client.wait(id).unwrap();
+    assert_eq!(report.name, "WCC");
+    assert_eq!(client.status(id).unwrap(), JobState::Done);
+    // Reports stay available for repeated waits.
+    let again = client.wait(id).unwrap();
+    assert_eq!(again.values, report.values);
+
+    // The daemon keeps serving rounds: a second batch after idle.
+    let id2 = client.submit(&spec).unwrap();
+    assert!(id2 > id);
+    let r2 = client.wait(id2).unwrap();
+    assert_eq!(r2.values, report.values, "same spec, same results, later round");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Shutdown drains queued jobs, answers waiting clients, then stops
+/// accepting; the socket file is removed.
+#[test]
+fn shutdown_drains_and_cleans_up() {
+    let g = generators::rmat(200, 1500, generators::RmatParams::GRAPH500, 21);
+    let dir = store_dir("shutdown");
+    Convert::grid(2).write(&g, &dir).unwrap();
+    let server = test_server(&dir, "shutdown", 400);
+    let socket = server.socket_path().unwrap().to_path_buf();
+
+    let mut submitter = Client::connect_unix(&socket).unwrap();
+    let spec = JobSpec { kind: AlgoKind::PageRank, damping: 0.5, root: 0, max_iters: 4 };
+    let id = submitter.submit(&spec).unwrap();
+
+    // Ask for shutdown from a second connection while the job is queued
+    // (the 400 ms batch window is still open).
+    let mut other = Client::connect_unix(&socket).unwrap();
+    other.shutdown_server().unwrap();
+
+    // The queued job still completes and the waiter gets its report.
+    let report = submitter.wait(id).unwrap();
+    assert_eq!(report.name, "PageRank");
+
+    server.shutdown();
+    assert!(!socket.exists(), "socket file removed on shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Finished-report retention is bounded: past `max_done_reports`, the
+/// oldest reports are evicted and later queries say "unknown job".
+#[test]
+fn done_report_retention_is_bounded() {
+    let g = generators::rmat(150, 1000, generators::RmatParams::GRAPH500, 3);
+    let dir = store_dir("retention");
+    Convert::grid(2).write(&g, &dir).unwrap();
+    let mut config = ServerConfig::new(&dir);
+    config.socket_path =
+        Some(std::env::temp_dir().join(format!("graphm-retention-{}.sock", std::process::id())));
+    config.profile = MemoryProfile::TEST;
+    config.batch_window = Duration::from_millis(5);
+    config.max_done_reports = 2;
+    let server = Server::start(config).unwrap();
+    let mut client = Client::connect_unix(server.socket_path().unwrap()).unwrap();
+
+    let spec = JobSpec { kind: AlgoKind::Wcc, damping: 0.85, root: 0, max_iters: 3 };
+    let ids: Vec<_> = (0..4)
+        .map(|_| {
+            let id = client.submit(&spec).unwrap();
+            client.wait(id).unwrap();
+            id
+        })
+        .collect();
+    // The two newest reports survive; the two oldest were evicted.
+    assert_eq!(client.status(ids[3]).unwrap(), JobState::Done);
+    assert_eq!(client.status(ids[2]).unwrap(), JobState::Done);
+    for &old in &ids[..2] {
+        assert!(
+            matches!(client.status(old), Err(graphm::server::ClientError::Server(ref m))
+                if m.contains("unknown job")),
+            "job {old} should have been evicted"
+        );
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -2,8 +2,16 @@
 //!
 //! Implements the surface the workspace uses: [`Value`], [`Map`], the
 //! [`json!`] macro for flat literals, [`to_string`] / [`to_string_pretty`],
-//! and a [`Serialize`] trait (re-exported through the vendored `serde`
-//! crate) that types implement by hand instead of deriving.
+//! [`from_str`] parsing (the `graphm-server` line protocol decodes with
+//! it), and a [`Serialize`] trait (re-exported through the vendored
+//! `serde` crate) that types implement by hand instead of deriving.
+//!
+//! Finite `f64`s round-trip exactly: serialization uses Rust's
+//! shortest-round-trip formatting and parsing goes through
+//! `str::parse::<f64>`, which is correctly rounded, so
+//! `from_str(&to_string(&v))` recovers the original bits. Non-finite
+//! values serialize as `null` (as the real serde_json refuses them);
+//! protocols that must carry them encode them out-of-band.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -45,7 +53,10 @@ impl Value {
 
     fn write_number(v: f64, out: &mut String) {
         if v.is_finite() {
-            if v == v.trunc() && v.abs() < 1e15 {
+            if v == 0.0 && v.is_sign_negative() {
+                // The integer fast-path below would drop the sign.
+                out.push_str("-0.0");
+            } else if v == v.trunc() && v.abs() < 1e15 {
                 out.push_str(&format!("{}", v as i64));
             } else {
                 out.push_str(&format!("{v}"));
@@ -117,6 +128,71 @@ impl Value {
         let mut out = String::new();
         self.write(&mut out, pretty, 0);
         out
+    }
+
+    /// The string slice, when this is a [`Value::String`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, when this is a [`Value::Number`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number as an unsigned integer, when it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            // Strict upper bound: `u64::MAX as f64` rounds up to 2^64,
+            // which is NOT representable as a u64 (the saturating cast
+            // would silently return u64::MAX).
+            Value::Number(v)
+                if *v >= 0.0 && v.trunc() == *v && *v < 18_446_744_073_709_551_616.0 =>
+            {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, when this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is a [`Value::Array`].
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The map, when this is a [`Value::Object`].
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Whether this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup on objects; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
     }
 }
 
@@ -204,14 +280,27 @@ impl<V: Serialize> Serialize for BTreeMap<String, V> {
     }
 }
 
-/// Serialization error. The vendored implementation is infallible, but the
-/// real crate's `Result` shape is kept so call sites stay source-compatible.
+/// Serialization/parse error. Serialization in the vendored implementation
+/// is infallible, but the real crate's `Result` shape is kept so call
+/// sites stay source-compatible; parsing reports position + cause.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("json serialization error")
+        if self.msg.is_empty() {
+            f.write_str("json error")
+        } else {
+            f.write_str(&self.msg)
+        }
     }
 }
 
@@ -225,6 +314,226 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 /// Pretty (2-space indented) serialization.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(value.to_json_value().render(true))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, what: &str) -> Error {
+        Error::new(format!("{what} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos -= usize::from(self.pos > 0);
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{kw}'")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.expect_keyword("null", Value::Null),
+            Some(b't') => self.expect_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.expect_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.parse_hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require the low half.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 (input is a &str, so the
+                    // bytes are valid; find the char at pos-1).
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let s = std::str::from_utf8(&self.bytes[start..start + len])
+                            .map_err(|_| self.err("invalid utf-8"))?;
+                        out.push_str(s);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char).to_digit(16).ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
+        text.parse::<f64>().map(Value::Number).map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parses a JSON document into a [`Value`]. Trailing whitespace is allowed;
+/// trailing garbage is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
 }
 
 /// Builds a [`Value`] from a flat literal: `json!(expr)`,
@@ -272,5 +581,74 @@ mod tests {
     #[test]
     fn escapes_strings() {
         assert_eq!(to_string(&json!("a\"b\n")).unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("3").unwrap(), Value::Number(3.0));
+        assert_eq!(from_str("-2.5e2").unwrap(), Value::Number(-250.0));
+        assert_eq!(from_str(r#""hi""#).unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = from_str(r#"{"a":[1,{"b":null},"x"],"c":true}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Value::Bool(true)));
+        let arr = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert!(arr[1].get("b").unwrap().is_null());
+        assert_eq!(arr[2].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        assert_eq!(from_str(r#""a\"b\n\tA""#).unwrap().as_str(), Some("a\"b\n\tA"));
+        // Surrogate pair: U+1F600.
+        assert_eq!(from_str(r#""😀""#).unwrap().as_str(), Some("\u{1F600}"));
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(from_str("\"héllo\"").unwrap().as_str(), Some("héllo"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", r#"{"a""#, "tru", "1 2", r#""\x""#, "{'a':1}", "\"\u{1}\""] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn finite_f64_round_trips_exactly() {
+        for v in [0.0, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, f64::MAX, -12345.6789e-12, 0.1 + 0.2] {
+            let s = to_string(&json!(v)).unwrap();
+            let back = from_str(&s).unwrap().as_f64().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} via {s}");
+        }
+    }
+
+    #[test]
+    fn round_trips_serialized_objects() {
+        let v = json!({ "a": 1.5, "b": "x\n", "rows": vec![json!(1.0), json!("two")] });
+        let back = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = json!({ "n": 3.0, "s": "t", "b": true });
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+        // 2^64 itself is out of range and must not saturate to u64::MAX.
+        assert_eq!(from_str("18446744073709551616").unwrap().as_u64(), None);
+        assert_eq!(Value::Number(2f64.powi(63)).as_u64(), Some(1 << 63));
+        assert!(v.as_object().is_some());
+        assert!(v.as_array().is_none());
     }
 }
