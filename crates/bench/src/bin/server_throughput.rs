@@ -7,9 +7,12 @@
 //! what per-job loading would have cost).
 //!
 //! Knobs: `GRAPHM_SCALE` (dataset divisor), `GRAPHM_JOBS` (total jobs),
-//! `GRAPHM_CLIENTS` (concurrent connections), `GRAPHM_SEED`.
+//! `GRAPHM_CLIENTS` (concurrent connections), `GRAPHM_SEED`, and
+//! `GRAPHM_MODE` (`deterministic` | `wallclock` — the daemon's execution
+//! mode; wallclock runs jobs on one OS thread each with partition
+//! prefetch).
 
-use graphm_server::{Client, Server, ServerConfig};
+use graphm_server::{Client, ExecutionMode, Server, ServerConfig};
 use serde_json::json;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -24,6 +27,10 @@ fn main() {
     let clients = graphm_bench::env_usize("GRAPHM_CLIENTS", 8).max(1);
     let total_jobs = graphm_bench::jobs().max(clients);
     let specs = wb.paper_mix(total_jobs, graphm_bench::seed());
+    let mode = std::env::var("GRAPHM_MODE")
+        .ok()
+        .and_then(|m| ExecutionMode::from_name(&m))
+        .unwrap_or(ExecutionMode::Deterministic);
 
     let dir = std::env::temp_dir().join(format!("graphm-server-bench-{}", std::process::id()));
     let manifest = graphm_store::Convert::grid(graphm_bench::GRID_P)
@@ -34,13 +41,15 @@ fn main() {
     config.socket_path = Some(dir.join("graphm.sock"));
     config.profile = wb.profile;
     config.batch_window = Duration::from_millis(50);
+    config.mode = mode;
     let server = Server::start(config).expect("server starts");
     let socket = server.socket_path().unwrap().to_path_buf();
     eprintln!(
-        "[daemon] {} partitions, {} clients x {} jobs",
+        "[daemon] {} partitions, {} clients x {} jobs, {} mode",
         manifest.partitions.len(),
         clients,
-        total_jobs.div_ceil(clients)
+        total_jobs.div_ceil(clients),
+        mode.name()
     );
 
     // Shard the mix across client connections; every client submits its
@@ -85,10 +94,17 @@ fn main() {
         "\n(loads = shared (sweep, partition) loads across all rounds; \
          loads_1pass_per_job = what one unshared pass per job would cost)"
     );
+    if stats.prefetch_issued > 0 {
+        println!(
+            "prefetch: {} hints issued, {} loads pre-advised",
+            stats.prefetch_issued, stats.prefetch_hits
+        );
+    }
     graphm_bench::save_json(
         "server_throughput",
         &json!({
             "dataset": id.name(),
+            "mode": mode.name(),
             "clients": clients,
             "jobs": completed,
             "wall_s": wall_s,
@@ -97,6 +113,8 @@ fn main() {
             "one_pass_per_job_loads": per_job_loads,
             "rounds": stats.rounds,
             "virtual_ns": stats.virtual_ns,
+            "prefetch_issued": stats.prefetch_issued,
+            "prefetch_hits": stats.prefetch_hits,
         }),
     );
     server.shutdown();

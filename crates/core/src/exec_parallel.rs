@@ -1,0 +1,540 @@
+//! Wall-clock parallel execution of real jobs over the threaded sharing
+//! runtime.
+//!
+//! The deterministic paths ([`crate::runner`], [`crate::service`]) replay
+//! jobs through the simulated memory hierarchy on one OS thread — the
+//! right tool for bit-exact figures, the wrong one for serving real
+//! traffic. This module is the wall-clock counterpart: a
+//! [`WallClockExecutor`] preprocesses a [`PartitionSource`] once
+//! (Formula-1 chunk sizing + Algorithm-1 labelling) and then runs batches
+//! of [`GraphJob`]s with **one OS thread per job**, all loads routed
+//! through the [`SharingRuntime`] (one shared load per `(sweep,
+//! partition)`, chunk-paced co-traversal, §4 loading order), producing
+//! [`WallJobReport`]s with real elapsed times.
+//!
+//! Three batch modes share the preprocessing:
+//!
+//! * [`WallClockExecutor::run_batch`] — the threaded shared path (the
+//!   paper's `-M` scheme on real cores);
+//! * [`WallClockExecutor::run_batch_single_thread`] — the same shared
+//!   sweep loop driven by one thread. Per job, partitions arrive in the
+//!   same §4 order and chunks in the same ascending order as the threaded
+//!   path *and* the deterministic service, so all three produce
+//!   identical vertex values and iteration counts — which is what lets
+//!   the daemon switch modes without changing answers;
+//! * [`WallClockExecutor::run_batch_exclusive`] — one thread per job with
+//!   *private* loads (the `-C` baseline): every job pays `partitions ×
+//!   sweeps` loads instead of sharing them.
+//!
+//! Disk-backed sources can hand the executor a [`PrefetchHook`] (see
+//! `graphm_store::Prefetcher`): the runtime announces the §4 order's
+//! upcoming window on every partition advance, and a readahead thread
+//! issues `madvise(MADV_WILLNEED)` so cold segments fault in under
+//! compute.
+
+use crate::global_table::GlobalTable;
+use crate::graphm::{GraphM, GraphMConfig};
+use crate::job::{GraphJob, JobId};
+use crate::scheduler::{loading_order, SchedulingPolicy};
+use crate::sharing::{PrefetchHook, SharingRuntime};
+use crate::source::PartitionSource;
+use graphm_graph::MemoryProfile;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the wall-clock execution path.
+#[derive(Clone, Debug)]
+pub struct WallClockConfig {
+    /// Memory profile supplying Formula 1's cache/memory geometry for
+    /// chunk sizing (wall-clock runs use the *real* hierarchy; the
+    /// profile only sizes chunks).
+    pub profile: MemoryProfile,
+    /// §4 loading-order policy.
+    pub policy: SchedulingPolicy,
+    /// Chunk pacing window (see [`SharingRuntime::new`]; 2 = lock-step).
+    pub window: usize,
+    /// Safety bound on iterations per job (matches
+    /// `RunnerConfig::max_iterations` so modes converge identically).
+    pub max_iterations: usize,
+    /// Formula 1's `U_v` (job state bytes per vertex).
+    pub state_bytes_per_vertex: usize,
+    /// Chunk-size override for ablations.
+    pub chunk_bytes_override: Option<usize>,
+    /// How many upcoming partitions to announce to the prefetch hook on
+    /// every advance.
+    pub prefetch_lookahead: usize,
+}
+
+impl WallClockConfig {
+    /// Defaults over `profile`: prioritized scheduling, lock-step window,
+    /// 500-iteration guard, 8-byte `U_v`, lookahead 4.
+    pub fn new(profile: MemoryProfile) -> WallClockConfig {
+        WallClockConfig {
+            profile,
+            policy: SchedulingPolicy::Prioritized,
+            window: 2,
+            max_iterations: 500,
+            state_bytes_per_vertex: 8,
+            chunk_bytes_override: None,
+            prefetch_lookahead: 4,
+        }
+    }
+}
+
+impl Default for WallClockConfig {
+    fn default() -> Self {
+        WallClockConfig::new(MemoryProfile::DEFAULT)
+    }
+}
+
+/// One job's wall-clock outcome.
+#[derive(Clone, Debug)]
+pub struct WallJobReport {
+    /// Batch-order id (the caller maps these to its own ids).
+    pub id: JobId,
+    /// Algorithm name.
+    pub name: String,
+    /// Iterations completed.
+    pub iterations: usize,
+    /// Active-source edges processed.
+    pub edges_processed: u64,
+    /// Final per-vertex values.
+    pub values: Vec<f64>,
+    /// Wall milliseconds this job's thread was alive (includes suspend
+    /// time inside `sharing()` — the job-visible latency).
+    pub busy_ms: f64,
+    /// Wall milliseconds from batch start to this job's completion.
+    pub finish_ms: f64,
+}
+
+/// A whole batch's wall-clock outcome.
+#[derive(Clone, Debug, Default)]
+pub struct WallRunReport {
+    /// Per-job outcomes, batch order.
+    pub jobs: Vec<WallJobReport>,
+    /// Wall milliseconds for the whole batch.
+    pub total_ms: f64,
+    /// Partition loads performed (shared modes: one per `(sweep,
+    /// partition)` with interested jobs; exclusive mode: per job).
+    pub partition_loads: u64,
+}
+
+impl WallRunReport {
+    /// Serving throughput over the batch.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.total_ms <= 0.0 {
+            0.0
+        } else {
+            self.jobs.len() as f64 / (self.total_ms / 1e3)
+        }
+    }
+}
+
+/// Preprocessed wall-clock runtime over one source. See the module docs.
+pub struct WallClockExecutor {
+    source: Arc<dyn PartitionSource>,
+    gm: Arc<GraphM>,
+    cfg: WallClockConfig,
+    prefetch: Option<PrefetchHook>,
+}
+
+impl WallClockExecutor {
+    /// Runs `Init()` over `source` (one labelling traversal) and returns
+    /// an executor ready to serve batches. `prefetch` is announced the
+    /// upcoming loading order during shared threaded batches.
+    pub fn new(
+        source: Arc<dyn PartitionSource>,
+        cfg: WallClockConfig,
+        prefetch: Option<PrefetchHook>,
+    ) -> WallClockExecutor {
+        let mut gm_cfg = GraphMConfig::new(cfg.profile);
+        gm_cfg.policy = cfg.policy;
+        gm_cfg.chunk_bytes_override = cfg.chunk_bytes_override;
+        let gm = Arc::new(GraphM::init(source.as_ref(), cfg.state_bytes_per_vertex, gm_cfg));
+        WallClockExecutor { source, gm, cfg, prefetch }
+    }
+
+    /// The Formula-1 chunk size the executor preprocessed with.
+    pub fn chunk_bytes(&self) -> usize {
+        self.gm.chunk_bytes
+    }
+
+    /// The preprocessed GraphM instance (chunk tables).
+    pub fn graphm(&self) -> &GraphM {
+        &self.gm
+    }
+
+    fn active_pids(&self, job: &dyn GraphJob) -> Vec<usize> {
+        self.source
+            .order()
+            .into_iter()
+            .filter(|&pid| self.gm.partition_active(pid, job.active()))
+            .collect()
+    }
+
+    /// Runs `jobs` to convergence on one OS thread per job, sharing
+    /// partition loads through the [`SharingRuntime`].
+    pub fn run_batch(&self, jobs: Vec<Box<dyn GraphJob>>) -> WallRunReport {
+        let start = Instant::now();
+        if jobs.is_empty() {
+            return WallRunReport::default();
+        }
+        let rt = SharingRuntime::new(Arc::clone(&self.source), self.cfg.policy, self.cfg.window);
+        if let Some(hook) = &self.prefetch {
+            rt.set_prefetch(Arc::clone(hook), self.cfg.prefetch_lookahead);
+        }
+        // Register everyone before the first thread starts so the whole
+        // batch shares from sweep one.
+        for (id, job) in jobs.iter().enumerate() {
+            let pids = self.active_pids(job.as_ref());
+            rt.register_job(id, &pids);
+        }
+        let mut handles = Vec::with_capacity(jobs.len());
+        for (id, job) in jobs.into_iter().enumerate() {
+            let rt = Arc::clone(&rt);
+            let gm = Arc::clone(&self.gm);
+            let source = Arc::clone(&self.source);
+            let max_iterations = self.cfg.max_iterations;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("graphm-wall-{id}"))
+                    .spawn(move || {
+                        run_job_thread(id, job, &rt, &gm, source.as_ref(), max_iterations, start)
+                    })
+                    .expect("spawn job thread"),
+            );
+        }
+        let jobs: Vec<WallJobReport> =
+            handles.into_iter().map(|h| h.join().expect("job thread panicked")).collect();
+        WallRunReport {
+            jobs,
+            total_ms: start.elapsed().as_secs_f64() * 1e3,
+            partition_loads: rt.loads(),
+        }
+    }
+
+    /// Runs `jobs` through the same shared sweep loop on the calling
+    /// thread only. Identical per-job partition/chunk order to
+    /// [`WallClockExecutor::run_batch`], hence identical results — this
+    /// is the single-core baseline the speedup bench compares against.
+    pub fn run_batch_single_thread(&self, jobs: Vec<Box<dyn GraphJob>>) -> WallRunReport {
+        let start = Instant::now();
+        if jobs.is_empty() {
+            return WallRunReport::default();
+        }
+        struct SingleState {
+            job: Box<dyn GraphJob>,
+            iterations_guard: usize,
+            edges_processed: u64,
+            finished: bool,
+            finish_ms: f64,
+        }
+        let global = GlobalTable::new(self.source.num_partitions());
+        let mut states: Vec<SingleState> = jobs
+            .into_iter()
+            .map(|job| SingleState {
+                job,
+                iterations_guard: 0,
+                edges_processed: 0,
+                finished: false,
+                finish_ms: 0.0,
+            })
+            .collect();
+        for (id, st) in states.iter_mut().enumerate() {
+            let pids = self.active_pids(st.job.as_ref());
+            global.set_active_partitions(id, &pids);
+        }
+        let mut partition_loads = 0u64;
+        loop {
+            let alive: Vec<JobId> =
+                states.iter().enumerate().filter(|(_, s)| !s.finished).map(|(i, _)| i).collect();
+            if alive.is_empty() {
+                break;
+            }
+            // One sweep, same order the threaded runtime would use.
+            let order = loading_order(&global, self.cfg.policy);
+            for pid in order {
+                let interested = global.jobs_for(pid);
+                let needing: Vec<JobId> =
+                    alive.iter().copied().filter(|i| interested.contains(i)).collect();
+                if needing.is_empty() {
+                    continue;
+                }
+                let edges = self.source.load(pid);
+                partition_loads += 1;
+                for &i in &needing {
+                    let st = &mut states[i];
+                    for chunk in &self.gm.tables[pid].chunks {
+                        if st.job.skips_inactive() && !chunk.any_active(st.job.active()) {
+                            continue;
+                        }
+                        let skips = st.job.skips_inactive();
+                        for e in &edges[chunk.edges.clone()] {
+                            if !skips || st.job.active().get(e.src as usize) {
+                                st.job.process_edge(e);
+                                st.edges_processed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            for &i in &alive {
+                let st = &mut states[i];
+                st.iterations_guard += 1;
+                let converged =
+                    st.job.end_iteration() || st.iterations_guard >= self.cfg.max_iterations;
+                let pids = if converged { Vec::new() } else { self.active_pids(st.job.as_ref()) };
+                if pids.is_empty() {
+                    st.finished = true;
+                    st.finish_ms = start.elapsed().as_secs_f64() * 1e3;
+                    global.remove_job(i);
+                } else {
+                    global.set_active_partitions(i, &pids);
+                }
+            }
+        }
+        let jobs = states
+            .into_iter()
+            .enumerate()
+            .map(|(id, st)| WallJobReport {
+                id,
+                name: st.job.name().to_string(),
+                iterations: st.job.iterations(),
+                edges_processed: st.edges_processed,
+                values: st.job.vertex_values(),
+                busy_ms: st.finish_ms,
+                finish_ms: st.finish_ms,
+            })
+            .collect();
+        WallRunReport { jobs, total_ms: start.elapsed().as_secs_f64() * 1e3, partition_loads }
+    }
+
+    /// Runs `jobs` on one thread each with *private* loading — every job
+    /// streams every active partition itself, in the engine's native
+    /// order, materializing its own copy (the `-C` baseline's cost
+    /// model). No sharing, no pacing.
+    pub fn run_batch_exclusive(&self, jobs: Vec<Box<dyn GraphJob>>) -> WallRunReport {
+        let start = Instant::now();
+        if jobs.is_empty() {
+            return WallRunReport::default();
+        }
+        let mut handles = Vec::with_capacity(jobs.len());
+        for (id, mut job) in jobs.into_iter().enumerate() {
+            let source = Arc::clone(&self.source);
+            let gm = Arc::clone(&self.gm);
+            let max_iterations = self.cfg.max_iterations;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("graphm-excl-{id}"))
+                    .spawn(move || {
+                        let mut loads = 0u64;
+                        let mut edges_processed = 0u64;
+                        let mut iters = 0usize;
+                        loop {
+                            let pids: Vec<usize> = source
+                                .order()
+                                .into_iter()
+                                .filter(|&pid| gm.partition_active(pid, job.active()))
+                                .collect();
+                            if pids.is_empty() {
+                                break;
+                            }
+                            let skips = job.skips_inactive();
+                            for pid in pids {
+                                // The private copy an independent engine
+                                // process would hold.
+                                let private: Vec<graphm_graph::Edge> =
+                                    source.load(pid).as_ref().clone();
+                                loads += 1;
+                                for e in &private {
+                                    if !skips || job.active().get(e.src as usize) {
+                                        job.process_edge(e);
+                                        edges_processed += 1;
+                                    }
+                                }
+                            }
+                            iters += 1;
+                            if job.end_iteration() || iters >= max_iterations {
+                                break;
+                            }
+                        }
+                        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                        (
+                            WallJobReport {
+                                id,
+                                name: job.name().to_string(),
+                                iterations: job.iterations(),
+                                edges_processed,
+                                values: job.vertex_values(),
+                                busy_ms: elapsed_ms,
+                                finish_ms: elapsed_ms,
+                            },
+                            loads,
+                        )
+                    })
+                    .expect("spawn job thread"),
+            );
+        }
+        let mut jobs = Vec::with_capacity(handles.len());
+        let mut partition_loads = 0u64;
+        for h in handles {
+            let (report, loads) = h.join().expect("job thread panicked");
+            jobs.push(report);
+            partition_loads += loads;
+        }
+        WallRunReport { jobs, total_ms: start.elapsed().as_secs_f64() * 1e3, partition_loads }
+    }
+}
+
+/// One job's thread: `Sharing()` loads, chunk pacing, barriers, iteration
+/// turnover — Table 1's programming interface verbatim.
+fn run_job_thread(
+    id: JobId,
+    mut job: Box<dyn GraphJob>,
+    rt: &SharingRuntime,
+    gm: &GraphM,
+    source: &dyn PartitionSource,
+    max_iterations: usize,
+    batch_start: Instant,
+) -> WallJobReport {
+    let thread_start = Instant::now();
+    let mut edges_processed = 0u64;
+    let mut iters = 0usize;
+    loop {
+        while let Some(sp) = rt.sharing(id) {
+            let table = &gm.tables[sp.pid];
+            let skips = job.skips_inactive();
+            for (ci, chunk) in table.chunks.iter().enumerate() {
+                rt.pace_chunk(id, ci);
+                if skips && !chunk.any_active(job.active()) {
+                    continue;
+                }
+                for e in &sp.edges[chunk.edges.clone()] {
+                    if !skips || job.active().get(e.src as usize) {
+                        job.process_edge(e);
+                        edges_processed += 1;
+                    }
+                }
+            }
+            rt.barrier(id, sp.pid);
+        }
+        iters += 1;
+        let converged = job.end_iteration() || iters >= max_iterations;
+        if converged {
+            rt.end_iteration(id, None);
+            break;
+        }
+        let pids: Vec<usize> = source
+            .order()
+            .into_iter()
+            .filter(|&pid| gm.partition_active(pid, job.active()))
+            .collect();
+        if pids.is_empty() {
+            rt.end_iteration(id, None);
+            break;
+        }
+        rt.end_iteration(id, Some(&pids));
+    }
+    WallJobReport {
+        id,
+        name: job.name().to_string(),
+        iterations: job.iterations(),
+        edges_processed,
+        values: job.vertex_values(),
+        busy_ms: thread_start.elapsed().as_secs_f64() * 1e3,
+        finish_ms: batch_start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Convenience one-shot: preprocess `source` and run one threaded shared
+/// batch (see [`WallClockExecutor`]; daemons should hold an executor and
+/// amortize the preprocessing instead).
+pub fn run_shared_wallclock(
+    source: Arc<dyn PartitionSource>,
+    jobs: Vec<Box<dyn GraphJob>>,
+    cfg: &WallClockConfig,
+    prefetch: Option<PrefetchHook>,
+) -> WallRunReport {
+    WallClockExecutor::new(source, cfg.clone(), prefetch).run_batch(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::CountingJob;
+    use crate::source::VecSource;
+    use graphm_graph::generators;
+
+    fn source(parts: usize) -> Arc<VecSource> {
+        let g = generators::rmat(256, 4096, generators::RmatParams::GRAPH500, 17);
+        let mut edges = g.edges.clone();
+        edges.sort_by_key(|e| e.src);
+        let per = edges.len().div_ceil(parts);
+        Arc::new(VecSource::new(256, edges.chunks(per).map(<[_]>::to_vec).collect()))
+    }
+
+    fn counting_jobs(n: usize, iters: usize) -> Vec<Box<dyn GraphJob>> {
+        (0..n).map(|_| Box::new(CountingJob::new(256, iters)) as Box<dyn GraphJob>).collect()
+    }
+
+    fn executor(parts: usize) -> WallClockExecutor {
+        let cfg = WallClockConfig::new(MemoryProfile::TEST);
+        WallClockExecutor::new(source(parts), cfg, None)
+    }
+
+    #[test]
+    fn threaded_and_single_thread_agree_bit_for_bit() {
+        let exec = executor(4);
+        let threaded = exec.run_batch(counting_jobs(4, 3));
+        let single = exec.run_batch_single_thread(counting_jobs(4, 3));
+        assert_eq!(threaded.jobs.len(), 4);
+        assert_eq!(threaded.partition_loads, single.partition_loads, "same shared loads");
+        for (t, s) in threaded.jobs.iter().zip(&single.jobs) {
+            assert_eq!(t.id, s.id);
+            assert_eq!(t.name, s.name);
+            assert_eq!(t.iterations, s.iterations);
+            assert_eq!(t.edges_processed, s.edges_processed);
+            assert_eq!(t.values, s.values, "job {}", t.id);
+        }
+        // 4 partitions x 3 sweeps, loaded once each.
+        assert_eq!(threaded.partition_loads, 12);
+        assert!(threaded.total_ms > 0.0);
+        assert!(threaded.jobs_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn exclusive_pays_per_job_loads() {
+        let exec = executor(4);
+        let shared = exec.run_batch(counting_jobs(3, 2));
+        let exclusive = exec.run_batch_exclusive(counting_jobs(3, 2));
+        // Same answers...
+        for (a, b) in shared.jobs.iter().zip(&exclusive.jobs) {
+            assert_eq!(a.values, b.values);
+            assert_eq!(a.iterations, b.iterations);
+        }
+        // ...but the exclusive path loads jobs x partitions x sweeps.
+        assert_eq!(exclusive.partition_loads, 3 * 4 * 2);
+        assert_eq!(shared.partition_loads, 4 * 2);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let exec = executor(2);
+        let r = exec.run_batch(Vec::new());
+        assert!(r.jobs.is_empty());
+        assert_eq!(r.partition_loads, 0);
+        assert_eq!(exec.run_batch_single_thread(Vec::new()).jobs.len(), 0);
+        assert_eq!(exec.run_batch_exclusive(Vec::new()).jobs.len(), 0);
+    }
+
+    #[test]
+    fn one_shot_wrapper_runs() {
+        let cfg = WallClockConfig::new(MemoryProfile::TEST);
+        let r = run_shared_wallclock(source(3), counting_jobs(2, 2), &cfg, None);
+        assert_eq!(r.jobs.len(), 2);
+        for j in &r.jobs {
+            let total: f64 = j.values.iter().sum();
+            assert_eq!(total as u64, 2 * 4096, "two sweeps count every edge");
+        }
+    }
+}

@@ -23,10 +23,14 @@
 //! * [`exec`] / [`runner`] — deterministic replay of the S/C/M execution
 //!   schemes through the simulated memory hierarchy (§5);
 //! * [`service`] — the Shared scheme as a long-lived, incremental-arrival
-//!   runtime loop (what the `graphm-server` daemon drives).
+//!   runtime loop (what the `graphm-server` daemon drives);
+//! * [`exec_parallel`] — the wall-clock path: real jobs on one OS thread
+//!   each over the threaded [`sharing`] runtime, with optional partition
+//!   readahead (what the daemon's `wallclock` mode drives).
 
 pub mod chunk;
 pub mod exec;
+pub mod exec_parallel;
 pub mod global_table;
 pub mod graphm;
 pub mod job;
@@ -40,6 +44,9 @@ pub mod source;
 
 pub use chunk::{chunk_size_bytes, label_partition, Chunk, ChunkEntry, ChunkTable};
 pub use exec::{StreamContext, StreamRun};
+pub use exec_parallel::{
+    run_shared_wallclock, WallClockConfig, WallClockExecutor, WallJobReport, WallRunReport,
+};
 pub use global_table::GlobalTable;
 pub use graphm::{GraphM, GraphMConfig};
 pub use job::{EdgeOutcome, GraphJob, JobHandle, JobId};
@@ -47,6 +54,6 @@ pub use profile::{ProfileSample, Profiler};
 pub use runner::{run_scheme, JobReport, RunReport, RunnerConfig, Scheme, Submission};
 pub use scheduler::{loading_order, priority, SchedulingPolicy};
 pub use service::{JobPhase, SharingService};
-pub use sharing::{SharedPartition, SharingRuntime};
+pub use sharing::{PrefetchHook, SharedPartition, SharingRuntime};
 pub use snapshot::{SnapshotStore, Version};
 pub use source::{PartitionSource, VecSource};

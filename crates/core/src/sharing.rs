@@ -20,8 +20,16 @@ use crate::scheduler::{loading_order, SchedulingPolicy};
 use crate::source::PartitionSource;
 use graphm_graph::Edge;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
+
+/// A readahead callback: called (under the runtime lock, so it must only
+/// enqueue) with the ids of the partitions that will be loaded next, each
+/// time the runtime advances to a new partition. Disk-backed sources hand
+/// this to a `Prefetcher` thread that issues `madvise(MADV_WILLNEED)`
+/// ahead of the sweep (hiding cold-store latency under compute, à la
+/// GraphD's pipelined loading).
+pub type PrefetchHook = Arc<dyn Fn(&[usize]) + Send + Sync>;
 
 /// A shared, loaded partition handed to a job by `Sharing()`.
 pub struct SharedPartition {
@@ -48,6 +56,45 @@ struct Inner {
     loads: u64,
     /// Chunk-progress window state for the current partition.
     progress: HashMap<JobId, usize>,
+    /// Multiset of `progress` values (count per chunk index). Its first
+    /// key is the minimum progress, so pacing is O(log jobs) per chunk
+    /// instead of an O(jobs) scan.
+    progress_counts: BTreeMap<usize, usize>,
+}
+
+impl Inner {
+    fn progress_count_add(&mut self, idx: usize) {
+        *self.progress_counts.entry(idx).or_insert(0) += 1;
+    }
+
+    fn progress_count_remove(&mut self, idx: usize) {
+        match self.progress_counts.get_mut(&idx) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.progress_counts.remove(&idx);
+            }
+            None => debug_assert!(false, "removing an untracked progress value"),
+        }
+    }
+
+    fn set_progress(&mut self, job: JobId, idx: usize) {
+        if let Some(old) = self.progress.insert(job, idx) {
+            self.progress_count_remove(old);
+        }
+        self.progress_count_add(idx);
+    }
+
+    fn clear_progress(&mut self, job: JobId) {
+        if let Some(old) = self.progress.remove(&job) {
+            self.progress_count_remove(old);
+        }
+    }
+
+    /// Minimum chunk progress among co-processing jobs (`None` when no job
+    /// has fetched the current partition yet).
+    fn min_progress(&self) -> Option<usize> {
+        self.progress_counts.keys().next().copied()
+    }
 }
 
 /// The runtime object shared by all job threads.
@@ -56,11 +103,17 @@ pub struct SharingRuntime {
     /// Partition → interested-jobs table (§3.3.1).
     pub global: GlobalTable,
     policy: SchedulingPolicy,
-    /// Maximum chunk-index spread jobs may have while co-processing a
-    /// partition (1 = lock-step).
+    /// Pacing window: a job may process chunk `c` only while `c <
+    /// min_progress + window`, bounding concurrent traversal positions
+    /// within `window - 1` chunks (2 = lock-step). Values below 2 are
+    /// clamped: with `window = 1`, every co-processing job at chunk `c`
+    /// would need `c + 1 < c + 1` to advance — a guaranteed deadlock.
     window: usize,
     inner: Mutex<Inner>,
     cv: Condvar,
+    /// Optional readahead hook + lookahead depth (how many upcoming
+    /// partitions to announce on every advance).
+    prefetch: Mutex<Option<(PrefetchHook, usize)>>,
 }
 
 impl SharingRuntime {
@@ -76,10 +129,18 @@ impl SharingRuntime {
             source,
             global,
             policy,
-            window: window.max(1),
+            window: window.max(2),
             inner: Mutex::new(Inner::default()),
             cv: Condvar::new(),
+            prefetch: Mutex::new(None),
         })
+    }
+
+    /// Installs a readahead hook: on every partition advance the runtime
+    /// calls `hook` with (up to) the next `lookahead` partition ids of the
+    /// current sweep's loading order.
+    pub fn set_prefetch(&self, hook: PrefetchHook, lookahead: usize) {
+        *self.prefetch.lock() = Some((hook, lookahead.max(1)));
     }
 
     /// Number of shared partition loads performed so far.
@@ -109,7 +170,7 @@ impl SharingRuntime {
             if inner.pending.contains(&job) {
                 let pid = inner.current_pid.expect("pending implies a current partition");
                 let edges = Arc::clone(inner.buffer.as_ref().expect("buffer loaded"));
-                inner.progress.insert(job, 0);
+                inner.set_progress(job, 0);
                 return Some(SharedPartition { pid, edges, sweep: inner.sweep });
             }
             if inner.current_pid.is_none() {
@@ -120,30 +181,43 @@ impl SharingRuntime {
                     self.begin_sweep(&mut inner);
                     continue;
                 }
-                return None;
+                if inner.participants.contains(&job) || !inner.registered.contains(&job) {
+                    // This job's sweep is over (or the job is unknown).
+                    return None;
+                }
+                // Registered mid-sweep: the previous sweep just drained but
+                // its participants have not all ended their iterations yet.
+                // Wait for the next sweep instead of reporting a spurious
+                // empty iteration.
             }
             // Suspended: this job does not need the current partition
-            // (Algorithm 2 lines 5–7).
+            // (Algorithm 2 lines 5–7), or is waiting for the next sweep.
             self.cv.wait(&mut inner);
         }
     }
 
     /// `Start()`/chunk pacing — blocks until `job` may process chunk
     /// `chunk_idx` of the current partition, i.e. until every co-processing
-    /// job is within `window` chunks behind. Call once per chunk.
+    /// job is within `window` chunks behind. Call once per chunk. O(log
+    /// jobs) per call: the minimum progress is maintained as a counted
+    /// multiset, not recomputed by scanning every pending job.
     pub fn pace_chunk(&self, job: JobId, chunk_idx: usize) {
         let mut inner = self.inner.lock();
         loop {
-            let min_progress = inner
-                .pending
-                .iter()
-                .filter_map(|j| inner.progress.get(j))
-                .copied()
-                .min()
-                .unwrap_or(chunk_idx);
+            // Jobs enter `progress` (at 0) when `sharing` hands them the
+            // partition and leave it at their barrier, so the multiset is
+            // exactly the co-processing set the window constrains.
+            let min_progress = inner.min_progress().unwrap_or(chunk_idx);
             if chunk_idx < min_progress + self.window {
-                inner.progress.insert(job, chunk_idx);
-                self.cv.notify_all();
+                inner.set_progress(job, chunk_idx);
+                // Pacing waiters block on the *minimum* progress; waking
+                // them on every chunk of every job is a thundering herd.
+                // Only a min advance (this job was the last one holding
+                // it back) can unblock anyone. Barrier/advance keep their
+                // unconditional notifies for partition turnover.
+                if inner.min_progress() > Some(min_progress) {
+                    self.cv.notify_all();
+                }
                 return;
             }
             self.cv.wait(&mut inner);
@@ -156,7 +230,7 @@ impl SharingRuntime {
         let mut inner = self.inner.lock();
         debug_assert_eq!(inner.current_pid, Some(pid), "barrier for a stale partition");
         inner.pending.remove(&job);
-        inner.progress.remove(&job);
+        inner.clear_progress(job);
         if inner.pending.is_empty() {
             self.advance(&mut inner);
         }
@@ -206,10 +280,15 @@ impl SharingRuntime {
         inner.participants = inner.registered.clone();
         inner.order = loading_order(&self.global, self.policy).into();
         self.advance(inner);
+        // Jobs parked in `sharing` awaiting this sweep must learn that it
+        // started — `end_iteration` notifies after calling here, but the
+        // `sharing`-initiated path would otherwise wake nobody.
+        self.cv.notify_all();
     }
 
     fn advance(&self, inner: &mut Inner) {
         inner.progress.clear();
+        inner.progress_counts.clear();
         loop {
             match inner.order.pop_front() {
                 Some(pid) => {
@@ -222,6 +301,10 @@ impl SharingRuntime {
                     if jobs.is_empty() {
                         continue;
                     }
+                    // Feed the readahead thread before paying for the load:
+                    // the upcoming window is advised while this partition
+                    // is (loaded and) processed.
+                    self.announce_prefetch(inner);
                     // One load serves every interested job.
                     inner.buffer = Some(self.source.load(pid));
                     inner.current_pid = Some(pid);
@@ -236,6 +319,19 @@ impl SharingRuntime {
                     inner.sweep_done = true;
                     return;
                 }
+            }
+        }
+    }
+
+    /// Announces the next partitions of the current order to the prefetch
+    /// hook, if one is installed. Cheap (the hook only enqueues), and
+    /// called under the runtime lock so the announced window is exact.
+    fn announce_prefetch(&self, inner: &Inner) {
+        let hook = self.prefetch.lock().clone();
+        if let Some((hook, lookahead)) = hook {
+            let upcoming: Vec<usize> = inner.order.iter().copied().take(lookahead).collect();
+            if !upcoming.is_empty() {
+                hook(&upcoming);
             }
         }
     }
@@ -334,6 +430,124 @@ mod tests {
         assert_eq!(h0.join().unwrap(), vec![0], "job 0 only handles partition 0");
         assert_eq!(h1.join().unwrap(), vec![1]);
         assert_eq!(rt.loads(), 2);
+    }
+
+    /// Stress: jobs keep registering *mid-sweep* while 8+ threads hammer
+    /// many short sweeps. Invariants pinned here:
+    ///
+    /// * a joiner participates only from the *next* sweep — every
+    ///   iteration it runs sees the whole graph (no partial first sweep,
+    ///   and no spurious empty iteration between sweeps);
+    /// * every `(sweep, partition)` pair with interested jobs is loaded
+    ///   exactly once (`loads()` equals the distinct pairs observed);
+    /// * nothing deadlocks and no wakeup is lost (the test completes).
+    #[test]
+    fn stress_mid_sweep_registration_joins_next_sweep() {
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+
+        let parts = 4usize;
+        let src = source(parts);
+        let total_edges = 1024u64;
+        let rt = SharingRuntime::new(src, SchedulingPolicy::Prioritized, 2);
+        let all_pids: Vec<usize> = (0..parts).collect();
+        let pairs = Arc::new(StdMutex::new(HashSet::<(u64, usize)>::new()));
+
+        let spawn_job = |job: JobId, iters: usize| {
+            let rt = Arc::clone(&rt);
+            let pids = all_pids.clone();
+            let pairs = Arc::clone(&pairs);
+            std::thread::spawn(move || {
+                for it in 0..iters {
+                    let mut sweep_ids = HashSet::new();
+                    let mut edges_seen = 0u64;
+                    while let Some(sp) = rt.sharing(job) {
+                        sweep_ids.insert(sp.sweep);
+                        pairs.lock().unwrap().insert((sp.sweep, sp.pid));
+                        let per = sp.edges.len().div_ceil(3).max(1);
+                        for (ci, chunk) in sp.edges.chunks(per).enumerate() {
+                            rt.pace_chunk(job, ci);
+                            edges_seen += chunk.len() as u64;
+                        }
+                        rt.barrier(job, sp.pid);
+                    }
+                    assert_eq!(edges_seen, 1024, "job {job} iteration {it} saw a partial sweep");
+                    assert_eq!(
+                        sweep_ids.len(),
+                        1,
+                        "job {job} iteration {it} spanned sweeps {sweep_ids:?}"
+                    );
+                    let last = it + 1 == iters;
+                    rt.end_iteration(job, if last { None } else { Some(&pids) });
+                }
+            })
+        };
+
+        // Four residents start together...
+        let mut handles = Vec::new();
+        for job in 0..4 {
+            rt.register_job(job, &all_pids);
+        }
+        for job in 0..4 {
+            handles.push(spawn_job(job, 10));
+        }
+        // ...and six more join while sweeps are in flight (staggered so
+        // registrations land at arbitrary points inside sweeps).
+        for job in 4..10usize {
+            std::thread::sleep(std::time::Duration::from_millis(1 + (job as u64 % 3)));
+            rt.register_job(job, &all_pids);
+            handles.push(spawn_job(job, 4));
+        }
+        for h in handles {
+            h.join().expect("job thread panicked");
+        }
+        let distinct = pairs.lock().unwrap().len() as u64;
+        assert_eq!(rt.loads(), distinct, "every (sweep, partition) pair loaded exactly once");
+        assert!(distinct < 10 * 10 * parts as u64, "sharing engaged (not per-job loads)");
+        let _ = total_edges;
+    }
+
+    /// Stress: 8 lock-step threads through many short sweeps (the
+    /// tightest window — 1 clamps to 2, the lock-step spread — and tiny
+    /// partitions): the pacing fast-path and sweep turnover under maximum
+    /// contention.
+    #[test]
+    fn stress_many_short_sweeps_lock_step() {
+        let parts = 2usize;
+        let src = source(parts);
+        let rt = SharingRuntime::new(src, SchedulingPolicy::Default, 1);
+        let all_pids: Vec<usize> = (0..parts).collect();
+        let jobs = 8usize;
+        let iters = 40usize;
+        for job in 0..jobs {
+            rt.register_job(job, &all_pids);
+        }
+        let seen = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for job in 0..jobs {
+            let rt = Arc::clone(&rt);
+            let pids = all_pids.clone();
+            let seen = Arc::clone(&seen);
+            handles.push(std::thread::spawn(move || {
+                for it in 0..iters {
+                    while let Some(sp) = rt.sharing(job) {
+                        let per = sp.edges.len().div_ceil(8).max(1);
+                        for (ci, chunk) in sp.edges.chunks(per).enumerate() {
+                            rt.pace_chunk(job, ci);
+                            seen.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                        }
+                        rt.barrier(job, sp.pid);
+                    }
+                    let last = it + 1 == iters;
+                    rt.end_iteration(job, if last { None } else { Some(&pids) });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("job thread panicked");
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), (1024 * jobs * iters) as u64);
+        assert_eq!(rt.loads(), (parts * iters) as u64);
     }
 
     #[test]

@@ -8,13 +8,13 @@
 //! * **Wall-clock** ([`wall`]) — real OS threads, real caches: `-S` runs
 //!   jobs back-to-back, `-C` gives each thread a *private clone* of every
 //!   block it streams, `-M` routes loads through the threaded
-//!   [`SharingRuntime`] with chunk pacing. Used by the Criterion benches.
+//!   [`graphm_core::SharingRuntime`] with chunk pacing. Used by the Criterion benches.
 
 use crate::engine::GridGraphEngine;
 use crate::source::GridSource;
 use graphm_core::{
     run_scheme, GraphJob, GraphM, GraphMConfig, PartitionSource, RunReport, RunnerConfig, Scheme,
-    SharingRuntime, Submission,
+    Submission,
 };
 use graphm_graph::EDGE_BYTES;
 use std::sync::Arc;
@@ -147,88 +147,26 @@ pub mod wall {
     }
 
     /// GridGraph-M: one OS thread per job, loads routed through the
-    /// threaded [`SharingRuntime`]; jobs pace each other chunk-by-chunk
-    /// through one shared buffer.
+    /// threaded [`graphm_core::SharingRuntime`]; jobs pace each other chunk-by-chunk
+    /// through one shared buffer. Delegates to the engine-agnostic
+    /// [`graphm_core::WallClockExecutor`], which also powers the daemon's
+    /// `wallclock` mode and the disk-resident speedup bench.
     pub fn run_shared(
         jobs: Vec<Box<dyn GraphJob>>,
         engine: &GridGraphEngine,
         max_iters: usize,
     ) -> WallReport {
-        let start = Instant::now();
-        let source = Arc::new(GridSource::new(engine.grid()));
-        let gm = Arc::new(GraphM::init(source.as_ref(), 8, GraphMConfig::default()));
-        let rt = SharingRuntime::new(
-            source.clone() as Arc<dyn PartitionSource>,
-            graphm_core::SchedulingPolicy::Prioritized,
-            2,
-        );
-        // Register everyone before starting threads so the first sweep
-        // serves the full batch.
-        let mut initial_pids = Vec::new();
-        for (id, job) in jobs.iter().enumerate() {
-            let pids: Vec<usize> = source
-                .order()
-                .into_iter()
-                .filter(|&pid| gm.partition_active(pid, job.active()))
-                .collect();
-            rt.register_job(id, &pids);
-            initial_pids.push(pids);
-        }
-        let mut handles = Vec::new();
-        for (id, mut job) in jobs.into_iter().enumerate() {
-            let rt = Arc::clone(&rt);
-            let gm = Arc::clone(&gm);
-            let source = Arc::clone(&source);
-            handles.push(std::thread::spawn(move || {
-                let mut iters = 0usize;
-                loop {
-                    while let Some(sp) = rt.sharing(id) {
-                        let table = &gm.tables[sp.pid];
-                        for (ci, chunk) in table.chunks.iter().enumerate() {
-                            rt.pace_chunk(id, ci);
-                            if job.skips_inactive() && !chunk.any_active(job.active()) {
-                                continue;
-                            }
-                            for e in &sp.edges[chunk.edges.clone()] {
-                                if !job.skips_inactive() || job.active().get(e.src as usize) {
-                                    job.process_edge(e);
-                                }
-                            }
-                        }
-                        rt.barrier(id, sp.pid);
-                    }
-                    iters += 1;
-                    let converged = job.end_iteration() || iters >= max_iters;
-                    if converged {
-                        rt.end_iteration(id, None);
-                        break;
-                    }
-                    let pids: Vec<usize> = source
-                        .order()
-                        .into_iter()
-                        .filter(|&pid| gm.partition_active(pid, job.active()))
-                        .collect();
-                    if pids.is_empty() {
-                        rt.end_iteration(id, None);
-                        break;
-                    }
-                    rt.end_iteration(id, Some(&pids));
-                }
-                (job.vertex_values(), iters)
-            }));
-        }
-        let mut results = Vec::new();
-        let mut iterations = Vec::new();
-        for h in handles {
-            let (vals, iters) = h.join().expect("job thread panicked");
-            results.push(vals);
-            iterations.push(iters);
-        }
+        let source: Arc<dyn PartitionSource> = Arc::new(GridSource::new(engine.grid()));
+        let cfg = graphm_core::WallClockConfig {
+            max_iterations: max_iters,
+            ..graphm_core::WallClockConfig::default()
+        };
+        let report = graphm_core::run_shared_wallclock(source, jobs, &cfg, None);
         WallReport {
-            total_ms: start.elapsed().as_secs_f64() * 1e3,
-            results,
-            iterations,
-            loads: rt.loads(),
+            total_ms: report.total_ms,
+            iterations: report.jobs.iter().map(|j| j.iterations).collect(),
+            results: report.jobs.into_iter().map(|j| j.values).collect(),
+            loads: report.partition_loads,
         }
     }
 

@@ -7,9 +7,10 @@
 //! ```text
 //! graphm-server --store DIR [--socket PATH] [--tcp ADDR]
 //!               [--batch-window-ms N] [--profile default|test]
+//!               [--mode deterministic|wallclock]
 //! ```
 
-use graphm_server::{Server, ServerConfig};
+use graphm_server::{ExecutionMode, Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::exit;
 use std::time::Duration;
@@ -17,13 +18,15 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: graphm-server --store DIR [--socket PATH] [--tcp ADDR] \
-         [--batch-window-ms N] [--profile default|test]\n\
+         [--batch-window-ms N] [--profile default|test] [--mode deterministic|wallclock]\n\
          \n\
          --store DIR          grid store written by graphm-convert (required)\n\
          --socket PATH        unix-domain socket to listen on\n\
          --tcp ADDR           tcp address to listen on, e.g. 127.0.0.1:7421\n\
          --batch-window-ms N  idle-round batching window (default 20)\n\
          --profile NAME       simulated memory profile (default|test)\n\
+         --mode NAME          deterministic (virtual-time replay, the default) or\n\
+                              wallclock (threaded sweeps + partition prefetch)\n\
          \n\
          at least one of --socket / --tcp is required"
     );
@@ -36,6 +39,7 @@ fn main() {
     let mut tcp: Option<String> = None;
     let mut window_ms: u64 = 20;
     let mut profile = graphm_graph::MemoryProfile::DEFAULT;
+    let mut mode = ExecutionMode::Deterministic;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,6 +66,12 @@ fn main() {
                     }
                 }
             }
+            "--mode" => {
+                mode = ExecutionMode::from_name(&value("--mode")).unwrap_or_else(|| {
+                    eprintln!("unknown mode (expected deterministic or wallclock)");
+                    usage();
+                })
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -80,6 +90,7 @@ fn main() {
     config.tcp_addr = tcp;
     config.batch_window = Duration::from_millis(window_ms);
     config.profile = profile;
+    config.mode = mode;
 
     let server = Server::start(config).unwrap_or_else(|e| {
         eprintln!("failed to start: {e}");
@@ -93,8 +104,11 @@ fn main() {
     }
     let stats = server.stats();
     eprintln!(
-        "[graphm-server] serving {} partitions over {} vertices; submit with graphm-client",
-        stats.num_partitions, stats.num_vertices
+        "[graphm-server] serving {} partitions over {} vertices in {} mode; \
+         submit with graphm-client",
+        stats.num_partitions,
+        stats.num_vertices,
+        mode.name()
     );
     // Park until a client requests shutdown; queued jobs drain first.
     server.join();

@@ -29,9 +29,13 @@
 use crate::protocol::{
     error_response, parse_request, report_to_json, JobState, Request, ServerStats,
 };
-use graphm_core::{GraphJob, JobId, JobReport, PartitionSource, RunnerConfig, SharingService};
+use graphm_cachesim::VirtualClock;
+use graphm_core::{
+    GraphJob, JobId, JobReport, PartitionSource, RunnerConfig, SharingService, WallClockConfig,
+    WallClockExecutor,
+};
 use graphm_graph::{GraphError, MemoryProfile, Result};
-use graphm_store::DiskGridSource;
+use graphm_store::{DiskGridSource, PrefetchTarget, Prefetcher};
 use graphm_workloads::JobSpec;
 use serde_json::{json, Value};
 use std::collections::{HashMap, VecDeque};
@@ -43,6 +47,46 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// How the runtime thread executes jobs.
+///
+/// Both modes drain the same submission queue into the same shared-store
+/// sharing runtime and produce **algorithmically identical** reports
+/// (same vertex values, same converged iteration counts) — they differ
+/// only in what the timing fields mean and how fast the wall clock moves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Bit-exact virtual-time replay through the simulated memory
+    /// hierarchy (`SharingService`) on one OS thread — what tests and
+    /// figure harnesses compare against.
+    #[default]
+    Deterministic,
+    /// Real parallel serving: one OS thread per job over the threaded
+    /// `SharingRuntime` (`WallClockExecutor`), with a partition
+    /// [`Prefetcher`] reading the §4 loading order ahead. Report timing
+    /// fields carry wall-clock nanoseconds; `instructions` and the
+    /// simulated clock breakdown are zero.
+    Wallclock,
+}
+
+impl ExecutionMode {
+    /// CLI / wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutionMode::Deterministic => "deterministic",
+            ExecutionMode::Wallclock => "wallclock",
+        }
+    }
+
+    /// Parses a CLI / wire name.
+    pub fn from_name(s: &str) -> Option<ExecutionMode> {
+        match s {
+            "deterministic" => Some(ExecutionMode::Deterministic),
+            "wallclock" => Some(ExecutionMode::Wallclock),
+            _ => None,
+        }
+    }
+}
 
 /// How a daemon is configured.
 #[derive(Clone, Debug)]
@@ -74,6 +118,8 @@ pub struct ServerConfig {
     /// jobs are evicted past this cap; waiting on an evicted id reports
     /// an unknown job.
     pub max_done_reports: usize,
+    /// How the runtime thread executes jobs (see [`ExecutionMode`]).
+    pub mode: ExecutionMode,
 }
 
 impl ServerConfig {
@@ -88,6 +134,7 @@ impl ServerConfig {
             batch_window: Duration::from_millis(20),
             state_bytes_per_vertex: 8,
             max_done_reports: 1024,
+            mode: ExecutionMode::Deterministic,
         }
     }
 }
@@ -247,9 +294,32 @@ impl Server {
             let shared = Arc::clone(&shared);
             let window = config.batch_window;
             let sbpv = config.state_bytes_per_vertex.max(1);
+            let mode = config.mode;
+            let wall_cfg = WallClockConfig {
+                state_bytes_per_vertex: sbpv,
+                ..WallClockConfig::new(config.profile)
+            };
             let spawned = std::thread::Builder::new()
                 .name("graphm-runtime".to_string())
-                .spawn(move || runtime_loop(&shared, source.as_ref(), runner_cfg, sbpv, window))
+                .spawn(move || {
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match mode {
+                            ExecutionMode::Deterministic => {
+                                runtime_loop(&shared, source.as_ref(), runner_cfg, sbpv, window)
+                            }
+                            ExecutionMode::Wallclock => {
+                                runtime_loop_wallclock(&shared, source, wall_cfg, window)
+                            }
+                        }));
+                    if result.is_err() {
+                        // A runtime panic (e.g. thread-spawn exhaustion in
+                        // a wallclock batch) must not strand clients: stop
+                        // admissions and fail every waiter cleanly instead
+                        // of leaving them parked on done_cv forever.
+                        shared.request_shutdown();
+                        publish_runtime_exit(&shared);
+                    }
+                })
                 .map_err(|e| abort(&mut threads, e));
             threads.push(spawned?);
         }
@@ -388,12 +458,127 @@ fn runtime_loop(
             }
         }
     }
-    // Publish the exit under the jobs lock so a waiter's check-then-wait
-    // cannot race past it, then wake every waiter for its final check.
+    publish_runtime_exit(shared);
+}
+
+/// Publishes the runtime thread's exit under the jobs lock so a waiter's
+/// check-then-wait cannot race past it, then wakes every waiter for its
+/// final check.
+fn publish_runtime_exit(shared: &Shared) {
     let jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
     shared.runtime_exited.store(true, Ordering::SeqCst);
     drop(jobs);
     shared.done_cv.notify_all();
+}
+
+/// The wall-clock runtime: drains submission batches into a
+/// [`WallClockExecutor`] — one OS thread per job over the threaded
+/// sharing runtime, partition readahead fed by the §4 loading order.
+/// Jobs arriving while a batch is running join the next batch (the next
+/// "round" here is a whole executor batch rather than a sweep).
+///
+/// Report mapping: vertex values, iterations, and edges processed are the
+/// real algorithm outcome (identical to deterministic mode); `submit_ns`/
+/// `finish_ns` are wall nanoseconds since the runtime started;
+/// `clock.compute_ns` carries the job thread's wall time; `instructions`
+/// and the remaining simulated-clock fields are zero.
+fn runtime_loop_wallclock(
+    shared: &Shared,
+    source: Arc<DiskGridSource>,
+    cfg: WallClockConfig,
+    batch_window: Duration,
+) {
+    let prefetcher = Prefetcher::spawn(Arc::clone(&source) as Arc<dyn PrefetchTarget>);
+    let exec = WallClockExecutor::new(
+        Arc::clone(&source) as Arc<dyn PartitionSource>,
+        cfg,
+        Some(prefetcher.hook()),
+    );
+    {
+        let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.chunk_bytes = exec.chunk_bytes() as u64;
+    }
+    let epoch = std::time::Instant::now();
+    let mut loads_total = 0u64;
+    loop {
+        // Idle: wait for the first arrival of the next round (or shutdown).
+        {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while q.pending.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            if q.pending.is_empty() {
+                break; // Shutdown with an empty queue.
+            }
+        }
+        // Let the concurrent burst land in one batch.
+        if !batch_window.is_zero() {
+            std::thread::sleep(batch_window);
+        }
+        {
+            let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+            stats.rounds += 1;
+        }
+        loop {
+            let drained: Vec<(JobId, Box<dyn GraphJob>)> = {
+                let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                q.pending.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            let mut ids = Vec::with_capacity(drained.len());
+            let mut batch = Vec::with_capacity(drained.len());
+            {
+                let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+                for (id, job) in drained {
+                    jobs.entries.insert(id, JobEntry::Running);
+                    ids.push(id);
+                    batch.push(job);
+                }
+            }
+            let batch_start_ns = epoch.elapsed().as_nanos() as f64;
+            let round = exec.run_batch(batch);
+            loads_total += round.partition_loads;
+            let finished: Vec<JobReport> = round
+                .jobs
+                .into_iter()
+                .zip(&ids)
+                .map(|(wj, &id)| JobReport {
+                    id,
+                    name: wj.name,
+                    iterations: wj.iterations,
+                    clock: VirtualClock {
+                        compute_ns: wj.busy_ms * 1e6,
+                        mem_access_ns: 0.0,
+                        disk_ns: 0.0,
+                        sync_ns: 0.0,
+                    },
+                    instructions: 0,
+                    edges_processed: wj.edges_processed,
+                    submit_ns: batch_start_ns,
+                    finish_ns: batch_start_ns + wj.finish_ms * 1e6,
+                    values: wj.values,
+                })
+                .collect();
+            {
+                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                stats.partition_loads = loads_total;
+                stats.virtual_ns = epoch.elapsed().as_nanos() as f64;
+                stats.jobs_completed += finished.len() as u64;
+                let pf = source.prefetch_stats();
+                stats.prefetch_issued = pf.issued;
+                stats.prefetch_hits = pf.hits;
+            }
+            let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            for report in finished {
+                jobs.finish(report);
+            }
+            drop(jobs);
+            shared.done_cv.notify_all();
+        }
+    }
+    publish_runtime_exit(shared);
 }
 
 fn publish_finished(shared: &Shared, svc: &mut SharingService<'_>) {

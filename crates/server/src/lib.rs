@@ -53,5 +53,5 @@ pub mod daemon;
 pub mod protocol;
 
 pub use client::{Client, ClientError};
-pub use daemon::{Server, ServerConfig};
+pub use daemon::{ExecutionMode, Server, ServerConfig};
 pub use protocol::{JobState, Request, ServerStats};

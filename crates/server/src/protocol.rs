@@ -99,7 +99,14 @@ pub struct ServerStats {
     pub num_vertices: u64,
     /// Formula-1 chunk size the service preprocessed with.
     pub chunk_bytes: u64,
-    /// Current virtual time of the runtime's clock.
+    /// Readahead hints issued by the wallclock-mode prefetcher
+    /// (deterministic mode performs no prefetch and reports 0).
+    pub prefetch_issued: u64,
+    /// Partition loads that found their segment already advised — the
+    /// prefetcher ran ahead of the sweep.
+    pub prefetch_hits: u64,
+    /// Current virtual time of the runtime's clock (wall nanoseconds
+    /// since runtime start in wallclock mode).
     pub virtual_ns: f64,
 }
 
@@ -114,6 +121,8 @@ impl ServerStats {
             "num_partitions": self.num_partitions,
             "num_vertices": self.num_vertices,
             "chunk_bytes": self.chunk_bytes,
+            "prefetch_issued": self.prefetch_issued,
+            "prefetch_hits": self.prefetch_hits,
             "virtual_ns": self.virtual_ns,
         })
     }
@@ -131,6 +140,10 @@ impl ServerStats {
             num_partitions: u("num_partitions")?,
             num_vertices: u("num_vertices")?,
             chunk_bytes: u("chunk_bytes")?,
+            // Added after the first daemon release; default to 0 so a new
+            // client can still read stats from an older daemon.
+            prefetch_issued: v.get("prefetch_issued").and_then(Value::as_u64).unwrap_or(0),
+            prefetch_hits: v.get("prefetch_hits").and_then(Value::as_u64).unwrap_or(0),
             virtual_ns: v
                 .get("virtual_ns")
                 .and_then(Value::as_f64)
@@ -444,6 +457,8 @@ mod tests {
             num_partitions: 16,
             num_vertices: 600,
             chunk_bytes: 4096,
+            prefetch_issued: 12,
+            prefetch_hits: 9,
             virtual_ns: 1.5e9,
         };
         let back = ServerStats::from_json(&s.to_json()).unwrap();

@@ -38,10 +38,12 @@
 
 pub mod convert;
 pub mod mmap;
+pub mod prefetch;
 pub mod source;
 
 pub use convert::{convert_fresh, segment_file_name, Convert};
-pub use source::{DiskGridSource, DiskShardSource};
+pub use prefetch::Prefetcher;
+pub use source::{DiskGridSource, DiskShardSource, PrefetchStats, PrefetchTarget};
 
 #[cfg(test)]
 mod tests {

@@ -65,6 +65,18 @@ impl FileView {
             FileView::Owned(_) => false,
         }
     }
+
+    /// Asks the kernel to page the whole view in ahead of use
+    /// (`madvise(MADV_WILLNEED)`). Returns whether a readahead hint was
+    /// actually issued — owned views are already resident and report
+    /// `false`.
+    pub fn advise_willneed(&self) -> bool {
+        match self {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            FileView::Mapped(m) => m.advise_willneed(),
+            FileView::Owned(_) => false,
+        }
+    }
 }
 
 #[cfg(all(unix, target_pointer_width = "64"))]
@@ -93,10 +105,13 @@ mod unix {
             offset: i64,
         ) -> *mut c_void;
         fn munmap(addr: *mut c_void, len: usize) -> i32;
+        fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
     }
 
     const PROT_READ: i32 = 1;
     const MAP_PRIVATE: i32 = 2;
+    /// `MADV_WILLNEED` is 3 on Linux, macOS, and the BSDs alike.
+    const MADV_WILLNEED: i32 = 3;
 
     /// An owned read-only mapping of a whole file.
     pub struct MappedRegion {
@@ -129,6 +144,16 @@ mod unix {
             // page-aligned; len is the mapped length.
             unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
         }
+
+        /// Issues `madvise(MADV_WILLNEED)` over the whole mapping so the
+        /// kernel starts reading it in before the first access. Returns
+        /// whether the kernel accepted the hint.
+        pub fn advise_willneed(&self) -> bool {
+            // SAFETY: ptr/len are the exact values returned by mmap;
+            // madvise only hints at access patterns, it never mutates the
+            // mapping or invalidates outstanding slices.
+            unsafe { madvise(self.ptr.as_ptr() as *mut c_void, self.len, MADV_WILLNEED) == 0 }
+        }
     }
 
     impl Drop for MappedRegion {
@@ -155,7 +180,10 @@ mod tests {
         let view = FileView::open(&std::fs::File::open(&path).unwrap()).unwrap();
         assert_eq!(view.as_slice(), &payload[..]);
         #[cfg(all(unix, target_pointer_width = "64"))]
-        assert!(view.is_mapped());
+        {
+            assert!(view.is_mapped());
+            assert!(view.advise_willneed(), "madvise accepts a whole-mapping WILLNEED");
+        }
         std::fs::remove_file(&path).ok();
     }
 
@@ -167,6 +195,7 @@ mod tests {
         let view = FileView::open(&std::fs::File::open(&path).unwrap()).unwrap();
         assert!(view.as_slice().is_empty());
         assert!(!view.is_mapped());
+        assert!(!view.advise_willneed(), "owned views have nothing to read ahead");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -21,7 +21,34 @@ use graphm_graph::{AtomicBitmap, Edge, GraphError, Result, VertexId, EDGE_BYTES}
 use std::collections::HashMap;
 use std::fs::File;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::Instant;
+
+/// Readahead counters for a disk store (see [`PrefetchTarget`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// `madvise(MADV_WILLNEED)` hints issued (deduplicated: one per
+    /// partition per load cycle).
+    pub issued: u64,
+    /// Loads that found their partition already advised — the prefetcher
+    /// won the race against the consumer.
+    pub hits: u64,
+    /// Wall nanoseconds spent issuing hints (the prefetch thread's cost,
+    /// hidden off the streaming path).
+    pub advise_ns: u64,
+}
+
+/// A partition store that can read partitions ahead of their load. The
+/// [`Prefetcher`](crate::Prefetcher) thread drives this with the upcoming
+/// window of the scheduler's loading order.
+pub trait PrefetchTarget: Send + Sync {
+    /// Hints that partition `pid` will be loaded soon.
+    fn advise(&self, pid: usize);
+
+    /// Counters accumulated so far.
+    fn prefetch_stats(&self) -> PrefetchStats;
+}
 
 /// Process-wide registry of live shared openers, keyed by canonical store
 /// directory. Holds `Weak`s so a store unmaps once every handle drops.
@@ -136,6 +163,12 @@ struct DiskStore {
     /// share one `Arc` per partition; once every holder drops it the
     /// memory is returned and only the mapping remains.
     cache: Vec<Mutex<Weak<Vec<Edge>>>>,
+    /// Per-partition "advised since last load" flags plus the global
+    /// readahead counters.
+    advised: Vec<AtomicBool>,
+    pf_issued: AtomicU64,
+    pf_hits: AtomicU64,
+    pf_advise_ns: AtomicU64,
 }
 
 impl DiskStore {
@@ -160,10 +193,23 @@ impl DiskStore {
             }
         }
         let cache = (0..segments.len()).map(|_| Mutex::new(Weak::new())).collect();
-        Ok(DiskStore { dir: dir.to_path_buf(), manifest, segments, cache })
+        let advised = (0..segments.len()).map(|_| AtomicBool::new(false)).collect();
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+            manifest,
+            segments,
+            cache,
+            advised,
+            pf_issued: AtomicU64::new(0),
+            pf_hits: AtomicU64::new(0),
+            pf_advise_ns: AtomicU64::new(0),
+        })
     }
 
     fn load(&self, pid: usize) -> Arc<Vec<Edge>> {
+        if self.advised[pid].swap(false, Ordering::AcqRel) {
+            self.pf_hits.fetch_add(1, Ordering::Relaxed);
+        }
         let mut slot = self.cache[pid].lock().unwrap_or_else(|e| e.into_inner());
         if let Some(live) = slot.upgrade() {
             return live;
@@ -171,6 +217,28 @@ impl DiskStore {
         let materialized = Arc::new(self.segments[pid].edges().to_vec());
         *slot = Arc::downgrade(&materialized);
         materialized
+    }
+
+    /// Issues a readahead hint for `pid`'s segment, at most once per load
+    /// cycle (the flag re-arms when the partition is next loaded).
+    fn advise(&self, pid: usize) {
+        if pid >= self.segments.len() || self.advised[pid].swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let start = Instant::now();
+        if let SegmentData::Mapped(view) = &self.segments[pid].data {
+            view.advise_willneed();
+        }
+        self.pf_advise_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.pf_issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn prefetch_stats(&self) -> PrefetchStats {
+        PrefetchStats {
+            issued: self.pf_issued.load(Ordering::Relaxed),
+            hits: self.pf_hits.load(Ordering::Relaxed),
+            advise_ns: self.pf_advise_ns.load(Ordering::Relaxed),
+        }
     }
 
     fn out_degrees(&self) -> Vec<u32> {
@@ -265,6 +333,16 @@ impl DiskGridSource {
     /// jobs need them; no `EdgeList` is ever materialized).
     pub fn out_degrees(&self) -> Vec<u32> {
         self.store.out_degrees()
+    }
+}
+
+impl PrefetchTarget for DiskGridSource {
+    fn advise(&self, pid: usize) {
+        self.store.advise(pid);
+    }
+
+    fn prefetch_stats(&self) -> PrefetchStats {
+        self.store.prefetch_stats()
     }
 }
 
@@ -366,6 +444,16 @@ impl DiskShardSource {
     /// Out-degrees, streamed from the mapped segments.
     pub fn out_degrees(&self) -> Vec<u32> {
         self.store.out_degrees()
+    }
+}
+
+impl PrefetchTarget for DiskShardSource {
+    fn advise(&self, pid: usize) {
+        self.store.advise(pid);
+    }
+
+    fn prefetch_stats(&self) -> PrefetchStats {
+        self.store.prefetch_stats()
     }
 }
 

@@ -7,9 +7,13 @@
 
 use crate::arrivals;
 use crate::jobmix::{generate_mix, JobSpec, MixConfig};
-use graphm_core::{run_scheme, RunReport, RunnerConfig, SchedulingPolicy, Scheme, Submission};
+use graphm_core::{
+    run_scheme, GraphJob, PartitionSource, RunReport, RunnerConfig, SchedulingPolicy, Scheme,
+    Submission, WallClockConfig, WallClockExecutor, WallRunReport,
+};
 use graphm_graph::{DatasetId, EdgeList, MemoryProfile};
-use graphm_gridgraph::{run_gridgraph, DiskGridSource, GridGraphEngine};
+use graphm_gridgraph::{run_gridgraph, DiskGridSource, GridGraphEngine, GridSource};
+use graphm_store::{PrefetchTarget, Prefetcher};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -214,6 +218,46 @@ impl Workbench {
         }
     }
 
+    /// Default wall-clock execution config for this workbench (the same
+    /// profile sizes the Formula-1 chunks).
+    pub fn wallclock_config(&self) -> WallClockConfig {
+        WallClockConfig::new(self.profile)
+    }
+
+    /// Runs `specs` on the **wall-clock** shared path — one OS thread per
+    /// job over the threaded `SharingRuntime` — alongside the
+    /// deterministic [`Workbench::run`]. Disk-backed workbenches get a
+    /// partition [`Prefetcher`] wired to the runtime's loading order
+    /// (read its counters from
+    /// [`disk_source()`](Workbench::disk_source)`.prefetch_stats()`);
+    /// in-memory workbenches have nothing to read ahead.
+    pub fn run_shared_wallclock(&self, specs: &[JobSpec]) -> WallRunReport {
+        self.run_shared_wallclock_with(specs, &self.wallclock_config())
+    }
+
+    /// [`Workbench::run_shared_wallclock`] with an explicit config.
+    pub fn run_shared_wallclock_with(
+        &self,
+        specs: &[JobSpec],
+        cfg: &WallClockConfig,
+    ) -> WallRunReport {
+        let jobs: Vec<Box<dyn GraphJob>> =
+            specs.iter().map(|s| s.instantiate(self.num_vertices, &self.out_degrees)).collect();
+        let (source, prefetcher): (Arc<dyn PartitionSource>, Option<Prefetcher>) = match &self
+            .backend
+        {
+            WorkbenchBackend::InMemory(engine) => (Arc::new(GridSource::new(engine.grid())), None),
+            WorkbenchBackend::Disk(src) => (
+                Arc::clone(src) as Arc<dyn PartitionSource>,
+                Some(Prefetcher::spawn(Arc::clone(src) as Arc<dyn PrefetchTarget>)),
+            ),
+        };
+        let hook = prefetcher.as_ref().map(Prefetcher::hook);
+        let exec = WallClockExecutor::new(source, cfg.clone(), hook);
+        exec.run_batch(jobs)
+        // `prefetcher` drops here, stopping and joining its thread.
+    }
+
     /// Convenience: run all three schemes on the same workload, immediate
     /// arrivals. Returns `(S, C, M)`.
     pub fn run_all_schemes(&self, specs: &[JobSpec]) -> (RunReport, RunReport, RunReport) {
@@ -275,6 +319,31 @@ mod tests {
                 assert!(both_unreached || (a - b).abs() < 1e-9, "{}: {a} vs {b}", js.name);
             }
         }
+    }
+
+    #[test]
+    fn wallclock_path_matches_deterministic_results() {
+        let wb = bench();
+        let specs = wb.paper_mix(4, 5);
+        let arr = crate::arrivals::immediate_arrivals(specs.len());
+        let det = wb.run(Scheme::Shared, &specs, &arr);
+        let wall = wb.run_shared_wallclock(&specs);
+        assert_eq!(wall.jobs.len(), det.jobs.len());
+        for (w, d) in wall.jobs.iter().zip(&det.jobs) {
+            assert_eq!(w.name, d.name);
+            assert_eq!(w.iterations, d.iterations, "{}", w.name);
+            assert_eq!(w.edges_processed, d.edges_processed, "{}", w.name);
+            for (a, b) in w.values.iter().zip(&d.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", w.name);
+            }
+        }
+        // Shared loads: strictly below per-job accounting.
+        let per_job: u64 = det
+            .jobs
+            .iter()
+            .map(|j| j.iterations as u64 * wb.engine().grid().num_blocks() as u64)
+            .sum();
+        assert!(wall.partition_loads < per_job, "{} vs {per_job}", wall.partition_loads);
     }
 
     #[test]

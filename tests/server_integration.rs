@@ -6,7 +6,7 @@
 
 use graphm::core::{JobReport, Scheme};
 use graphm::graph::{generators, MemoryProfile};
-use graphm::server::{Client, JobState, Server, ServerConfig};
+use graphm::server::{Client, ExecutionMode, JobState, Server, ServerConfig};
 use graphm::store::Convert;
 use graphm::workloads::{immediate_arrivals, AlgoKind, JobSpec, MixConfig, Workbench};
 use std::sync::{Arc, Barrier};
@@ -121,6 +121,91 @@ fn eight_concurrent_clients_match_in_process_run_bit_for_bit() {
     assert_eq!(stats.jobs_completed, 8);
     assert_eq!(stats.num_vertices, 600);
     assert!(stats.rounds >= 1);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Wallclock mode: real threaded sweeps with partition prefetch must
+/// produce **algorithmically identical** reports to deterministic mode —
+/// same names, iteration counts, edges processed, and vertex values
+/// (bit-for-bit) — while timing fields are free to differ; the prefetcher
+/// must record hits on the disk-resident store.
+#[test]
+fn wallclock_mode_matches_deterministic_results_with_prefetch_hits() {
+    let g = generators::rmat(600, 5200, generators::RmatParams::GRAPH500, 33);
+    let dir = store_dir("wallclock");
+    Convert::grid(4).write(&g, &dir).unwrap();
+
+    // Same shape as the deterministic headline test: capped iteration
+    // budgets keep total sweeps well below the job count so the sharing
+    // criterion (loads < jobs x partitions) has teeth.
+    let wb = Workbench::from_disk(&dir, MemoryProfile::TEST).unwrap();
+    let mix = MixConfig {
+        count: 8,
+        kinds: AlgoKind::PAPER_MIX.to_vec(),
+        seed: 19,
+        pr_max_iters: 4,
+        wcc_max_iters: 4,
+    };
+    let specs = graphm::workloads::generate_mix(wb.num_vertices(), &mix);
+
+    let mut config = ServerConfig::new(&dir);
+    config.socket_path =
+        Some(std::env::temp_dir().join(format!("graphm-wallclock-{}.sock", std::process::id())));
+    config.profile = MemoryProfile::TEST;
+    // Submissions below come sequentially from one client; a generous
+    // window lands them in one threaded batch (ids stay in submit order).
+    // The bit-exact comparison depends on that: a split batch changes the
+    // co-scheduled job set and hence the Formula-5 loading order, which
+    // legitimately perturbs f64 accumulation order. The rounds == 1
+    // assert below turns a scheduler stall into a clear diagnostic.
+    config.batch_window = Duration::from_millis(2000);
+    config.mode = ExecutionMode::Wallclock;
+    let server = Server::start(config).expect("wallclock server starts");
+    let mut client = Client::connect_unix(server.socket_path().unwrap()).unwrap();
+
+    let ids: Vec<_> = specs.iter().map(|s| client.submit(s).expect("submit")).collect();
+    let served: Vec<JobReport> = ids.iter().map(|&id| client.wait(id).expect("wait")).collect();
+    assert_eq!(
+        server.stats().rounds,
+        1,
+        "all submissions must land in one batch for the bit-exact comparison \
+         (a machine stall split the batch window; rerun)"
+    );
+
+    // Deterministic reference for the same specs in the same order.
+    let expected = wb.run(Scheme::Shared, &specs, &immediate_arrivals(specs.len()));
+
+    for (id, (got, want)) in served.iter().zip(&expected.jobs).enumerate() {
+        assert_eq!(got.name, want.name, "job {id}");
+        assert_eq!(got.iterations, want.iterations, "job {id} ({})", got.name);
+        assert_eq!(got.edges_processed, want.edges_processed, "job {id} ({})", got.name);
+        assert_eq!(got.values.len(), want.values.len(), "job {id}");
+        for (v, (a, b)) in got.values.iter().zip(&want.values).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "job {id} ({}) vertex {v}", got.name);
+        }
+        // Wallclock timing is real: non-negative wall nanoseconds, and
+        // the simulated instruction counter stays unused.
+        assert!(got.finish_ns >= got.submit_ns, "job {id}");
+        assert_eq!(got.instructions, 0, "job {id} carries no simulated instructions");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.jobs_completed, specs.len() as u64);
+    let jobs_x_partitions = (specs.len() * stats.num_partitions as usize) as u64;
+    assert!(
+        stats.partition_loads < jobs_x_partitions,
+        "threaded sharing must engage: {} loads vs jobs x partitions = {}",
+        stats.partition_loads,
+        jobs_x_partitions
+    );
+    assert!(stats.prefetch_issued > 0, "prefetcher issued no hints");
+    assert!(
+        stats.prefetch_hits > 0,
+        "prefetcher never ran ahead of a load (issued {})",
+        stats.prefetch_issued
+    );
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();

@@ -1,43 +1,414 @@
-//! Minimal, dependency-free stand-in for `rayon`.
+//! Minimal, dependency-free stand-in for `rayon` with a **real** thread
+//! pool.
 //!
 //! Exposes the `prelude` entry points the workspace uses
-//! (`into_par_iter`, `flat_map_iter`) as sequential iterator adapters, so
-//! call sites keep rayon's shape and can switch to the real crate when the
-//! build environment gains network access.
+//! (`into_par_iter`, `flat_map_iter`, `map`, `collect`) with the same
+//! call-site shape as the real crate, but executes on an in-tree
+//! chunk-splitting pool: the input is materialized, split into chunks,
+//! and the chunks are processed concurrently by a process-wide worker
+//! pool (the submitting thread helps drain its own batch, so a
+//! single-threaded pool degenerates to sequential execution and nested
+//! use cannot deadlock). Chunk results are concatenated in order, so
+//! output order — and therefore every deterministic test in the
+//! workspace — is identical to sequential execution.
+//!
+//! Pool size follows `RAYON_NUM_THREADS` when set, otherwise
+//! `std::thread::available_parallelism()`.
 
-pub mod prelude {
-    /// `IntoParallelIterator`, sequentially: yields the ordinary iterator.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// The worker pool.
+// ---------------------------------------------------------------------------
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Task>>,
+    work_cv: Condvar,
+}
+
+/// A fixed-size worker pool executing type-erased closures.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    /// Total compute lanes: worker threads + the submitting thread.
+    lanes: usize,
+}
+
+/// Per-batch completion tracking shared between the submitted tasks and
+/// the blocked submitter.
+struct Batch {
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Batch {
+    fn task_finished(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+            *done = true;
+            drop(done);
+            self.done_cv.notify_all();
         }
     }
+}
 
-    impl<I: IntoIterator> IntoParallelIterator for I {}
+impl ThreadPool {
+    /// A pool with `lanes` total compute lanes (`lanes - 1` worker
+    /// threads; the submitting thread is the last lane).
+    pub fn new(lanes: usize) -> ThreadPool {
+        let lanes = lanes.max(1);
+        let shared =
+            Arc::new(PoolShared { queue: Mutex::new(VecDeque::new()), work_cv: Condvar::new() });
+        for i in 0..lanes - 1 {
+            let shared = Arc::clone(&shared);
+            // Workers are detached and park on the queue forever; they die
+            // with the process, like rayon's global pool.
+            let _ = std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(&shared));
+        }
+        ThreadPool { shared, lanes }
+    }
 
-    /// The subset of `ParallelIterator` adapters used by the workspace,
-    /// as sequential equivalents.
-    pub trait ParallelIterator: Iterator + Sized {
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
+    /// The process-wide pool, created on first use.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let lanes = std::env::var("RAYON_NUM_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                });
+            ThreadPool::new(lanes)
+        })
+    }
+
+    /// Total compute lanes (workers + submitter).
+    pub fn num_threads(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs every closure in `tasks` to completion, concurrently where
+    /// lanes allow. Blocks until the whole batch has finished — which is
+    /// what makes handing non-`'static` closures to the workers sound:
+    /// everything they borrow outlives this call. The submitting thread
+    /// drains the shared queue while it waits, so the batch completes
+    /// even on a one-lane pool. Panics from tasks are resurfaced here.
+    pub fn run_batch<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let batch = Arc::new(Batch {
+            remaining: AtomicUsize::new(tasks.len()),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
         {
-            self.flat_map(f)
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            for task in tasks {
+                let batch = Arc::clone(&batch);
+                let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(task));
+                    if let Err(payload) = result {
+                        let mut slot = batch.panic.lock().unwrap_or_else(|e| e.into_inner());
+                        slot.get_or_insert(payload);
+                    }
+                    batch.task_finished();
+                });
+                // SAFETY: this function does not return until `remaining`
+                // hits zero, i.e. until every wrapped task has run to
+                // completion on some thread; all data the closures borrow
+                // therefore strictly outlives every use. The lifetime is
+                // erased only so the closures can sit in the 'static
+                // worker queue meanwhile.
+                let erased: Task = unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + 'scope>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(wrapped)
+                };
+                queue.push_back(erased);
+            }
+        }
+        self.shared.work_cv.notify_all();
+        // Help drain until our batch completes. Tasks from unrelated
+        // batches may be executed here too — their submitters block the
+        // same way, so their borrows are equally alive.
+        loop {
+            if *batch.done.lock().unwrap_or_else(|e| e.into_inner()) {
+                break;
+            }
+            let task = {
+                let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                queue.pop_front()
+            };
+            match task {
+                Some(task) => task(),
+                None => {
+                    // Queue drained: our remaining tasks are in flight on
+                    // worker threads; wait for the last one's signal.
+                    let mut flag = batch.done.lock().unwrap_or_else(|e| e.into_inner());
+                    while !*flag {
+                        flag = batch.done_cv.wait(flag).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        }
+        let payload = batch.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
         }
     }
+}
 
-    impl<I: Iterator> ParallelIterator for I {}
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match queue.pop_front() {
+                    Some(task) => break task,
+                    None => queue = shared.work_cv.wait(queue).unwrap_or_else(|e| e.into_inner()),
+                }
+            }
+        };
+        task();
+    }
+}
+
+/// Splits `items` into chunks, maps each chunk on the pool with
+/// `per_chunk`, and returns the per-chunk outputs in input order.
+fn run_chunked<T, R, F>(pool: &ThreadPool, items: Vec<T>, per_chunk: F) -> Vec<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Vec<T>) -> Vec<R> + Sync,
+{
+    let lanes = pool.num_threads();
+    if lanes <= 1 || items.len() <= 1 {
+        return vec![per_chunk(items)];
+    }
+    // A few chunks per lane evens out skewed per-item cost.
+    let chunks = (lanes * 4).min(items.len());
+    let per = items.len().div_ceil(chunks);
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(chunks);
+    let mut items = items.into_iter();
+    loop {
+        let part: Vec<T> = items.by_ref().take(per).collect();
+        if part.is_empty() {
+            break;
+        }
+        parts.push(part);
+    }
+    let n = parts.len();
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let per_chunk = &per_chunk;
+    let slots_ref = &slots;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, part)| {
+            Box::new(move || {
+                let out = per_chunk(part);
+                *slots_ref[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run_batch(tasks);
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().unwrap_or_else(|e| e.into_inner()).expect("chunk task completed")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The parallel-iterator facade.
+// ---------------------------------------------------------------------------
+
+/// A materialized parallel iterator over `T`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// rayon's `flat_map_iter`: `f` produces a serial iterator per item.
+    pub fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<T, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        FlatMapIter { items: self.items, f }
+    }
+
+    /// rayon's `map`.
+    pub fn map<R, F>(self, f: F) -> MapIter<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MapIter { items: self.items, f }
+    }
+
+    /// Collects the items themselves.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Pending `flat_map_iter`; executes on [`ThreadPool::global`] at
+/// `collect`.
+pub struct FlatMapIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> FlatMapIter<T, F>
+where
+    T: Send,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Runs the flat-map on the pool; output order matches sequential.
+    pub fn collect<C: FromIterator<U::Item>>(self) -> C {
+        let f = self.f;
+        let outputs = run_chunked(ThreadPool::global(), self.items, |chunk| {
+            chunk.into_iter().flat_map(&f).collect()
+        });
+        outputs.into_iter().flatten().collect()
+    }
+}
+
+/// Pending `map`; executes on [`ThreadPool::global`] at `collect`.
+pub struct MapIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> MapIter<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Runs the map on the pool; output order matches sequential.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = self.f;
+        let outputs = run_chunked(ThreadPool::global(), self.items, |chunk| {
+            chunk.into_iter().map(&f).collect()
+        });
+        outputs.into_iter().flatten().collect()
+    }
+}
+
+/// `IntoParallelIterator`: materializes the input for chunk-splitting.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// The entry-point traits, rayon-style.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::{Duration, Instant};
 
     #[test]
-    fn sequential_equivalents() {
-        let v: Vec<usize> =
+    fn matches_sequential_order() {
+        let par: Vec<usize> =
             (0..4usize).into_par_iter().flat_map_iter(|i| vec![i, i * 10]).collect();
-        assert_eq!(v, vec![0, 0, 1, 10, 2, 20, 3, 30]);
+        assert_eq!(par, vec![0, 0, 1, 10, 2, 20, 3, 30]);
+        let seq: Vec<usize> = (0..1000usize).flat_map(|i| vec![i, i * 3 + 1]).collect();
+        let par: Vec<usize> =
+            (0..1000usize).into_par_iter().flat_map_iter(|i| vec![i, i * 3 + 1]).collect();
+        assert_eq!(par, seq);
+        let mapped: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(mapped, (0..257).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn borrows_non_static_data() {
+        let data: Vec<usize> = (0..512).collect();
+        let doubled: Vec<usize> =
+            (0..data.len()).into_par_iter().flat_map_iter(|i| [data[i] * 2]).collect();
+        assert_eq!(doubled[511], 1022);
+    }
+
+    #[test]
+    fn multi_lane_pool_runs_tasks_on_distinct_threads() {
+        // An explicit 4-lane pool (the global pool may be 1-lane on small
+        // machines): 16 slow chunk tasks must land on >= 2 threads.
+        let pool = ThreadPool::new(4);
+        let ids = Mutex::new(HashSet::new());
+        let started = AtomicUsize::new(0);
+        let outputs = run_chunked(&pool, (0..16usize).collect(), |chunk| {
+            started.fetch_add(1, Ordering::SeqCst);
+            ids.lock().unwrap().insert(std::thread::current().id());
+            // Linger so parallel lanes overlap (bounded to keep CI fast).
+            let t = Instant::now();
+            while started.load(Ordering::SeqCst) < 2 && t.elapsed() < Duration::from_secs(5) {
+                std::thread::yield_now();
+            }
+            chunk
+        });
+        let flat: Vec<usize> = outputs.into_iter().flatten().collect();
+        assert_eq!(flat, (0..16).collect::<Vec<_>>());
+        assert!(ids.lock().unwrap().len() >= 2, "expected >= 2 worker threads");
+    }
+
+    #[test]
+    fn nested_collect_does_not_deadlock() {
+        let v: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .flat_map_iter(|i| {
+                let inner: Vec<usize> =
+                    (0..4usize).into_par_iter().map(move |j| i * 4 + j).collect();
+                inner
+            })
+            .collect();
+        assert_eq!(v, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..64usize)
+                .into_par_iter()
+                .map(|i| if i == 33 { panic!("boom") } else { i })
+                .collect();
+        });
+        assert!(result.is_err(), "panic inside a parallel map must surface");
     }
 }
