@@ -9,7 +9,7 @@
 //! `rank[s] / out_degree[s]` into `next[t]`; `end_iteration` applies the
 //! damping rule and tests the L1 delta against a tolerance.
 
-use graphm_core::{EdgeOutcome, GraphJob};
+use graphm_core::{EdgeOutcome, GatherKernel, GraphJob};
 use graphm_graph::{AtomicBitmap, Edge, VertexId};
 use std::sync::Arc;
 
@@ -19,10 +19,62 @@ pub struct PageRank {
     max_iters: usize,
     tolerance: f64,
     out_degrees: Arc<Vec<u32>>,
-    ranks: Vec<f64>,
+    /// Previous-iteration ranks. Shared (`Arc`) so the gather kernel can
+    /// read them from worker threads mid-iteration; mutated only in
+    /// `end_iteration`, after the runtime has dropped the kernel.
+    ranks: Arc<Vec<f64>>,
     next: Vec<f64>,
     active: AtomicBitmap,
     iters: usize,
+}
+
+/// The gather half of a degree-normalized push update:
+/// `ranks[src] / deg[src]` reads only iteration-stable state, so chunks
+/// gather concurrently; the order-sensitive `next[dst] +=` stays in the
+/// apply helpers below. Shared by [`PageRank`] and
+/// [`crate::PersonalizedPageRank`] — their edge functions are identical
+/// (only the teleport rule in `end_iteration` differs).
+pub(crate) struct PushGather {
+    pub(crate) ranks: Arc<Vec<f64>>,
+    pub(crate) out_degrees: Arc<Vec<u32>>,
+}
+
+impl GatherKernel for PushGather {
+    fn gather(&self, edges: &[Edge], out: &mut Vec<f64>) {
+        out.extend(edges.iter().map(|e| {
+            let deg = self.out_degrees[e.src as usize];
+            if deg > 0 {
+                self.ranks[e.src as usize] / deg as f64
+            } else {
+                0.0
+            }
+        }));
+    }
+}
+
+/// Serial apply of one pre-gathered push contribution — the exact add of
+/// the push `process_edge`, shared by PageRank and PPR.
+#[inline]
+pub(crate) fn apply_push_edge(next: &mut [f64], out_degrees: &[u32], e: &Edge, g: f64) {
+    if out_degrees[e.src as usize] > 0 {
+        next[e.dst as usize] += g;
+    }
+}
+
+/// Tight chunk-granular apply (no per-edge virtual dispatch): the exact
+/// adds of the push `process_edge`, in the exact order.
+pub(crate) fn apply_push_chunk(
+    next: &mut [f64],
+    out_degrees: &[u32],
+    edges: &[Edge],
+    gathered: &[f64],
+) -> u64 {
+    for (e, &g) in edges.iter().zip(gathered) {
+        if out_degrees[e.src as usize] > 0 {
+            next[e.dst as usize] += g;
+        }
+    }
+    edges.len() as u64
 }
 
 impl PageRank {
@@ -46,7 +98,7 @@ impl PageRank {
             max_iters,
             tolerance: 1e-7,
             out_degrees,
-            ranks: vec![init; n],
+            ranks: Arc::new(vec![init; n]),
             next: vec![0.0; n],
             active,
             iters: 0,
@@ -99,12 +151,34 @@ impl GraphJob for PageRank {
         EdgeOutcome { activated_dst: true }
     }
 
+    fn gather_kernel(&self) -> Option<Arc<dyn GatherKernel>> {
+        Some(Arc::new(PushGather {
+            ranks: Arc::clone(&self.ranks),
+            out_degrees: Arc::clone(&self.out_degrees),
+        }))
+    }
+
+    fn apply_gathered_chunk(&mut self, edges: &[Edge], gathered: &[f64]) -> u64 {
+        apply_push_chunk(&mut self.next, &self.out_degrees, edges, gathered)
+    }
+
+    fn apply_gathered(&mut self, e: &Edge, g: f64) -> EdgeOutcome {
+        // Adds the exact quotient `process_edge` would have added, in the
+        // same order (the executor replays applies serially).
+        apply_push_edge(&mut self.next, &self.out_degrees, e, g);
+        EdgeOutcome { activated_dst: true }
+    }
+
     fn end_iteration(&mut self) -> bool {
         self.iters += 1;
         let n = self.ranks.len().max(1) as f64;
         let base = (1.0 - self.damping) / n;
         let mut delta = 0.0;
-        for (r, nx) in self.ranks.iter_mut().zip(self.next.iter_mut()) {
+        // In-place unless a kernel from this iteration is still alive
+        // (the runtime drops kernels before end_iteration; `make_mut`
+        // keeps stragglers sound by copying).
+        let ranks = Arc::make_mut(&mut self.ranks);
+        for (r, nx) in ranks.iter_mut().zip(self.next.iter_mut()) {
             let new = base + self.damping * *nx;
             delta += (new - *r).abs();
             *r = new;
@@ -118,7 +192,7 @@ impl GraphJob for PageRank {
     }
 
     fn vertex_values(&self) -> Vec<f64> {
-        self.ranks.clone()
+        self.ranks.as_ref().clone()
     }
 }
 

@@ -7,7 +7,7 @@
 //! job-specific data while sharing every byte of graph structure — the
 //! sharing opportunity GraphM exploits.
 
-use graphm_core::{EdgeOutcome, GraphJob};
+use graphm_core::{EdgeOutcome, GatherKernel, GraphJob};
 use graphm_graph::{AtomicBitmap, Edge, VertexId};
 use std::sync::Arc;
 
@@ -18,7 +18,10 @@ pub struct PersonalizedPageRank {
     max_iters: usize,
     tolerance: f64,
     out_degrees: Arc<Vec<u32>>,
-    ranks: Vec<f64>,
+    /// Previous-iteration ranks, shared with the gather kernel (see
+    /// [`crate::PageRank`] — same contract: mutated only between
+    /// iterations, after kernels are dropped).
+    ranks: Arc<Vec<f64>>,
     next: Vec<f64>,
     active: AtomicBitmap,
     iters: usize,
@@ -46,7 +49,7 @@ impl PersonalizedPageRank {
             max_iters,
             tolerance: 1e-9,
             out_degrees,
-            ranks,
+            ranks: Arc::new(ranks),
             next: vec![0.0; n],
             active,
             iters: 0,
@@ -93,10 +96,29 @@ impl GraphJob for PersonalizedPageRank {
         EdgeOutcome { activated_dst: true }
     }
 
+    fn gather_kernel(&self) -> Option<Arc<dyn GatherKernel>> {
+        // Identical edge function to PageRank (the teleport rule lives in
+        // `end_iteration`), so the gather/apply pair is shared.
+        Some(Arc::new(crate::pagerank::PushGather {
+            ranks: Arc::clone(&self.ranks),
+            out_degrees: Arc::clone(&self.out_degrees),
+        }))
+    }
+
+    fn apply_gathered_chunk(&mut self, edges: &[Edge], gathered: &[f64]) -> u64 {
+        crate::pagerank::apply_push_chunk(&mut self.next, &self.out_degrees, edges, gathered)
+    }
+
+    fn apply_gathered(&mut self, e: &Edge, g: f64) -> EdgeOutcome {
+        crate::pagerank::apply_push_edge(&mut self.next, &self.out_degrees, e, g);
+        EdgeOutcome { activated_dst: true }
+    }
+
     fn end_iteration(&mut self) -> bool {
         self.iters += 1;
         let mut delta = 0.0;
-        for (v, (r, nx)) in self.ranks.iter_mut().zip(self.next.iter_mut()).enumerate() {
+        let ranks = Arc::make_mut(&mut self.ranks);
+        for (v, (r, nx)) in ranks.iter_mut().zip(self.next.iter_mut()).enumerate() {
             let teleport = if v == self.seed as usize { 1.0 - self.damping } else { 0.0 };
             let new = teleport + self.damping * *nx;
             delta += (new - *r).abs();
@@ -111,7 +133,7 @@ impl GraphJob for PersonalizedPageRank {
     }
 
     fn vertex_values(&self) -> Vec<f64> {
-        self.ranks.clone()
+        self.ranks.as_ref().clone()
     }
 }
 

@@ -69,6 +69,49 @@ fn main() {
         }));
     }
     println!("\n(disk-backed partitions stream from mmap'd segments; byte counts come from the manifest)");
+
+    // Residency divergence: the *virtual* metrics above are identical by
+    // design, but the page-cache model is where disk and memory sources
+    // now genuinely differ. An in-memory source has nothing to page; the
+    // disk source reports resident bytes, and once the store exceeds the
+    // memory budget an identical workload shows nonzero evictions — with
+    // job values still bit-identical.
+    let disk_src = wb_disk.disk_source().expect("disk-backed workbench");
+    let in_mem = disk_src.residency_stats();
+    assert!(in_mem.resident_bytes > 0, "streamed segments must be modeled resident");
+    assert_eq!(in_mem.evictions, 0, "an in-memory-sized (unlimited) budget never evicts");
+    let store_bytes: u64 = manifest.partitions.iter().map(|p| p.byte_len).sum();
+    disk_src.set_memory_budget(store_bytes / 2);
+    let arr = graphm_workloads::immediate_arrivals(specs.len());
+    let mem_ref = wb_mem.run(graphm_core::Scheme::Shared, &specs, &arr);
+    let disk_ooc = wb_disk.run(graphm_core::Scheme::Shared, &specs, &arr);
+    let ooc = disk_src.residency_stats();
+    disk_src.set_memory_budget(0);
+    assert!(ooc.evictions > 0, "store > memory budget must evict behind the frontier");
+    assert!(ooc.evicted_bytes > 0);
+    for (a, b) in mem_ref.jobs.iter().zip(&disk_ooc.jobs) {
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert_eq!(x.to_bits(), y.to_bits(), "eviction must not change job values");
+        }
+    }
+    println!(
+        "residency: unbudgeted resident {} B / 0 evictions; budget {} B -> resident {} B, \
+         {} evictions ({} B), job values bit-identical",
+        in_mem.resident_bytes,
+        store_bytes / 2,
+        ooc.resident_bytes,
+        ooc.evictions,
+        ooc.evicted_bytes
+    );
+
+    let residency_json = json!({
+        "unbudgeted_resident_bytes": in_mem.resident_bytes,
+        "unbudgeted_evictions": in_mem.evictions,
+        "budget_bytes": store_bytes / 2,
+        "out_of_core_resident_bytes": ooc.resident_bytes,
+        "out_of_core_evicted_bytes": ooc.evicted_bytes,
+        "out_of_core_evictions": ooc.evictions,
+    });
     graphm_bench::save_json(
         "disk_vs_memory",
         &json!({
@@ -78,6 +121,7 @@ fn main() {
             "convert_s": convert_s,
             "open_s": open_s,
             "rows": rows,
+            "residency": residency_json,
         }),
     );
     std::fs::remove_dir_all(&dir).ok();

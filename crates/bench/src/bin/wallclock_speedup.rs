@@ -16,14 +16,17 @@
 //!   baseline: `jobs x partitions x sweeps` loads instead of shared).
 //!
 //! Also sweeps the threaded path over growing batch sizes (job scaling ≈
-//! core scaling for one-thread-per-job execution) and emits
-//! `BENCH_wallclock.json`.
+//! core scaling for one-thread-per-job execution), measures the
+//! **single-heavy-job** regime (1 job × N cores: intra-job chunk fan-out
+//! vs the strict one-thread-per-job loop, gated ≥ 1.5x on ≥ 4 cores),
+//! records the disk store's resident/evicted byte accounting under an
+//! out-of-core memory budget, and emits `BENCH_wallclock.json`.
 //!
 //! Knobs: `GRAPHM_SCALE`, `GRAPHM_JOBS`, `GRAPHM_SEED`.
 
 use graphm_core::{PartitionSource, Scheme, WallClockExecutor, WallRunReport};
 use graphm_store::{PrefetchTarget, Prefetcher};
-use graphm_workloads::{immediate_arrivals, Workbench};
+use graphm_workloads::{immediate_arrivals, AlgoKind, JobSpec, Workbench};
 use serde_json::json;
 use std::sync::Arc;
 use std::time::Instant;
@@ -152,6 +155,92 @@ fn main() {
         n *= 2;
     }
 
+    // Single-heavy-job series (Figure 20's low-concurrency regime): one
+    // PageRank streaming the whole graph for many iterations. With one
+    // thread per job this leaves every other core idle; intra-job chunk
+    // fan-out must reclaim them without changing a single bit.
+    let heavy = [JobSpec { kind: AlgoKind::PageRank, damping: 0.85, root: 0, max_iters: 40 }];
+    let mut no_fan_cfg = wb.wallclock_config();
+    no_fan_cfg.chunk_fanout = false;
+    let exec_no_fan = WallClockExecutor::new(
+        Arc::clone(&disk) as Arc<dyn PartitionSource>,
+        no_fan_cfg,
+        Some(prefetcher.hook()),
+    );
+    let heavy_serial = exec_no_fan.run_batch(mk(&heavy));
+    let heavy_fan = exec.run_batch(mk(&heavy)); // chunk_fanout on by default
+    for (a, b) in heavy_serial.jobs.iter().zip(&heavy_fan.jobs) {
+        assert_eq!(a.iterations, b.iterations, "fan-out changed iteration count");
+        assert_eq!(a.edges_processed, b.edges_processed, "fan-out changed edge count");
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert_eq!(x.to_bits(), y.to_bits(), "fan-out changed job values");
+        }
+    }
+    assert_eq!(
+        heavy_serial.partition_loads, heavy_fan.partition_loads,
+        "fan-out must keep the Formula-5 shared load count"
+    );
+    let speedup_intra = heavy_serial.total_ms / heavy_fan.total_ms.max(1e-9);
+    println!(
+        "\nsingle heavy job (PageRank x 40 iters): {:.1} ms one-thread vs {:.1} ms \
+         with chunk fan-out = {speedup_intra:.2}x on {cores} cores",
+        heavy_serial.total_ms, heavy_fan.total_ms
+    );
+    // Acceptance gate: a single heavy job must run >= 1.5x faster with
+    // intra-job fan-out when cores are plentiful (1 job on >= 4 cores).
+    if cores >= 4 {
+        assert!(
+            speedup_intra >= 1.5,
+            "on {cores} cores intra-job chunk fan-out must be >= 1.5x the \
+             one-thread-per-job path (got {speedup_intra:.2}x)"
+        );
+    }
+
+    // Out-of-core residency: rerun the heavy job under a page-cache
+    // budget of half the store — the sweep must release segments behind
+    // the frontier (nonzero evictions) without changing the job's values;
+    // the unbudgeted run must never evict.
+    let rs_before = disk.residency_stats();
+    assert_eq!(rs_before.evictions, 0, "unbudgeted runs must not evict");
+    let store_bytes: u64 = manifest.partitions.iter().map(|p| p.byte_len).sum();
+    disk.set_memory_budget(store_bytes / 2);
+    let heavy_ooc = exec.run_batch(mk(&heavy));
+    let rs_ooc = disk.residency_stats();
+    disk.set_memory_budget(0);
+    for (a, b) in heavy_fan.jobs.iter().zip(&heavy_ooc.jobs) {
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert_eq!(x.to_bits(), y.to_bits(), "eviction changed job values");
+        }
+    }
+    assert!(rs_ooc.evictions > 0, "an out-of-core budget must evict behind the frontier");
+    println!(
+        "out-of-core (budget {} B): resident {} B, evicted {} B over {} evictions, \
+         adaptive prefetch window {}",
+        store_bytes / 2,
+        rs_ooc.resident_bytes,
+        rs_ooc.evicted_bytes,
+        rs_ooc.evictions,
+        rs_ooc.prefetch_window
+    );
+
+    let heavy_json = json!({
+        "algo": "pagerank",
+        "iterations": heavy_fan.jobs[0].iterations,
+        "one_thread_wall_ms": heavy_serial.total_ms,
+        "chunk_fanout_wall_ms": heavy_fan.total_ms,
+        "speedup_intra_job": speedup_intra,
+        "partition_loads": heavy_fan.partition_loads,
+    });
+    let residency_json = json!({
+        "store_bytes": store_bytes,
+        "budget_bytes": store_bytes / 2,
+        "in_memory_resident_bytes": rs_before.resident_bytes,
+        "in_memory_evictions": rs_before.evictions,
+        "out_of_core_resident_bytes": rs_ooc.resident_bytes,
+        "out_of_core_evicted_bytes": rs_ooc.evicted_bytes,
+        "out_of_core_evictions": rs_ooc.evictions,
+        "adaptive_prefetch_window": rs_ooc.prefetch_window,
+    });
     graphm_bench::save_json(
         "BENCH_wallclock",
         &json!({
@@ -174,6 +263,8 @@ fn main() {
             "prefetch_hits": pf.hits,
             "prefetch_advise_ns": pf.advise_ns,
             "core_scaling": scaling,
+            "single_heavy_job": heavy_json,
+            "residency": residency_json,
         }),
     );
     drop(exec);

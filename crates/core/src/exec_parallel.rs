@@ -31,14 +31,44 @@
 //! upcoming window on every partition advance, and a readahead thread
 //! issues `madvise(MADV_WILLNEED)` so cold segments fault in under
 //! compute.
+//!
+//! # Intra-job chunk fan-out
+//!
+//! One thread per job saturates the machine only while jobs outnumber
+//! cores. With [`WallClockConfig::chunk_fanout`] on (the default), each
+//! job additionally fans the *parallelizable slice* of its per-partition
+//! chunk loop across the process-wide worker pool, so a single heavy job
+//! uses idle cores too (the paper's Figure-20 regime at low concurrency).
+//! Results stay bit-identical to the serial loop because only
+//! order-insensitive work leaves the job's thread:
+//!
+//! * jobs that skip inactive vertices (BFS/SSSP/WCC): worker threads scan
+//!   chunks concurrently and collect the indices of active-source edges —
+//!   a pure function of the job's frontier bitmap, which is stable for
+//!   the whole iteration — and the job's thread then replays
+//!   `process_edge` over exactly the edges, in exactly the order, the
+//!   serial loop would have processed;
+//! * jobs with a [`crate::GatherKernel`] (PageRank-family): workers
+//!   compute per-edge contributions from iteration-stable state in
+//!   parallel, and the job's thread applies them serially in edge order,
+//!   so every floating-point accumulation happens in the sequential
+//!   order;
+//! * everything else falls back to the serial chunk loop.
+//!
+//! §4 pacing is preserved per chunk *index*: the job's thread still calls
+//! `pace_chunk` for every chunk in ascending order and only chunks inside
+//! the currently-paced window are in flight on workers; the partition
+//! barrier runs after the serial apply completes, exactly as before.
 
 use crate::global_table::GlobalTable;
 use crate::graphm::{GraphM, GraphMConfig};
-use crate::job::{GraphJob, JobId};
+use crate::job::{GatherKernel, GraphJob, JobId};
 use crate::scheduler::{loading_order, SchedulingPolicy};
-use crate::sharing::{PrefetchHook, SharingRuntime};
+use crate::sharing::{PrefetchHook, SharedPartition, SharingRuntime};
 use crate::source::PartitionSource;
-use graphm_graph::MemoryProfile;
+use graphm_graph::{AtomicBitmap, MemoryProfile};
+use parking_lot::Mutex;
+use rayon::ThreadPool;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -60,14 +90,23 @@ pub struct WallClockConfig {
     pub state_bytes_per_vertex: usize,
     /// Chunk-size override for ablations.
     pub chunk_bytes_override: Option<usize>,
-    /// How many upcoming partitions to announce to the prefetch hook on
-    /// every advance.
-    pub prefetch_lookahead: usize,
+    /// Upper bound on the prefetch window: how many upcoming partitions
+    /// to announce to the prefetch hook on every advance. Adaptive disk
+    /// sources advise only their current feedback-controlled window of
+    /// these (grow on misses, shrink when hits saturate or residency
+    /// approaches the memory budget); the fixed-depth behaviour of old
+    /// configs is the degenerate case of adaptivity disabled.
+    pub max_prefetch_lookahead: usize,
+    /// Fan each partition's chunk loop across the worker pool where the
+    /// job supports it (see the module docs). Off = the strict
+    /// one-thread-per-job loop.
+    pub chunk_fanout: bool,
 }
 
 impl WallClockConfig {
     /// Defaults over `profile`: prioritized scheduling, lock-step window,
-    /// 500-iteration guard, 8-byte `U_v`, lookahead 4.
+    /// 500-iteration guard, 8-byte `U_v`, 16-deep announced lookahead,
+    /// chunk fan-out on.
     pub fn new(profile: MemoryProfile) -> WallClockConfig {
         WallClockConfig {
             profile,
@@ -76,7 +115,8 @@ impl WallClockConfig {
             max_iterations: 500,
             state_bytes_per_vertex: 8,
             chunk_bytes_override: None,
-            prefetch_lookahead: 4,
+            max_prefetch_lookahead: 16,
+            chunk_fanout: true,
         }
     }
 }
@@ -136,6 +176,9 @@ pub struct WallClockExecutor {
     gm: Arc<GraphM>,
     cfg: WallClockConfig,
     prefetch: Option<PrefetchHook>,
+    /// Worker pool for intra-job chunk fan-out; `None` = the process-wide
+    /// [`ThreadPool::global`] pool.
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl WallClockExecutor {
@@ -151,7 +194,15 @@ impl WallClockExecutor {
         gm_cfg.policy = cfg.policy;
         gm_cfg.chunk_bytes_override = cfg.chunk_bytes_override;
         let gm = Arc::new(GraphM::init(source.as_ref(), cfg.state_bytes_per_vertex, gm_cfg));
-        WallClockExecutor { source, gm, cfg, prefetch }
+        WallClockExecutor { source, gm, cfg, prefetch, pool: None }
+    }
+
+    /// Overrides the chunk fan-out pool (the global pool otherwise).
+    /// Tests use an explicit multi-lane pool so fan-out is exercised even
+    /// on single-core machines.
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> WallClockExecutor {
+        self.pool = Some(pool);
+        self
     }
 
     /// The Formula-1 chunk size the executor preprocessed with.
@@ -181,7 +232,7 @@ impl WallClockExecutor {
         }
         let rt = SharingRuntime::new(Arc::clone(&self.source), self.cfg.policy, self.cfg.window);
         if let Some(hook) = &self.prefetch {
-            rt.set_prefetch(Arc::clone(hook), self.cfg.prefetch_lookahead);
+            rt.set_prefetch(Arc::clone(hook), self.cfg.max_prefetch_lookahead);
         }
         // Register everyone before the first thread starts so the whole
         // batch shares from sweep one.
@@ -195,11 +246,30 @@ impl WallClockExecutor {
             let gm = Arc::clone(&self.gm);
             let source = Arc::clone(&self.source);
             let max_iterations = self.cfg.max_iterations;
+            let fanout = self.cfg.chunk_fanout;
+            let pool = self.pool.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("graphm-wall-{id}"))
                     .spawn(move || {
-                        run_job_thread(id, job, &rt, &gm, source.as_ref(), max_iterations, start)
+                        let pool: Option<&ThreadPool> = if fanout {
+                            Some(match pool.as_deref() {
+                                Some(p) => p,
+                                None => ThreadPool::global(),
+                            })
+                        } else {
+                            None
+                        };
+                        run_job_thread(
+                            id,
+                            job,
+                            &rt,
+                            &gm,
+                            source.as_ref(),
+                            max_iterations,
+                            start,
+                            pool,
+                        )
                     })
                     .expect("spawn job thread"),
             );
@@ -387,7 +457,10 @@ impl WallClockExecutor {
 }
 
 /// One job's thread: `Sharing()` loads, chunk pacing, barriers, iteration
-/// turnover — Table 1's programming interface verbatim.
+/// turnover — Table 1's programming interface verbatim. With `pool` set,
+/// the per-partition chunk loop fans out (see the module docs); results
+/// are bit-identical either way.
+#[allow(clippy::too_many_arguments)]
 fn run_job_thread(
     id: JobId,
     mut job: Box<dyn GraphJob>,
@@ -396,28 +469,69 @@ fn run_job_thread(
     source: &dyn PartitionSource,
     max_iterations: usize,
     batch_start: Instant,
+    pool: Option<&ThreadPool>,
 ) -> WallJobReport {
     let thread_start = Instant::now();
     let mut edges_processed = 0u64;
     let mut iters = 0usize;
+    // Fan out only where worker lanes exist; a one-lane pool would just
+    // run every task on this thread with extra bookkeeping.
+    let pool = pool.filter(|p| p.num_threads() > 1);
     loop {
+        // Kernel extraction and the frontier snapshot are per-iteration:
+        // both capture iteration-stable state (the kernel is dropped
+        // before `end_iteration` mutates it; the frontier copy matches
+        // `job.active()` for the whole iteration by the trait contract).
+        let kernel = match pool {
+            Some(_) if !job.skips_inactive() => job.gather_kernel(),
+            _ => None,
+        };
+        let frontier = match pool {
+            Some(_) if job.skips_inactive() => Some(job.active().clone()),
+            _ => None,
+        };
         while let Some(sp) = rt.sharing(id) {
             let table = &gm.tables[sp.pid];
-            let skips = job.skips_inactive();
-            for (ci, chunk) in table.chunks.iter().enumerate() {
-                rt.pace_chunk(id, ci);
-                if skips && !chunk.any_active(job.active()) {
-                    continue;
+            match (pool, &kernel, &frontier) {
+                (Some(pool), Some(kernel), _) if table.chunks.len() > 1 => {
+                    edges_processed += stream_partition_gather(
+                        pool,
+                        rt,
+                        id,
+                        job.as_mut(),
+                        kernel.as_ref(),
+                        table,
+                        &sp,
+                    );
                 }
-                for e in &sp.edges[chunk.edges.clone()] {
-                    if !skips || job.active().get(e.src as usize) {
-                        job.process_edge(e);
-                        edges_processed += 1;
+                // The filter path stores edge indices as u32; a partition
+                // at or past that bound (unreachable with realistic grid
+                // sizing) streams serially instead of truncating.
+                (Some(pool), None, Some(frontier))
+                    if table.chunks.len() > 1 && sp.edges.len() < u32::MAX as usize =>
+                {
+                    edges_processed +=
+                        stream_partition_filter(pool, rt, id, job.as_mut(), frontier, table, &sp);
+                }
+                _ => {
+                    let skips = job.skips_inactive();
+                    for (ci, chunk) in table.chunks.iter().enumerate() {
+                        rt.pace_chunk(id, ci);
+                        if skips && !chunk.any_active(job.active()) {
+                            continue;
+                        }
+                        for e in &sp.edges[chunk.edges.clone()] {
+                            if !skips || job.active().get(e.src as usize) {
+                                job.process_edge(e);
+                                edges_processed += 1;
+                            }
+                        }
                     }
                 }
             }
             rt.barrier(id, sp.pid);
         }
+        drop(kernel);
         iters += 1;
         let converged = job.end_iteration() || iters >= max_iterations;
         if converged {
@@ -446,6 +560,212 @@ fn run_job_thread(
     }
 }
 
+/// Per-chunk hand-off between gather/filter workers and the serially
+/// applying job thread: workers `put` their chunk's output as it
+/// completes, the job thread takes chunks strictly in order —
+/// opportunistically while still pacing/spawning, blocking only for the
+/// tail — so the serial apply overlaps the in-flight gathers instead of
+/// waiting for the whole partition.
+struct SlotBoard<T> {
+    slots: Mutex<Vec<Option<T>>>,
+    cv: parking_lot::Condvar,
+}
+
+impl<T> SlotBoard<T> {
+    fn new(n: usize) -> SlotBoard<T> {
+        SlotBoard {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            cv: parking_lot::Condvar::new(),
+        }
+    }
+
+    fn put(&self, i: usize, value: T) {
+        let mut slots = self.slots.lock();
+        debug_assert!(slots[i].is_none(), "chunk slot filled twice");
+        slots[i] = Some(value);
+        drop(slots);
+        self.cv.notify_all();
+    }
+
+    fn try_take(&self, i: usize) -> Option<T> {
+        self.slots.lock()[i].take()
+    }
+
+    fn take_blocking(&self, i: usize) -> T {
+        let mut slots = self.slots.lock();
+        loop {
+            if let Some(v) = slots[i].take() {
+                return v;
+            }
+            self.cv.wait(&mut slots);
+        }
+    }
+}
+
+/// Cap on completed-but-unapplied chunks per partition fan-out. Without
+/// a bound, a fast worker pool could buffer nearly a whole partition's
+/// gathered outputs ahead of the serial apply — a transient memory spike
+/// that would undercut the out-of-core budget this PR models. 64 chunks
+/// of slack is ample pipeline depth at a few MB worst case.
+const MAX_INFLIGHT_CHUNKS: usize = 64;
+
+/// Shared fan-out orchestration over one partition's chunks: paces chunk
+/// indices in ascending order (the §4 barrier stays per index), spawns a
+/// `produce` task per non-skipped chunk, and applies completed chunks
+/// strictly in order on the calling thread — opportunistically while
+/// still pacing/spawning, blocking only for the tail — so the serial
+/// apply overlaps the in-flight producers. At most
+/// [`MAX_INFLIGHT_CHUNKS`] completed chunks are ever buffered. Returns
+/// the summed `apply` results (edges processed).
+fn fanout_chunks<T: Send + Default>(
+    pool: &ThreadPool,
+    rt: &SharingRuntime,
+    id: JobId,
+    nchunks: usize,
+    skip: impl Fn(usize) -> bool + Sync,
+    produce: impl Fn(usize) -> T + Sync,
+    mut apply: impl FnMut(usize, T) -> u64,
+) -> u64 {
+    let board: SlotBoard<T> = SlotBoard::new(nchunks);
+    let mut edges_processed = 0u64;
+    let mut next_apply = 0usize;
+    pool.scope(|s| {
+        for ci in 0..nchunks {
+            // Bound the buffered pipeline before admitting another chunk.
+            while ci - next_apply >= MAX_INFLIGHT_CHUNKS {
+                let out = board.take_blocking(next_apply);
+                edges_processed += apply(next_apply, out);
+                next_apply += 1;
+            }
+            // The pacing barrier stays per chunk index: a chunk enters
+            // flight only once its index is admitted to the window.
+            rt.pace_chunk(id, ci);
+            if skip(ci) {
+                // Same chunk-level skip the serial loop performs.
+                board.put(ci, T::default());
+            } else {
+                let board = &board;
+                let produce = &produce;
+                s.spawn(move || {
+                    // A panicking producer must still fill its slot —
+                    // otherwise the applier would block on it forever and
+                    // the panic could never propagate. The placeholder is
+                    // never trusted: re-raising here records the panic in
+                    // the scope, which resurfaces it on the job thread as
+                    // soon as the partition drains.
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| produce(ci)));
+                    match result {
+                        Ok(out) => board.put(ci, out),
+                        Err(payload) => {
+                            board.put(ci, T::default());
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                });
+            }
+            // Apply whatever is already done, in order, while later
+            // chunks produce.
+            while next_apply < ci {
+                match board.try_take(next_apply) {
+                    Some(out) => {
+                        edges_processed += apply(next_apply, out);
+                        next_apply += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        while next_apply < nchunks {
+            let out = board.take_blocking(next_apply);
+            edges_processed += apply(next_apply, out);
+            next_apply += 1;
+        }
+    });
+    edges_processed
+}
+
+/// Gather-kernel fan-out over one partition: workers gather per-chunk
+/// contribution vectors concurrently, while the job's thread applies
+/// completed chunks serially in edge order — the exact mutation sequence
+/// of the serial loop, pipelined behind the gathers. Returns the edges
+/// processed.
+fn stream_partition_gather(
+    pool: &ThreadPool,
+    rt: &SharingRuntime,
+    id: JobId,
+    job: &mut dyn GraphJob,
+    kernel: &dyn GatherKernel,
+    table: &crate::chunk::ChunkTable,
+    sp: &SharedPartition,
+) -> u64 {
+    fanout_chunks(
+        pool,
+        rt,
+        id,
+        table.chunks.len(),
+        |_ci| false,
+        |ci| {
+            let edges = &sp.edges[table.chunks[ci].edges.clone()];
+            let mut out = Vec::with_capacity(edges.len());
+            kernel.gather(edges, &mut out);
+            out
+        },
+        |ci, gathered: Vec<f64>| {
+            let chunk = &table.chunks[ci];
+            debug_assert_eq!(gathered.len(), chunk.edges.len(), "kernel must gather every edge");
+            job.apply_gathered_chunk(&sp.edges[chunk.edges.clone()], &gathered)
+        },
+    )
+}
+
+/// Active-filter fan-out over one partition (jobs that skip inactive
+/// sources): workers scan chunks concurrently against `frontier` — the
+/// job thread's per-iteration snapshot of [`GraphJob::active`], which the
+/// trait guarantees is stable for the whole iteration — collecting the
+/// indices of edges whose source is active, while the job's thread runs
+/// `process_edge` over exactly those edges in the serial order, pipelined
+/// behind the scans. The caller guarantees the partition holds fewer than
+/// `u32::MAX` edges (indices are stored compactly). Returns the edges
+/// processed.
+fn stream_partition_filter(
+    pool: &ThreadPool,
+    rt: &SharingRuntime,
+    id: JobId,
+    job: &mut dyn GraphJob,
+    frontier: &AtomicBitmap,
+    table: &crate::chunk::ChunkTable,
+    sp: &SharedPartition,
+) -> u64 {
+    debug_assert!(sp.edges.len() <= u32::MAX as usize, "guarded at the call site");
+    fanout_chunks(
+        pool,
+        rt,
+        id,
+        table.chunks.len(),
+        |ci| !table.chunks[ci].any_active(frontier),
+        |ci| {
+            let chunk = &table.chunks[ci];
+            let base = chunk.edges.start;
+            let mut idxs = Vec::new();
+            for (i, e) in sp.edges[chunk.edges.clone()].iter().enumerate() {
+                if frontier.get(e.src as usize) {
+                    idxs.push((base + i) as u32);
+                }
+            }
+            idxs
+        },
+        |_ci, idxs: Vec<u32>| {
+            let mut n = 0u64;
+            for i in idxs {
+                job.process_edge(&sp.edges[i as usize]);
+                n += 1;
+            }
+            n
+        },
+    )
+}
+
 /// Convenience one-shot: preprocess `source` and run one threaded shared
 /// batch (see [`WallClockExecutor`]; daemons should hold an executor and
 /// amortize the preprocessing instead).
@@ -461,9 +781,9 @@ pub fn run_shared_wallclock(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::CountingJob;
+    use crate::job::{CountingJob, EdgeOutcome};
     use crate::source::VecSource;
-    use graphm_graph::generators;
+    use graphm_graph::{generators, Edge};
 
     fn source(parts: usize) -> Arc<VecSource> {
         let g = generators::rmat(256, 4096, generators::RmatParams::GRAPH500, 17);
@@ -480,6 +800,272 @@ mod tests {
     fn executor(parts: usize) -> WallClockExecutor {
         let cfg = WallClockConfig::new(MemoryProfile::TEST);
         WallClockExecutor::new(source(parts), cfg, None)
+    }
+
+    /// A BFS-like frontier job (no gather kernel, skips inactive sources)
+    /// exercising the parallel active-filter path.
+    struct FrontierJob {
+        levels: Vec<f64>,
+        active: AtomicBitmap,
+        next_active: AtomicBitmap,
+        discovered: bool,
+        iters: usize,
+    }
+
+    impl FrontierJob {
+        fn new(n: usize, root: usize) -> FrontierJob {
+            let mut levels = vec![f64::INFINITY; n];
+            levels[root] = 0.0;
+            let active = AtomicBitmap::new(n);
+            active.set(root);
+            FrontierJob {
+                levels,
+                active,
+                next_active: AtomicBitmap::new(n),
+                discovered: false,
+                iters: 0,
+            }
+        }
+    }
+
+    impl GraphJob for FrontierJob {
+        fn name(&self) -> &str {
+            "Frontier"
+        }
+        fn state_bytes_per_vertex(&self) -> usize {
+            8
+        }
+        fn active(&self) -> &AtomicBitmap {
+            &self.active
+        }
+        fn process_edge(&mut self, e: &Edge) -> EdgeOutcome {
+            if self.levels[e.dst as usize].is_infinite() {
+                self.levels[e.dst as usize] = self.levels[e.src as usize] + 1.0;
+                self.next_active.set(e.dst as usize);
+                self.discovered = true;
+                return EdgeOutcome { activated_dst: true };
+            }
+            EdgeOutcome { activated_dst: false }
+        }
+        fn end_iteration(&mut self) -> bool {
+            self.iters += 1;
+            self.active.copy_from(&self.next_active);
+            self.next_active.clear_all();
+            let converged = !self.discovered;
+            self.discovered = false;
+            converged
+        }
+        fn iterations(&self) -> usize {
+            self.iters
+        }
+        fn vertex_values(&self) -> Vec<f64> {
+            self.levels.clone()
+        }
+    }
+
+    fn assert_same_reports(a: &WallRunReport, b: &WallRunReport) {
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        assert_eq!(a.partition_loads, b.partition_loads, "shared load count must not change");
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.iterations, y.iterations, "job {}", x.id);
+            assert_eq!(x.edges_processed, y.edges_processed, "job {}", x.id);
+            assert_eq!(x.values.len(), y.values.len());
+            for (va, vb) in x.values.iter().zip(&y.values) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "job {}", x.id);
+            }
+        }
+    }
+
+    /// The gather-kernel fan-out (CountingJob) on an explicit multi-lane
+    /// pool produces bit-identical reports to both the no-fanout threaded
+    /// path and the single-thread baseline.
+    #[test]
+    fn gather_fanout_matches_serial_bit_for_bit() {
+        let src = source(4);
+        let mut cfg = WallClockConfig::new(MemoryProfile::TEST);
+        cfg.chunk_bytes_override = Some(1152); // many chunks per partition
+        let fan = WallClockExecutor::new(src.clone(), cfg.clone(), None)
+            .with_pool(Arc::new(ThreadPool::new(4)));
+        cfg.chunk_fanout = false;
+        let serial = WallClockExecutor::new(src, cfg, None);
+        let a = fan.run_batch(counting_jobs(3, 3));
+        let b = serial.run_batch(counting_jobs(3, 3));
+        let c = fan.run_batch_single_thread(counting_jobs(3, 3));
+        assert_same_reports(&a, &b);
+        assert_same_reports(&a, &c);
+    }
+
+    /// The active-filter fan-out (FrontierJob skips inactive sources)
+    /// produces bit-identical reports to the no-fanout path, including
+    /// iteration counts driven by frontier convergence.
+    #[test]
+    fn filter_fanout_matches_serial_bit_for_bit() {
+        let src = source(4);
+        let mut cfg = WallClockConfig::new(MemoryProfile::TEST);
+        cfg.chunk_bytes_override = Some(1152);
+        let mk = |roots: &[usize]| {
+            roots
+                .iter()
+                .map(|&r| Box::new(FrontierJob::new(256, r)) as Box<dyn GraphJob>)
+                .collect::<Vec<_>>()
+        };
+        let fan = WallClockExecutor::new(src.clone(), cfg.clone(), None)
+            .with_pool(Arc::new(ThreadPool::new(4)));
+        cfg.chunk_fanout = false;
+        let serial = WallClockExecutor::new(src, cfg, None);
+        let roots = [0usize, 17, 3];
+        let a = fan.run_batch(mk(&roots));
+        let b = serial.run_batch(mk(&roots));
+        assert_same_reports(&a, &b);
+        assert!(a.jobs[0].iterations > 1, "frontier job must actually traverse");
+    }
+
+    /// A producer panic must surface on the job thread (and out of
+    /// `run_batch`), never wedge the applier waiting on an unfilled slot.
+    #[test]
+    fn panicking_kernel_propagates_instead_of_hanging() {
+        struct BoomKernel;
+        impl crate::job::GatherKernel for BoomKernel {
+            fn gather(&self, _edges: &[Edge], _out: &mut Vec<f64>) {
+                panic!("kernel boom");
+            }
+        }
+        struct BoomJob(CountingJob);
+        impl GraphJob for BoomJob {
+            fn name(&self) -> &str {
+                "Boom"
+            }
+            fn state_bytes_per_vertex(&self) -> usize {
+                8
+            }
+            fn skips_inactive(&self) -> bool {
+                false
+            }
+            fn active(&self) -> &AtomicBitmap {
+                self.0.active()
+            }
+            fn process_edge(&mut self, e: &Edge) -> EdgeOutcome {
+                self.0.process_edge(e)
+            }
+            fn gather_kernel(&self) -> Option<Arc<dyn crate::job::GatherKernel>> {
+                Some(Arc::new(BoomKernel))
+            }
+            fn end_iteration(&mut self) -> bool {
+                self.0.end_iteration()
+            }
+            fn iterations(&self) -> usize {
+                self.0.iterations()
+            }
+            fn vertex_values(&self) -> Vec<f64> {
+                self.0.vertex_values()
+            }
+        }
+        let mut cfg = WallClockConfig::new(MemoryProfile::TEST);
+        cfg.chunk_bytes_override = Some(1152);
+        let exec =
+            WallClockExecutor::new(source(2), cfg, None).with_pool(Arc::new(ThreadPool::new(3)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.run_batch(vec![Box::new(BoomJob(CountingJob::new(256, 2))) as Box<dyn GraphJob>])
+        }));
+        assert!(result.is_err(), "the kernel panic must propagate out of run_batch");
+    }
+
+    /// Stress satellite: intra-job chunk fan-out under mid-sweep
+    /// registration (the PR 3 stress harness combined with the parallel
+    /// chunk loop). Pins that with workers fanning chunks out while jobs
+    /// keep joining mid-sweep, per-job results still match solo serial
+    /// runs and the Formula-5 shared load count stays one per
+    /// `(sweep, partition)` with interested jobs (not per job).
+    #[test]
+    fn stress_fanout_mid_sweep_registration_keeps_results_and_loads() {
+        let parts = 4usize;
+        let src = source(parts);
+        let mut gm_cfg = GraphMConfig::new(MemoryProfile::TEST);
+        gm_cfg.chunk_bytes_override = Some(1152);
+        let gm = Arc::new(GraphM::init(src.as_ref(), 8, gm_cfg));
+        let rt = SharingRuntime::new(
+            Arc::clone(&src) as Arc<dyn PartitionSource>,
+            SchedulingPolicy::Prioritized,
+            2,
+        );
+        let pool = Arc::new(ThreadPool::new(4));
+        let batch_start = Instant::now();
+
+        // Reference outcomes: each job type run alone, serially.
+        let solo = |job: Box<dyn GraphJob>| {
+            let mut cfg = WallClockConfig::new(MemoryProfile::TEST);
+            cfg.chunk_bytes_override = Some(1152);
+            cfg.chunk_fanout = false;
+            let exec = WallClockExecutor::new(src.clone(), cfg, None);
+            let r = exec.run_batch_single_thread(vec![job]);
+            r.jobs.into_iter().next().unwrap()
+        };
+        let counting_ref = solo(Box::new(CountingJob::new(256, 6)));
+        let frontier_ref = solo(Box::new(FrontierJob::new(256, 0)));
+
+        let spawn_job = |id: JobId, job: Box<dyn GraphJob>| {
+            let rt = Arc::clone(&rt);
+            let gm = Arc::clone(&gm);
+            let src = Arc::clone(&src);
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                run_job_thread(id, job, &rt, &gm, src.as_ref(), 500, batch_start, Some(&pool))
+            })
+        };
+
+        // Four residents start together...
+        let mut handles = Vec::new();
+        for id in 0..4usize {
+            let pids: Vec<usize> = (0..parts).collect();
+            rt.register_job(id, &pids);
+        }
+        for id in 0..4usize {
+            let job: Box<dyn GraphJob> = if id % 2 == 0 {
+                Box::new(CountingJob::new(256, 6))
+            } else {
+                Box::new(FrontierJob::new(256, 0))
+            };
+            handles.push(spawn_job(id, job));
+        }
+        // ...and six more join while sweeps are in flight.
+        for id in 4..10usize {
+            std::thread::sleep(std::time::Duration::from_millis(1 + (id as u64 % 3)));
+            let job: Box<dyn GraphJob> = if id % 2 == 0 {
+                Box::new(CountingJob::new(256, 6))
+            } else {
+                Box::new(FrontierJob::new(256, 0))
+            };
+            let pids: Vec<usize> = if id % 2 == 0 {
+                (0..parts).collect()
+            } else {
+                // Frontier jobs start with only the root's partitions
+                // active — same derivation run_batch would use.
+                let f = FrontierJob::new(256, 0);
+                src.order()
+                    .into_iter()
+                    .filter(|&pid| gm.partition_active(pid, f.active()))
+                    .collect()
+            };
+            rt.register_job(id, &pids);
+            handles.push(spawn_job(id, job));
+        }
+        let reports: Vec<WallJobReport> =
+            handles.into_iter().map(|h| h.join().expect("job thread panicked")).collect();
+        for r in &reports {
+            let reference = if r.name == "Counting" { &counting_ref } else { &frontier_ref };
+            assert_eq!(r.iterations, reference.iterations, "job {}", r.id);
+            assert_eq!(r.edges_processed, reference.edges_processed, "job {}", r.id);
+            for (a, b) in r.values.iter().zip(&reference.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "job {} ({})", r.id, r.name);
+            }
+        }
+        // Formula-5 sharing: far fewer loads than per-job exclusive
+        // streaming would pay, and at least one full sweep's worth.
+        let per_job: u64 = reports.iter().map(|r| r.iterations as u64 * parts as u64).sum();
+        assert!(rt.loads() < per_job, "{} loads vs {} per-job", rt.loads(), per_job);
+        assert!(rt.loads() >= parts as u64);
     }
 
     #[test]

@@ -11,6 +11,38 @@
 //! it — which is what lets N jobs run against one copy.
 
 use graphm_graph::{AtomicBitmap, Edge, VertexId};
+use std::sync::Arc;
+
+/// A thread-safe, iteration-stable slice of a job's edge function: the
+/// *gather* half of a `process_edge` that factors into
+///
+/// ```text
+/// process_edge(e)  ==  apply_gathered(e, gather(e))
+/// ```
+///
+/// where `gather` reads only state that is **constant for the whole
+/// iteration** (previous-iteration values, degrees, weights) and
+/// `apply_gathered` performs the order-sensitive state mutation. Jobs
+/// with this factorization (PageRank-family push updates are the
+/// canonical case: `next[dst] += ranks[src]/deg[src]` gathers the
+/// quotient and applies the add) let the wall-clock executor fan a
+/// partition's chunks across worker threads: workers run `gather` over
+/// whole chunks concurrently while the job's own thread replays
+/// `apply_gathered` strictly in edge order — so the floating-point
+/// additions happen in exactly the sequential order and the results stay
+/// bit-identical to the serial path.
+///
+/// The kernel is re-extracted every iteration (it typically holds `Arc`
+/// clones of the iteration's read-only arrays) and dropped before
+/// `end_iteration` runs, so jobs may hand out shared references to state
+/// they mutate only between iterations.
+pub trait GatherKernel: Send + Sync {
+    /// Computes the per-edge gathered contribution for every edge of
+    /// `edges`, in order, appending exactly `edges.len()` values to
+    /// `out`. Must be a pure function of the kernel's captured
+    /// (iteration-stable) state.
+    fn gather(&self, edges: &[Edge], out: &mut Vec<f64>);
+}
 
 /// Job identifier, assigned by the runtime in submission order. Submission
 /// order matters for snapshot visibility (§3.3.2).
@@ -54,12 +86,51 @@ pub trait GraphJob: Send {
         true
     }
 
-    /// Current-iteration active vertices.
+    /// Current-iteration active vertices. Must stay **stable for the
+    /// whole iteration** (jobs mark next-iteration activity in a separate
+    /// frontier and swap in `end_iteration`): engines precompute
+    /// partition/chunk activity from this bitmap mid-sweep, and the
+    /// wall-clock executor's parallel active-filter reads it from worker
+    /// threads.
     fn active(&self) -> &AtomicBitmap;
 
     /// Processes one streamed edge (the source is guaranteed active when
     /// the engine honours [`GraphJob::skips_inactive`]).
     fn process_edge(&mut self, edge: &Edge) -> EdgeOutcome;
+
+    /// Extracts a [`GatherKernel`] when this job's `process_edge` factors
+    /// into a pure gather plus an order-sensitive apply (see the trait
+    /// docs). Called at the start of every iteration; the runtime drops
+    /// the kernel before calling [`GraphJob::end_iteration`]. `None`
+    /// (the default) keeps the job on the serial chunk loop.
+    fn gather_kernel(&self) -> Option<Arc<dyn GatherKernel>> {
+        None
+    }
+
+    /// Applies one edge whose contribution was precomputed by this job's
+    /// [`GatherKernel`]. Must mutate state exactly as
+    /// [`GraphJob::process_edge`] would for the same edge — the executor
+    /// replays applies in the serial edge order, and bit-identical
+    /// results rest on this equivalence. The default ignores the
+    /// gathered value and calls `process_edge` (correct for any job, and
+    /// all a job whose apply cannot reuse the gather needs).
+    fn apply_gathered(&mut self, edge: &Edge, gathered: f64) -> EdgeOutcome {
+        let _ = gathered;
+        self.process_edge(edge)
+    }
+
+    /// Chunk-granular [`GraphJob::apply_gathered`]: applies a whole
+    /// chunk's contributions in edge order and returns the number of
+    /// edges processed. Jobs override this with a tight loop to shed the
+    /// per-edge virtual dispatch on the executor's serial apply stage;
+    /// the override must be behaviourally identical to the default.
+    fn apply_gathered_chunk(&mut self, edges: &[Edge], gathered: &[f64]) -> u64 {
+        debug_assert_eq!(edges.len(), gathered.len());
+        for (e, &g) in edges.iter().zip(gathered) {
+            self.apply_gathered(e, g);
+        }
+        edges.len() as u64
+    }
 
     /// Ends the iteration: swap frontiers, test convergence. Returns `true`
     /// when the job has converged (it will be retired by the runtime).
@@ -119,9 +190,24 @@ impl CountingJob {
     }
 }
 
+/// The (trivial) gather kernel of [`CountingJob`]: every edge contributes
+/// one. Exists so core tests exercise the executor's parallel gather path
+/// without pulling in a real algorithm.
+struct CountingKernel;
+
+impl GatherKernel for CountingKernel {
+    fn gather(&self, edges: &[Edge], out: &mut Vec<f64>) {
+        out.extend(std::iter::repeat_n(1.0, edges.len()));
+    }
+}
+
 impl GraphJob for CountingJob {
     fn name(&self) -> &str {
         "Counting"
+    }
+
+    fn gather_kernel(&self) -> Option<Arc<dyn GatherKernel>> {
+        Some(Arc::new(CountingKernel))
     }
 
     fn state_bytes_per_vertex(&self) -> usize {

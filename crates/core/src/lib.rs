@@ -49,7 +49,7 @@ pub use exec_parallel::{
 };
 pub use global_table::GlobalTable;
 pub use graphm::{GraphM, GraphMConfig};
-pub use job::{EdgeOutcome, GraphJob, JobHandle, JobId};
+pub use job::{EdgeOutcome, GatherKernel, GraphJob, JobHandle, JobId};
 pub use profile::{ProfileSample, Profiler};
 pub use runner::{run_scheme, JobReport, RunReport, RunnerConfig, Scheme, Submission};
 pub use scheduler::{loading_order, priority, SchedulingPolicy};

@@ -13,6 +13,14 @@
 //!   synchronization of §3.4.2, realized as a progress window rather than
 //!   CPU-slice accounting, which an OS scheduler does not expose);
 //! * recomputes the §4 loading order between sweeps.
+//!
+//! With intra-job chunk fan-out (`exec_parallel`), a job's thread still
+//! calls [`SharingRuntime::pace_chunk`] per chunk index in ascending
+//! order — the pacing barrier is per *index* — but chunks already
+//! admitted to the window may be in flight on worker threads while the
+//! job paces the next index. The window therefore bounds how many chunk
+//! indices a job has *claimed*, which is also the bound on its in-flight
+//! fan-out.
 
 use crate::global_table::GlobalTable;
 use crate::job::JobId;
@@ -138,7 +146,10 @@ impl SharingRuntime {
 
     /// Installs a readahead hook: on every partition advance the runtime
     /// calls `hook` with (up to) the next `lookahead` partition ids of the
-    /// current sweep's loading order.
+    /// current sweep's loading order. `lookahead` is the *maximum*
+    /// announced window — an adaptive consumer (see
+    /// `graphm_store::AdaptiveWindow`) advises only its current
+    /// feedback-controlled prefix of it.
     pub fn set_prefetch(&self, hook: PrefetchHook, lookahead: usize) {
         *self.prefetch.lock() = Some((hook, lookahead.max(1)));
     }

@@ -8,6 +8,8 @@
 //! graphm-server --store DIR [--socket PATH] [--tcp ADDR]
 //!               [--batch-window-ms N] [--profile default|test]
 //!               [--mode deterministic|wallclock]
+//!               [--memory-budget BYTES] [--prefetch-lookahead N]
+//!               [--fixed-prefetch] [--no-chunk-fanout]
 //! ```
 
 use graphm_server::{ExecutionMode, Server, ServerConfig};
@@ -27,6 +29,14 @@ fn usage() -> ! {
          --profile NAME       simulated memory profile (default|test)\n\
          --mode NAME          deterministic (virtual-time replay, the default) or\n\
                               wallclock (threaded sweeps + partition prefetch)\n\
+         --memory-budget B    page-cache budget in bytes; past it the store\n\
+                              releases segments behind the sweep frontier with\n\
+                              madvise(MADV_DONTNEED) (default 0 = unlimited)\n\
+         --prefetch-lookahead N  max announced readahead depth (default 16)\n\
+         --fixed-prefetch     disable the adaptive prefetch window (advise the\n\
+                              full announced lookahead)\n\
+         --no-chunk-fanout    disable intra-job chunk fan-out across the\n\
+                              worker pool (wallclock mode)\n\
          \n\
          at least one of --socket / --tcp is required"
     );
@@ -40,6 +50,10 @@ fn main() {
     let mut window_ms: u64 = 20;
     let mut profile = graphm_graph::MemoryProfile::DEFAULT;
     let mut mode = ExecutionMode::Deterministic;
+    let mut memory_budget: u64 = 0;
+    let mut prefetch_lookahead: usize = graphm_store::DEFAULT_MAX_PREFETCH_LOOKAHEAD;
+    let mut adaptive_prefetch = true;
+    let mut chunk_fanout = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,6 +86,15 @@ fn main() {
                     usage();
                 })
             }
+            "--memory-budget" => {
+                memory_budget = value("--memory-budget").parse().unwrap_or_else(|_| usage())
+            }
+            "--prefetch-lookahead" => {
+                prefetch_lookahead =
+                    value("--prefetch-lookahead").parse().unwrap_or_else(|_| usage())
+            }
+            "--fixed-prefetch" => adaptive_prefetch = false,
+            "--no-chunk-fanout" => chunk_fanout = false,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -91,6 +114,10 @@ fn main() {
     config.batch_window = Duration::from_millis(window_ms);
     config.profile = profile;
     config.mode = mode;
+    config.memory_budget_bytes = memory_budget;
+    config.max_prefetch_lookahead = prefetch_lookahead.max(1);
+    config.adaptive_prefetch = adaptive_prefetch;
+    config.chunk_fanout = chunk_fanout;
 
     let server = Server::start(config).unwrap_or_else(|e| {
         eprintln!("failed to start: {e}");

@@ -120,6 +120,21 @@ pub struct ServerConfig {
     pub max_done_reports: usize,
     /// How the runtime thread executes jobs (see [`ExecutionMode`]).
     pub mode: ExecutionMode,
+    /// Page-cache budget for the served store, in bytes (0 = unlimited).
+    /// When modeled residency exceeds it, the store releases segments
+    /// behind the sweep frontier with `madvise(MADV_DONTNEED)` and the
+    /// `stats` response reports resident/evicted bytes.
+    pub memory_budget_bytes: u64,
+    /// Adaptive prefetch window (wallclock mode): on (default) lets the
+    /// store's feedback controller size the readahead depth from
+    /// issued/hits and residency pressure; off advises the full announced
+    /// lookahead (the pre-adaptive fixed-depth behaviour).
+    pub adaptive_prefetch: bool,
+    /// Maximum announced prefetch lookahead (wallclock mode).
+    pub max_prefetch_lookahead: usize,
+    /// Intra-job chunk fan-out across the worker pool (wallclock mode):
+    /// on (default) lets a single heavy job use idle cores.
+    pub chunk_fanout: bool,
 }
 
 impl ServerConfig {
@@ -135,6 +150,10 @@ impl ServerConfig {
             state_bytes_per_vertex: 8,
             max_done_reports: 1024,
             mode: ExecutionMode::Deterministic,
+            memory_budget_bytes: 0,
+            adaptive_prefetch: true,
+            max_prefetch_lookahead: graphm_store::DEFAULT_MAX_PREFETCH_LOOKAHEAD,
+            chunk_fanout: true,
         }
     }
 }
@@ -193,6 +212,9 @@ struct Shared {
     runtime_exited: AtomicBool,
     num_vertices: u32,
     out_degrees: Arc<Vec<u32>>,
+    /// The served store, for live residency/prefetch readings in `stats`
+    /// responses (counters accumulate in both execution modes).
+    store: Arc<DiskGridSource>,
 }
 
 impl Shared {
@@ -200,6 +222,23 @@ impl Shared {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue_cv.notify_all();
         self.done_cv.notify_all();
+    }
+
+    /// Runtime counters merged with the store's *live* residency and
+    /// prefetch state (the latter accumulate outside the stats lock, in
+    /// whichever execution mode is driving loads).
+    fn stats_snapshot(&self) -> ServerStats {
+        let mut stats = *self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let rs = self.store.residency_stats();
+        stats.resident_bytes = rs.resident_bytes;
+        stats.evicted_bytes = rs.evicted_bytes;
+        stats.evictions = rs.evictions;
+        stats.memory_budget_bytes = rs.budget_bytes;
+        stats.prefetch_window = rs.prefetch_window;
+        let pf = self.store.prefetch_stats();
+        stats.prefetch_issued = pf.issued;
+        stats.prefetch_hits = pf.hits;
+        stats
     }
 }
 
@@ -222,6 +261,9 @@ impl Server {
             ));
         }
         let source = DiskGridSource::open_shared(&config.store_dir)?;
+        source.set_memory_budget(config.memory_budget_bytes);
+        source.set_adaptive_prefetch(config.adaptive_prefetch);
+        source.set_prefetch_max_lookahead(config.max_prefetch_lookahead.max(1));
         let out_degrees = Arc::new(source.out_degrees());
         let num_vertices = PartitionSource::num_vertices(source.as_ref());
         let num_partitions = source.num_partitions() as u64;
@@ -250,6 +292,7 @@ impl Server {
             runtime_exited: AtomicBool::new(false),
             num_vertices,
             out_degrees,
+            store: Arc::clone(&source),
         });
 
         // Bind every listener *before* spawning any thread: a bind
@@ -297,6 +340,8 @@ impl Server {
             let mode = config.mode;
             let wall_cfg = WallClockConfig {
                 state_bytes_per_vertex: sbpv,
+                max_prefetch_lookahead: config.max_prefetch_lookahead.max(1),
+                chunk_fanout: config.chunk_fanout,
                 ..WallClockConfig::new(config.profile)
             };
             let spawned = std::thread::Builder::new()
@@ -358,9 +403,10 @@ impl Server {
         self.tcp_addr
     }
 
-    /// Current daemon-wide counters.
+    /// Current daemon-wide counters (runtime counters plus the store's
+    /// live residency/prefetch state).
     pub fn stats(&self) -> ServerStats {
-        *self.shared.stats.lock().unwrap_or_else(|e| e.into_inner())
+        self.shared.stats_snapshot()
     }
 
     /// Whether a shutdown has been requested (via this handle or a
@@ -692,7 +738,7 @@ fn respond(req: Request, shared: &Shared) -> Value {
     match req {
         Request::Ping => json!({ "ok": true, "pong": true }),
         Request::Stats => {
-            let stats = *shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+            let stats = shared.stats_snapshot();
             json!({ "ok": true, "stats": stats.to_json() })
         }
         Request::Shutdown => {

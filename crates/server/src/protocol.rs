@@ -105,6 +105,18 @@ pub struct ServerStats {
     /// Partition loads that found their segment already advised — the
     /// prefetcher ran ahead of the sweep.
     pub prefetch_hits: u64,
+    /// Current adaptive prefetch window depth (readahead partitions in
+    /// flight per announcement).
+    pub prefetch_window: u64,
+    /// Store segment bytes currently modeled as page-cache resident.
+    pub resident_bytes: u64,
+    /// Segment bytes released behind the sweep frontier
+    /// (`madvise(MADV_DONTNEED)`) to honour the memory budget.
+    pub evicted_bytes: u64,
+    /// Partition evictions performed so far.
+    pub evictions: u64,
+    /// Configured page-cache budget in bytes (0 = unlimited).
+    pub memory_budget_bytes: u64,
     /// Current virtual time of the runtime's clock (wall nanoseconds
     /// since runtime start in wallclock mode).
     pub virtual_ns: f64,
@@ -123,6 +135,11 @@ impl ServerStats {
             "chunk_bytes": self.chunk_bytes,
             "prefetch_issued": self.prefetch_issued,
             "prefetch_hits": self.prefetch_hits,
+            "prefetch_window": self.prefetch_window,
+            "resident_bytes": self.resident_bytes,
+            "evicted_bytes": self.evicted_bytes,
+            "evictions": self.evictions,
+            "memory_budget_bytes": self.memory_budget_bytes,
             "virtual_ns": self.virtual_ns,
         })
     }
@@ -144,6 +161,11 @@ impl ServerStats {
             // client can still read stats from an older daemon.
             prefetch_issued: v.get("prefetch_issued").and_then(Value::as_u64).unwrap_or(0),
             prefetch_hits: v.get("prefetch_hits").and_then(Value::as_u64).unwrap_or(0),
+            prefetch_window: v.get("prefetch_window").and_then(Value::as_u64).unwrap_or(0),
+            resident_bytes: v.get("resident_bytes").and_then(Value::as_u64).unwrap_or(0),
+            evicted_bytes: v.get("evicted_bytes").and_then(Value::as_u64).unwrap_or(0),
+            evictions: v.get("evictions").and_then(Value::as_u64).unwrap_or(0),
+            memory_budget_bytes: v.get("memory_budget_bytes").and_then(Value::as_u64).unwrap_or(0),
             virtual_ns: v
                 .get("virtual_ns")
                 .and_then(Value::as_f64)
@@ -459,6 +481,11 @@ mod tests {
             chunk_bytes: 4096,
             prefetch_issued: 12,
             prefetch_hits: 9,
+            prefetch_window: 5,
+            resident_bytes: 1 << 20,
+            evicted_bytes: 3 << 19,
+            evictions: 6,
+            memory_budget_bytes: 2 << 20,
             virtual_ns: 1.5e9,
         };
         let back = ServerStats::from_json(&s.to_json()).unwrap();

@@ -77,6 +77,21 @@ impl FileView {
             FileView::Owned(_) => false,
         }
     }
+
+    /// Releases the view's pages back to the kernel
+    /// (`madvise(MADV_DONTNEED)`): the next access refaults them from the
+    /// backing file. Sound here because every mapping this module creates
+    /// is `PROT_READ` over an immutable store segment (single-writer /
+    /// multi-reader contract) — there are never dirty private pages to
+    /// lose. Returns whether pages were actually released — owned views
+    /// cannot be evicted and report `false`.
+    pub fn advise_dontneed(&self) -> bool {
+        match self {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            FileView::Mapped(m) => m.advise_dontneed(),
+            FileView::Owned(_) => false,
+        }
+    }
 }
 
 #[cfg(all(unix, target_pointer_width = "64"))]
@@ -112,6 +127,8 @@ mod unix {
     const MAP_PRIVATE: i32 = 2;
     /// `MADV_WILLNEED` is 3 on Linux, macOS, and the BSDs alike.
     const MADV_WILLNEED: i32 = 3;
+    /// `MADV_DONTNEED` is 4 on Linux, macOS, and the BSDs alike.
+    const MADV_DONTNEED: i32 = 4;
 
     /// An owned read-only mapping of a whole file.
     pub struct MappedRegion {
@@ -154,6 +171,18 @@ mod unix {
             // mapping or invalidates outstanding slices.
             unsafe { madvise(self.ptr.as_ptr() as *mut c_void, self.len, MADV_WILLNEED) == 0 }
         }
+
+        /// Issues `madvise(MADV_DONTNEED)` over the whole mapping,
+        /// dropping its resident pages; subsequent accesses refault from
+        /// the file. Returns whether the kernel accepted the call.
+        pub fn advise_dontneed(&self) -> bool {
+            // SAFETY: ptr/len are the exact values returned by mmap. For
+            // a PROT_READ file-backed mapping DONTNEED cannot lose data —
+            // there are no private dirty pages — it only forces refaults,
+            // so outstanding `&[u8]` slices remain valid (reads after the
+            // call transparently repopulate from the file).
+            unsafe { madvise(self.ptr.as_ptr() as *mut c_void, self.len, MADV_DONTNEED) == 0 }
+        }
     }
 
     impl Drop for MappedRegion {
@@ -183,6 +212,9 @@ mod tests {
         {
             assert!(view.is_mapped());
             assert!(view.advise_willneed(), "madvise accepts a whole-mapping WILLNEED");
+            assert!(view.advise_dontneed(), "madvise accepts a whole-mapping DONTNEED");
+            // Released pages refault from the file: contents unchanged.
+            assert_eq!(view.as_slice(), &payload[..]);
         }
         std::fs::remove_file(&path).ok();
     }
@@ -196,6 +228,7 @@ mod tests {
         assert!(view.as_slice().is_empty());
         assert!(!view.is_mapped());
         assert!(!view.advise_willneed(), "owned views have nothing to read ahead");
+        assert!(!view.advise_dontneed(), "owned views have nothing to release");
         std::fs::remove_file(&path).ok();
     }
 }

@@ -14,7 +14,11 @@
 //!
 //! The window is **replaced**, not appended, on every request: the
 //! runtime announces a sliding window per partition advance, and stale
-//! entries from an overtaken window are worthless.
+//! entries from an overtaken window are worthless. The runtime announces
+//! its *maximum* lookahead; the prefetcher keeps only the target's
+//! current [`AdaptiveWindow`] prefix of it, so the effective depth is
+//! feedback-controlled (grow on misses, shrink on saturated hits or
+//! memory-budget pressure) instead of a fixed knob.
 //!
 //! Wire it to a runtime with [`Prefetcher::hook`]:
 //!
@@ -40,21 +44,126 @@
 use crate::source::PrefetchTarget;
 use graphm_core::PrefetchHook;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Lower bound of the adaptive prefetch window: one partition in flight
+/// plus one being advised — shrinking below this would make the
+/// readahead thread pointless.
+pub const MIN_PREFETCH_WINDOW: usize = 2;
+
+/// Default upper bound of the adaptive window (and the depth the
+/// wall-clock runtime announces).
+pub const DEFAULT_MAX_PREFETCH_LOOKAHEAD: usize = 16;
+
+/// Consecutive prefetch hits before the window shrinks by one step —
+/// saturated hits mean the window is at least deep enough, so spending
+/// less readahead (and less page-cache residency) is free.
+pub const HIT_SATURATION: usize = 8;
+
+/// Feedback controller for the prefetch depth, replacing the fixed
+/// `prefetch_lookahead` knob: **grow on misses** (the consumer reached a
+/// partition before its hint — the window was too shallow), **shrink when
+/// hits saturate** ([`HIT_SATURATION`] consecutive pre-advised loads) or
+/// when paged-in bytes approach the memory budget (`on_pressure`). The
+/// window always stays within `[MIN_PREFETCH_WINDOW, max]`.
+///
+/// The transition function is monotone in the miss rate: flipping any
+/// hit of an observation trace to a miss can only leave the resulting
+/// window equal or larger (pinned by a property test). State is one
+/// packed atomic, so observers on the load path never contend on a lock.
+pub struct AdaptiveWindow {
+    max: AtomicU64,
+    /// Low 32 bits: current window; high 32 bits: consecutive-hit run.
+    state: AtomicU64,
+}
+
+impl AdaptiveWindow {
+    /// A controller bounded by `max` (clamped to at least
+    /// [`MIN_PREFETCH_WINDOW`]), starting shallow at the minimum — cold
+    /// misses grow it within one sweep.
+    pub fn new(max: usize) -> AdaptiveWindow {
+        let max = max.max(MIN_PREFETCH_WINDOW);
+        AdaptiveWindow {
+            max: AtomicU64::new(max as u64),
+            state: AtomicU64::new(MIN_PREFETCH_WINDOW as u64),
+        }
+    }
+
+    /// The configured upper bound.
+    pub fn max(&self) -> usize {
+        self.max.load(Ordering::Relaxed) as usize
+    }
+
+    /// Reconfigures the upper bound (clamped to at least
+    /// [`MIN_PREFETCH_WINDOW`]); a current window above the new bound is
+    /// clamped down on the next update.
+    pub fn set_max(&self, max: usize) {
+        self.max.store(max.max(MIN_PREFETCH_WINDOW) as u64, Ordering::Relaxed);
+        // Clamp the live window immediately so `current()` never exceeds
+        // the configured bound.
+        self.update(|win, run| (win.min(self.max()), run));
+    }
+
+    /// Current window depth.
+    pub fn current(&self) -> usize {
+        (self.state.load(Ordering::Relaxed) & 0xffff_ffff) as usize
+    }
+
+    fn update(&self, f: impl Fn(usize, usize) -> (usize, usize)) {
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            let (win, run) = ((cur & 0xffff_ffff) as usize, (cur >> 32) as usize);
+            let (nwin, nrun) = f(win, run);
+            let next = ((nrun as u64) << 32) | nwin as u64;
+            match self.state.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// A load missed its hint: grow one step, reset the hit run.
+    pub fn on_miss(&self) {
+        self.update(|win, _| ((win + 1).min(self.max()), 0));
+    }
+
+    /// A load found its partition pre-advised: after
+    /// [`HIT_SATURATION`] consecutive hits, shrink one step.
+    pub fn on_hit(&self) {
+        self.update(|win, run| {
+            if run + 1 >= HIT_SATURATION {
+                (win.saturating_sub(1).max(MIN_PREFETCH_WINDOW), 0)
+            } else {
+                (win, run + 1)
+            }
+        });
+    }
+
+    /// Paged-in bytes are approaching the memory budget: shrink one step
+    /// so readahead stops feeding the pressure it would then evict.
+    pub fn on_pressure(&self) {
+        self.update(|win, _| (win.saturating_sub(1).max(MIN_PREFETCH_WINDOW), 0));
+    }
+}
 
 struct Shared {
     queue: Mutex<VecDeque<usize>>,
     cv: Condvar,
     stop: AtomicBool,
+    /// Consulted at every window replacement for the target's current
+    /// adaptive depth (non-adaptive targets report `usize::MAX`).
+    target: Arc<dyn PrefetchTarget>,
 }
 
 impl Shared {
     fn replace_window(&self, pids: &[usize]) {
+        let limit = self.target.prefetch_window().max(1);
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         queue.clear();
-        queue.extend(pids.iter().copied());
+        queue.extend(pids.iter().copied().take(limit));
         drop(queue);
         self.cv.notify_all();
     }
@@ -74,6 +183,7 @@ impl Prefetcher {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
+            target: Arc::clone(&target),
         });
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -125,6 +235,74 @@ impl Drop for Prefetcher {
 }
 
 #[cfg(test)]
+mod window_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Replays a trace (`true` = miss, `false` = hit) into a fresh
+    /// controller and returns the final window.
+    fn replay(max: usize, trace: &[bool]) -> usize {
+        let w = AdaptiveWindow::new(max);
+        for &miss in trace {
+            if miss {
+                w.on_miss();
+            } else {
+                w.on_hit();
+            }
+        }
+        w.current()
+    }
+
+    proptest! {
+        /// Satellite property: the adaptive window stays within
+        /// `[MIN_PREFETCH_WINDOW, max]` for every trace, and is monotone
+        /// in the miss rate — flipping any subset of hits to misses never
+        /// shrinks the resulting window.
+        #[test]
+        fn window_bounded_and_monotone_in_miss_rate(
+            max in 2usize..40,
+            trace in proptest::collection::vec(any::<bool>(), 0..200),
+            flips in proptest::collection::vec(any::<bool>(), 0..200),
+        ) {
+            let base = replay(max, &trace);
+            prop_assert!(base >= MIN_PREFETCH_WINDOW);
+            prop_assert!(base <= max.max(MIN_PREFETCH_WINDOW));
+            // Pointwise-dominating trace: every miss stays a miss, some
+            // hits become misses.
+            let dominated: Vec<bool> = trace
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| m || flips.get(i).copied().unwrap_or(false))
+                .collect();
+            let dominated_window = replay(max, &dominated);
+            prop_assert!(
+                dominated_window >= base,
+                "more misses must not shrink the window: {dominated_window} < {base}"
+            );
+        }
+
+        /// Pressure only ever shrinks, and never below the floor.
+        #[test]
+        fn pressure_shrinks_to_floor(
+            max in 2usize..40,
+            misses in 0usize..80,
+            pressures in 0usize..80,
+        ) {
+            let w = AdaptiveWindow::new(max);
+            for _ in 0..misses {
+                w.on_miss();
+            }
+            let grown = w.current();
+            for _ in 0..pressures {
+                w.on_pressure();
+            }
+            prop_assert!(w.current() <= grown);
+            prop_assert!(w.current() >= MIN_PREFETCH_WINDOW);
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Convert, DiskGridSource};
@@ -151,6 +329,8 @@ mod tests {
         let source = DiskGridSource::open(&dir).map(Arc::new).unwrap();
         let n = source.num_partitions();
 
+        // Fixed-depth behaviour: adaptivity off advises the whole window.
+        source.set_adaptive_prefetch(false);
         let prefetcher = Prefetcher::spawn(Arc::clone(&source) as Arc<dyn PrefetchTarget>);
         let pids: Vec<usize> = (0..n).collect();
         prefetcher.request(&pids);
@@ -178,6 +358,42 @@ mod tests {
         assert_eq!(source.prefetch_stats().issued, n as u64 + 1);
 
         drop(prefetcher); // joins cleanly
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adaptive_window_truncates_announcements() {
+        let g = graphm_graph::generators::rmat(
+            220,
+            1800,
+            graphm_graph::generators::RmatParams::GRAPH500,
+            9,
+        );
+        let dir = store_dir("adaptive");
+        Convert::grid(3).write(&g, &dir).unwrap();
+        let source = DiskGridSource::open(&dir).map(Arc::new).unwrap();
+        let n = source.num_partitions();
+        assert!(n > MIN_PREFETCH_WINDOW + 1);
+        // Cold store, no loads yet: the adaptive window sits at its
+        // minimum, so announcing everything advises only that prefix.
+        assert_eq!(source.prefetch_window(), MIN_PREFETCH_WINDOW);
+        let prefetcher = Prefetcher::spawn(Arc::clone(&source) as Arc<dyn PrefetchTarget>);
+        let pids: Vec<usize> = (0..n).collect();
+        prefetcher.request(&pids);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while source.prefetch_stats().issued < MIN_PREFETCH_WINDOW as u64 {
+            assert!(Instant::now() < deadline, "prefetch thread stalled");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Settle, then confirm nothing past the window was advised.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(source.prefetch_stats().issued, MIN_PREFETCH_WINDOW as u64);
+        // Misses (unadvised loads) grow the window.
+        for pid in 0..n {
+            let _ = source.load(pid);
+        }
+        assert!(source.prefetch_window() > MIN_PREFETCH_WINDOW);
+        drop(prefetcher);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,10 +15,11 @@
 //! structure".
 
 use crate::mmap::FileView;
+use crate::prefetch::{AdaptiveWindow, DEFAULT_MAX_PREFETCH_LOOKAHEAD};
 use graphm_core::PartitionSource;
 use graphm_graph::segment::{validate_segment, Manifest, StoreLayout, SEGMENT_HEADER_BYTES};
 use graphm_graph::{AtomicBitmap, Edge, GraphError, Result, VertexId, EDGE_BYTES};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,6 +49,32 @@ pub trait PrefetchTarget: Send + Sync {
 
     /// Counters accumulated so far.
     fn prefetch_stats(&self) -> PrefetchStats;
+
+    /// Current prefetch depth: how many of the announced upcoming
+    /// partitions the [`Prefetcher`](crate::Prefetcher) should actually
+    /// advise. Adaptive targets return their feedback-controlled window;
+    /// the default (`usize::MAX`) advises everything announced.
+    fn prefetch_window(&self) -> usize {
+        usize::MAX
+    }
+}
+
+/// Page-cache residency model of a disk store: which segment bytes the
+/// store believes are paged in (touched by a load or a readahead hint and
+/// not yet released), and how much has been evicted back behind the sweep
+/// frontier via `madvise(MADV_DONTNEED)` to honour the memory budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResidencyStats {
+    /// Segment bytes currently modeled as resident.
+    pub resident_bytes: u64,
+    /// Total segment bytes released (`MADV_DONTNEED`) so far.
+    pub evicted_bytes: u64,
+    /// Number of partition evictions performed.
+    pub evictions: u64,
+    /// Configured memory budget in bytes (0 = unlimited; no eviction).
+    pub budget_bytes: u64,
+    /// Current adaptive prefetch window depth.
+    pub prefetch_window: u64,
 }
 
 /// Process-wide registry of live shared openers, keyed by canonical store
@@ -169,6 +196,28 @@ struct DiskStore {
     pf_issued: AtomicU64,
     pf_hits: AtomicU64,
     pf_advise_ns: AtomicU64,
+    /// Feedback-controlled prefetch depth (see
+    /// [`crate::AdaptiveWindow`]); consulted through
+    /// [`PrefetchTarget::prefetch_window`] unless adaptivity is off.
+    window: AdaptiveWindow,
+    adaptive: AtomicBool,
+    /// Memory budget in bytes; 0 = unlimited (no eviction, counters only).
+    budget: AtomicU64,
+    /// Per-partition residency model: a partition is resident from the
+    /// moment a load or readahead hint touches its segment until the
+    /// budget enforcement releases it with `MADV_DONTNEED`.
+    resident: Vec<AtomicBool>,
+    resident_bytes: AtomicU64,
+    evicted_bytes: AtomicU64,
+    evictions: AtomicU64,
+    /// Lazy-LRU eviction order: `(pid, seq)` in touch order; an entry is
+    /// live only while `seq` matches `last_touch[pid]` (re-touching a
+    /// partition invalidates its older entries instead of searching the
+    /// queue). The sweep loads partitions in the §4 order, so the queue
+    /// front is the ground already behind the frontier.
+    touch_order: Mutex<VecDeque<(usize, u64)>>,
+    last_touch: Vec<AtomicU64>,
+    touch_seq: AtomicU64,
 }
 
 impl DiskStore {
@@ -194,6 +243,8 @@ impl DiskStore {
         }
         let cache = (0..segments.len()).map(|_| Mutex::new(Weak::new())).collect();
         let advised = (0..segments.len()).map(|_| AtomicBool::new(false)).collect();
+        let resident = (0..segments.len()).map(|_| AtomicBool::new(false)).collect();
+        let last_touch = (0..segments.len()).map(|_| AtomicU64::new(0)).collect();
         Ok(DiskStore {
             dir: dir.to_path_buf(),
             manifest,
@@ -203,15 +254,126 @@ impl DiskStore {
             pf_issued: AtomicU64::new(0),
             pf_hits: AtomicU64::new(0),
             pf_advise_ns: AtomicU64::new(0),
+            window: AdaptiveWindow::new(DEFAULT_MAX_PREFETCH_LOOKAHEAD),
+            adaptive: AtomicBool::new(true),
+            budget: AtomicU64::new(0),
+            resident,
+            resident_bytes: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            touch_order: Mutex::new(VecDeque::new()),
+            last_touch,
+            touch_seq: AtomicU64::new(0),
         })
     }
 
+    /// Segment bytes charged to the residency model for `pid`.
+    fn seg_bytes(&self, pid: usize) -> u64 {
+        self.manifest.partitions[pid].byte_len
+    }
+
+    /// Marks `pid`'s segment as paged in (by a load or a readahead hint)
+    /// and records its position in the eviction order. The queue is kept
+    /// bounded: stale entries (a later touch superseded them) are
+    /// compacted away once they dominate, and with no budget configured —
+    /// where nothing would ever pop the queue — it is skipped entirely.
+    fn touch(&self, pid: usize) {
+        if self.budget.load(Ordering::Relaxed) > 0 {
+            let seq = self.touch_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            self.last_touch[pid].store(seq, Ordering::Relaxed);
+            let mut order = self.touch_order.lock().unwrap_or_else(|e| e.into_inner());
+            order.push_back((pid, seq));
+            if order.len() > self.segments.len() * 4 + 64 {
+                // At most one entry per partition is live; everything
+                // else is superseded history.
+                order.retain(|&(p, s)| self.last_touch[p].load(Ordering::Relaxed) == s);
+            }
+        }
+        if !self.resident[pid].swap(true, Ordering::AcqRel) {
+            self.resident_bytes.fetch_add(self.seg_bytes(pid), Ordering::Relaxed);
+        }
+    }
+
+    /// Releases resident segments behind the sweep frontier (oldest touch
+    /// first) until the model fits the budget again. `current` — the
+    /// partition being streamed right now — is never released.
+    fn enforce_budget(&self, current: usize) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == 0 {
+            return;
+        }
+        let mut held_current = None;
+        while self.resident_bytes.load(Ordering::Relaxed) > budget {
+            let entry = self.touch_order.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+            let Some((pid, seq)) = entry else { break };
+            if self.last_touch[pid].load(Ordering::Relaxed) != seq {
+                continue; // Stale entry: the partition was re-touched later.
+            }
+            if pid == current {
+                // At most one live entry per pid: hold it aside, restore
+                // it after the scan so it ages normally.
+                held_current = Some((pid, seq));
+                continue;
+            }
+            if !self.resident[pid].load(Ordering::Acquire) {
+                continue;
+            }
+            let released = match &self.segments[pid].data {
+                SegmentData::Mapped(view) => view.advise_dontneed(),
+                SegmentData::Decoded(_) => false,
+            };
+            if released {
+                self.resident[pid].store(false, Ordering::Release);
+                self.resident_bytes.fetch_sub(self.seg_bytes(pid), Ordering::Relaxed);
+                self.evicted_bytes.fetch_add(self.seg_bytes(pid), Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                // A pending WILLNEED hint for released pages is stale:
+                // the next load must count as a miss and re-grow the
+                // window.
+                self.advised[pid].store(false, Ordering::Release);
+            }
+            // Unevictable segments (decoded fallbacks) stay resident and
+            // simply leave the queue.
+        }
+        if let Some(entry) = held_current {
+            self.touch_order.lock().unwrap_or_else(|e| e.into_inner()).push_front(entry);
+        }
+    }
+
     fn load(&self, pid: usize) -> Arc<Vec<Edge>> {
-        if self.advised[pid].swap(false, Ordering::AcqRel) {
+        let mut slot = self.cache[pid].lock().unwrap_or_else(|e| e.into_inner());
+        let cached = slot.upgrade();
+        let advised = self.advised[pid].swap(false, Ordering::AcqRel);
+        if advised {
             self.pf_hits.fetch_add(1, Ordering::Relaxed);
         }
-        let mut slot = self.cache[pid].lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(live) = slot.upgrade() {
+        // The feedback controller observes a load only when it actually
+        // steers readahead: adaptivity on, a prefetcher has issued at
+        // least one hint (deterministic mode never spawns one — the
+        // reported window must not drift to max meaninglessly), and the
+        // load really reads the mapping (live-cache serves do no I/O).
+        let adaptive = self.adaptive.load(Ordering::Relaxed)
+            && self.pf_issued.load(Ordering::Relaxed) > 0
+            && cached.is_none();
+        if adaptive {
+            if advised {
+                self.window.on_hit();
+            } else {
+                self.window.on_miss();
+            }
+        }
+        self.touch(pid);
+        self.enforce_budget(pid);
+        let budget = self.budget.load(Ordering::Relaxed);
+        if adaptive
+            && budget > 0
+            && self.resident_bytes.load(Ordering::Relaxed).saturating_mul(8) >= budget * 7
+        {
+            // Paged-in bytes approach the budget: rein the readahead in
+            // before it feeds the eviction it then pays for.
+            self.window.on_pressure();
+        }
+        if let Some(live) = cached {
             return live;
         }
         let materialized = Arc::new(self.segments[pid].edges().to_vec());
@@ -229,6 +391,7 @@ impl DiskStore {
         if let SegmentData::Mapped(view) = &self.segments[pid].data {
             view.advise_willneed();
         }
+        self.touch(pid);
         self.pf_advise_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.pf_issued.fetch_add(1, Ordering::Relaxed);
     }
@@ -238,6 +401,36 @@ impl DiskStore {
             issued: self.pf_issued.load(Ordering::Relaxed),
             hits: self.pf_hits.load(Ordering::Relaxed),
             advise_ns: self.pf_advise_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    fn prefetch_window(&self) -> usize {
+        if self.adaptive.load(Ordering::Relaxed) {
+            self.window.current()
+        } else {
+            usize::MAX
+        }
+    }
+
+    fn set_memory_budget(&self, bytes: u64) {
+        self.budget.store(bytes, Ordering::Relaxed);
+    }
+
+    fn set_adaptive_prefetch(&self, enabled: bool) {
+        self.adaptive.store(enabled, Ordering::Relaxed);
+    }
+
+    fn set_prefetch_max(&self, max: usize) {
+        self.window.set_max(max);
+    }
+
+    fn residency_stats(&self) -> ResidencyStats {
+        ResidencyStats {
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            budget_bytes: self.budget.load(Ordering::Relaxed),
+            prefetch_window: self.window.current() as u64,
         }
     }
 
@@ -334,6 +527,33 @@ impl DiskGridSource {
     pub fn out_degrees(&self) -> Vec<u32> {
         self.store.out_degrees()
     }
+
+    /// Sets the page-cache budget in bytes (0 = unlimited): once modeled
+    /// residency exceeds it, loads release segments behind the sweep
+    /// frontier with `madvise(MADV_DONTNEED)`.
+    pub fn set_memory_budget(&self, bytes: u64) {
+        self.store.set_memory_budget(bytes);
+    }
+
+    /// Enables/disables the adaptive prefetch window (on by default;
+    /// disabled = advise the full announced lookahead, the pre-adaptive
+    /// behaviour).
+    pub fn set_adaptive_prefetch(&self, enabled: bool) {
+        self.store.set_adaptive_prefetch(enabled);
+    }
+
+    /// Raises/lowers the adaptive window's upper bound (default
+    /// [`crate::DEFAULT_MAX_PREFETCH_LOOKAHEAD`]) — keep it in sync with
+    /// the runtime's announced lookahead so a deeper announcement can
+    /// actually be used.
+    pub fn set_prefetch_max_lookahead(&self, max: usize) {
+        self.store.set_prefetch_max(max);
+    }
+
+    /// Residency/eviction counters (see [`ResidencyStats`]).
+    pub fn residency_stats(&self) -> ResidencyStats {
+        self.store.residency_stats()
+    }
 }
 
 impl PrefetchTarget for DiskGridSource {
@@ -343,6 +563,10 @@ impl PrefetchTarget for DiskGridSource {
 
     fn prefetch_stats(&self) -> PrefetchStats {
         self.store.prefetch_stats()
+    }
+
+    fn prefetch_window(&self) -> usize {
+        self.store.prefetch_window()
     }
 }
 
@@ -445,6 +669,29 @@ impl DiskShardSource {
     pub fn out_degrees(&self) -> Vec<u32> {
         self.store.out_degrees()
     }
+
+    /// Sets the page-cache budget in bytes (0 = unlimited); see
+    /// [`DiskGridSource::set_memory_budget`].
+    pub fn set_memory_budget(&self, bytes: u64) {
+        self.store.set_memory_budget(bytes);
+    }
+
+    /// Enables/disables the adaptive prefetch window; see
+    /// [`DiskGridSource::set_adaptive_prefetch`].
+    pub fn set_adaptive_prefetch(&self, enabled: bool) {
+        self.store.set_adaptive_prefetch(enabled);
+    }
+
+    /// Raises/lowers the adaptive window's upper bound; see
+    /// [`DiskGridSource::set_prefetch_max_lookahead`].
+    pub fn set_prefetch_max_lookahead(&self, max: usize) {
+        self.store.set_prefetch_max(max);
+    }
+
+    /// Residency/eviction counters (see [`ResidencyStats`]).
+    pub fn residency_stats(&self) -> ResidencyStats {
+        self.store.residency_stats()
+    }
 }
 
 impl PrefetchTarget for DiskShardSource {
@@ -454,6 +701,10 @@ impl PrefetchTarget for DiskShardSource {
 
     fn prefetch_stats(&self) -> PrefetchStats {
         self.store.prefetch_stats()
+    }
+
+    fn prefetch_window(&self) -> usize {
+        self.store.prefetch_window()
     }
 }
 

@@ -170,6 +170,105 @@ impl ThreadPool {
     }
 }
 
+/// An in-flight incremental batch created by [`ThreadPool::scope`]:
+/// tasks are spawned one at a time (possibly interleaved with blocking
+/// work on the submitting thread, e.g. chunk pacing) and all complete
+/// before `scope` returns.
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool ThreadPool,
+    batch: Arc<Batch>,
+    /// Invariant over `'scope`: spawned closures may borrow data that
+    /// lives exactly as long as the `scope` call.
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'_, 'scope> {
+    /// Queues `task` for execution on the pool. The task may start
+    /// immediately on a worker, concurrently with the scope body.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'scope) {
+        self.batch.remaining.fetch_add(1, Ordering::AcqRel);
+        let batch = Arc::clone(&self.batch);
+        let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(task));
+            if let Err(payload) = result {
+                let mut slot = batch.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+            batch.task_finished();
+        });
+        // SAFETY: `ThreadPool::scope` does not return until `remaining`
+        // hits zero, i.e. until this task has run to completion on some
+        // thread; everything it borrows therefore strictly outlives every
+        // use. The lifetime is erased only so the closure can sit in the
+        // 'static worker queue meanwhile (same argument as `run_batch`).
+        let erased: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(
+                wrapped,
+            )
+        };
+        let mut queue = self.pool.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.push_back(erased);
+        drop(queue);
+        // One task enqueued — one worker woken. (`run_batch` enqueues a
+        // whole batch before its single notify_all; the scoped hot path
+        // spawns per chunk, so a thundering herd here would be paid
+        // thousands of times per sweep.)
+        self.pool.shared.work_cv.notify_one();
+    }
+}
+
+impl ThreadPool {
+    /// Runs `body` with a [`Scope`] handle for spawning tasks
+    /// incrementally, then blocks until every spawned task has finished
+    /// (helping drain the shared queue while it waits, so a one-lane pool
+    /// degenerates to sequential execution and nested use cannot
+    /// deadlock). Unlike [`ThreadPool::run_batch`], tasks spawned early
+    /// start running while the body is still producing later ones — the
+    /// shape the paced chunk fan-out needs. Panics from tasks (and from
+    /// the body) are resurfaced here.
+    pub fn scope<'scope, R>(&self, body: impl FnOnce(&Scope<'_, 'scope>) -> R) -> R {
+        let batch = Arc::new(Batch {
+            // One guard unit for the body itself, so workers finishing
+            // early cannot mark the batch done while spawns are pending.
+            remaining: AtomicUsize::new(1),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let scope =
+            Scope { pool: self, batch: Arc::clone(&batch), _marker: std::marker::PhantomData };
+        let body_result = std::panic::catch_unwind(AssertUnwindSafe(|| body(&scope)));
+        batch.task_finished(); // Drop the body's guard unit.
+                               // Help drain until the batch completes (same loop as run_batch).
+        loop {
+            if *batch.done.lock().unwrap_or_else(|e| e.into_inner()) {
+                break;
+            }
+            let task = {
+                let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                queue.pop_front()
+            };
+            match task {
+                Some(task) => task(),
+                None => {
+                    let mut flag = batch.done.lock().unwrap_or_else(|e| e.into_inner());
+                    while !*flag {
+                        flag = batch.done_cv.wait(flag).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        }
+        let payload = batch.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+        match body_result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
 fn worker_loop(shared: &PoolShared) {
     loop {
         let task = {
@@ -399,6 +498,59 @@ mod tests {
             })
             .collect();
         assert_eq!(v, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_spawns_incrementally_and_waits() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<usize> = (0..64).collect();
+        let slots: Vec<Mutex<usize>> = (0..64).map(|_| Mutex::new(0)).collect();
+        pool.scope(|s| {
+            for i in 0..64 {
+                let data = &data;
+                let slots = &slots;
+                s.spawn(move || {
+                    *slots[i].lock().unwrap() = data[i] * 2;
+                });
+            }
+        });
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(*slot.lock().unwrap(), i * 2);
+        }
+    }
+
+    #[test]
+    fn scope_on_one_lane_pool_degenerates_to_sequential() {
+        let pool = ThreadPool::new(1);
+        let sum = AtomicUsize::new(0);
+        let r = pool.scope(|s| {
+            for i in 1..=10usize {
+                let sum = &sum;
+                s.spawn(move || {
+                    sum.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+            "body result"
+        });
+        assert_eq!(r, "body result");
+        assert_eq!(sum.load(Ordering::SeqCst), 55);
+    }
+
+    #[test]
+    fn scope_task_panics_propagate() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..8usize {
+                    s.spawn(move || {
+                        if i == 5 {
+                            panic!("scoped boom");
+                        }
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "a panic inside a scoped task must surface");
     }
 
     #[test]
