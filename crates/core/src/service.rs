@@ -83,6 +83,13 @@ pub struct SharingService<'s> {
     partition_loads: u64,
     pred_abs_err: f64,
     pred_samples: u64,
+    /// Whether the source holds this service's generation pin: taken at
+    /// construction (the chunk tables and `T(E)` calibration read the
+    /// source) and whenever jobs are in flight, released only while
+    /// every submitted job — including future-dated arrivals — has
+    /// finished. No job, and no preprocessing, ever straddles a
+    /// generation rotation published through a shared handle.
+    source_pinned: bool,
 }
 
 fn active_mut(slots: &mut [Slot], id: JobId) -> &mut JobState {
@@ -105,6 +112,10 @@ impl<'s> SharingService<'s> {
         cfg: RunnerConfig,
         state_bytes_per_vertex: usize,
     ) -> SharingService<'s> {
+        // Pin the source's generation before preprocessing reads it; the
+        // pin drops at the first fully idle step (or on drop), so the
+        // chunk tables always describe the generation jobs will stream.
+        source.sweep_begin();
         let mut ctx = StreamContext::new(cfg.profile);
         let mut gm_cfg = GraphMConfig::new(cfg.profile);
         gm_cfg.policy = cfg.policy;
@@ -145,6 +156,14 @@ impl<'s> SharingService<'s> {
             partition_loads: 0,
             pred_abs_err: 0.0,
             pred_samples: 0,
+            source_pinned: true,
+        }
+    }
+
+    fn unpin_source(&mut self) {
+        if self.source_pinned {
+            self.source_pinned = false;
+            self.source.sweep_end();
         }
     }
 
@@ -197,6 +216,12 @@ impl<'s> SharingService<'s> {
             .map(|(i, _)| i)
             .collect();
         if alive.is_empty() {
+            // Release the pin only when *no* submitted job remains —
+            // future-dated arrivals still count: they were instantiated
+            // (out-degrees!) against this generation and must run on it.
+            if self.jobs_unfinished() == 0 {
+                self.unpin_source();
+            }
             return match self
                 .slots
                 .iter()
@@ -212,6 +237,10 @@ impl<'s> SharingService<'s> {
                 }
                 None => false,
             };
+        }
+        if !self.source_pinned {
+            self.source.sweep_begin();
+            self.source_pinned = true;
         }
         self.sweep(&alive);
         true
@@ -418,10 +447,13 @@ impl<'s> SharingService<'s> {
     }
 
     /// Assembles the whole-service [`RunReport`], consuming the service.
+    ///
+    /// (The generation pin, if still held because jobs were abandoned
+    /// unfinished, is released by `Drop`.)
     /// Reports already claimed through [`SharingService::take_report`] are
     /// excluded from the per-job list and aggregates; drive the service to
     /// idle first for a complete report (the batch `run_scheme` path does).
-    pub fn into_run_report(self) -> RunReport {
+    pub fn into_run_report(mut self) -> RunReport {
         let mut metrics = Metrics::new();
         metrics.set(keys::TOTAL_NS, self.vnow);
         metrics.set(keys::JOBS, self.slots.len() as f64);
@@ -437,8 +469,7 @@ impl<'s> SharingService<'s> {
         let mut data_access = 0.0;
         let mut instructions = 0u64;
         let mut iterations = 0usize;
-        let reports: Vec<JobReport> = self
-            .slots
+        let reports: Vec<JobReport> = std::mem::take(&mut self.slots)
             .into_iter()
             .filter_map(|slot| match slot {
                 Slot::Finished(r) => Some(r),
@@ -457,12 +488,23 @@ impl<'s> SharingService<'s> {
         metrics.set(keys::INSTRUCTIONS, instructions as f64);
         metrics.set(keys::ITERATIONS, iterations as f64);
         metrics.set("chunk_bytes", self.gm.chunk_bytes as f64);
+        let makespan_ns = self.vnow;
         metrics.set("chunk_table_bytes", self.gm.overhead_bytes() as f64);
         metrics.set("preprocess_ns", self.gm.preprocess_ns);
         if self.pred_samples > 0 {
             metrics.set("profile_mae_ns", self.pred_abs_err / self.pred_samples as f64);
         }
-        RunReport { scheme: Scheme::Shared, metrics, jobs: reports, makespan_ns: self.vnow }
+        RunReport { scheme: Scheme::Shared, metrics, jobs: reports, makespan_ns }
+    }
+}
+
+impl Drop for SharingService<'_> {
+    /// A service dropped mid-run (or consumed by `into_run_report` with
+    /// jobs abandoned) must not leave its generation pin held — that
+    /// would block a shared delta-store handle from ever adopting a
+    /// published rotation.
+    fn drop(&mut self) {
+        self.unpin_source();
     }
 }
 

@@ -61,6 +61,12 @@ struct Inner {
     order: VecDeque<usize>,
     sweep: u64,
     sweep_done: bool,
+    /// Whether the source currently holds this runtime's generation pin
+    /// ([`PartitionSource::sweep_begin`]): taken when the first sweep of
+    /// a busy period starts and released only once no registered job
+    /// remains, so generation-rotating sources never flip under an
+    /// in-flight *job* — pins are job-scoped, not sweep-scoped.
+    source_pinned: bool,
     loads: u64,
     /// Chunk-progress window state for the current partition.
     progress: HashMap<JobId, usize>,
@@ -270,6 +276,13 @@ impl SharingRuntime {
             // Last ender starts the next sweep so waiting peers wake up.
             self.begin_sweep(&mut inner);
         }
+        // The last retiring job releases the busy-period generation pin
+        // (the sweep itself already drained; nothing restarts without a
+        // registration).
+        if inner.source_pinned && inner.registered.is_empty() && inner.current_pid.is_none() {
+            inner.source_pinned = false;
+            self.source.sweep_end();
+        }
         self.cv.notify_all();
         if retiring {
             return;
@@ -289,6 +302,14 @@ impl SharingRuntime {
         inner.sweep += 1;
         inner.sweep_done = false;
         inner.participants = inner.registered.clone();
+        // Pin the source's data generation for the whole busy period —
+        // first sweep through last job retirement — so a job spanning
+        // many sweeps never sees a generation flip (delta stores defer
+        // rotation adoption to the matching sweep_end).
+        if !inner.source_pinned {
+            self.source.sweep_begin();
+            inner.source_pinned = true;
+        }
         inner.order = loading_order(&self.global, self.policy).into();
         self.advance(inner);
         // Jobs parked in `sharing` awaiting this sweep must learn that it
@@ -328,6 +349,12 @@ impl SharingRuntime {
                     inner.buffer = None;
                     inner.pending.clear();
                     inner.sweep_done = true;
+                    // Job-scoped pin: release only once every job is
+                    // gone (jobs re-enter sweeps until they retire).
+                    if inner.source_pinned && inner.registered.is_empty() {
+                        inner.source_pinned = false;
+                        self.source.sweep_end();
+                    }
                     return;
                 }
             }
@@ -344,6 +371,19 @@ impl SharingRuntime {
             if !upcoming.is_empty() {
                 hook(&upcoming);
             }
+        }
+    }
+}
+
+impl Drop for SharingRuntime {
+    /// A runtime torn down mid-run (a panicking batch) must not leave
+    /// its generation pin held — that would block a delta store from ever
+    /// adopting a published rotation.
+    fn drop(&mut self) {
+        let mut inner = self.inner.lock();
+        if inner.source_pinned {
+            inner.source_pinned = false;
+            self.source.sweep_end();
         }
     }
 }
@@ -559,6 +599,77 @@ mod tests {
         }
         assert_eq!(seen.load(Ordering::Relaxed), (1024 * jobs * iters) as u64);
         assert_eq!(rt.loads(), (parts * iters) as u64);
+    }
+
+    /// A busy period takes exactly one generation pin at its first sweep
+    /// and releases it when the last job retires — so a multi-iteration
+    /// job can never straddle a rotation ([`PartitionSource::sweep_begin`]
+    /// is the contract delta stores use to defer adoption).
+    #[test]
+    fn busy_period_pins_and_unpins_the_source() {
+        struct PinCounting {
+            inner: VecSource,
+            begins: AtomicU64,
+            ends: AtomicU64,
+        }
+        impl PartitionSource for PinCounting {
+            fn num_partitions(&self) -> usize {
+                self.inner.num_partitions()
+            }
+            fn num_vertices(&self) -> u32 {
+                self.inner.num_vertices()
+            }
+            fn load(&self, pid: usize) -> Arc<Vec<Edge>> {
+                // A sweep's loads must happen under its pin.
+                assert!(
+                    self.begins.load(Ordering::SeqCst) > self.ends.load(Ordering::SeqCst),
+                    "load outside a pinned sweep"
+                );
+                self.inner.load(pid)
+            }
+            fn partition_bytes(&self, pid: usize) -> usize {
+                self.inner.partition_bytes(pid)
+            }
+            fn graph_bytes(&self) -> usize {
+                self.inner.graph_bytes()
+            }
+            fn partition_active(&self, pid: usize, active: &graphm_graph::AtomicBitmap) -> bool {
+                self.inner.partition_active(pid, active)
+            }
+            fn sweep_begin(&self) {
+                self.begins.fetch_add(1, Ordering::SeqCst);
+            }
+            fn sweep_end(&self) {
+                self.ends.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let g = generators::rmat(64, 512, generators::RmatParams::GRAPH500, 9);
+        let mut edges = g.edges.clone();
+        edges.sort_by_key(|e| e.src);
+        let per = edges.len().div_ceil(2);
+        let src = Arc::new(PinCounting {
+            inner: VecSource::new(64, edges.chunks(per).map(<[_]>::to_vec).collect()),
+            begins: AtomicU64::new(0),
+            ends: AtomicU64::new(0),
+        });
+        let rt = SharingRuntime::new(
+            Arc::clone(&src) as Arc<dyn PartitionSource>,
+            SchedulingPolicy::Prioritized,
+            2,
+        );
+        let iters = 3usize;
+        rt.register_job(0, &[0, 1]);
+        for it in 0..iters {
+            while let Some(sp) = rt.sharing(0) {
+                rt.barrier(0, sp.pid);
+            }
+            let last = it + 1 == iters;
+            rt.end_iteration(0, if last { None } else { Some(&[0, 1]) });
+        }
+        drop(rt);
+        let begins = src.begins.load(Ordering::SeqCst);
+        assert_eq!(begins, 1, "one pin for the whole busy period, not per sweep");
+        assert_eq!(begins, src.ends.load(Ordering::SeqCst), "released when the last job retires");
     }
 
     #[test]

@@ -38,6 +38,20 @@ pub trait PartitionSource: Send + Sync {
     /// Whether partition `pid` contains any work for a job with the given
     /// active-vertex bitmap (the engine's `should_access_shard`).
     fn partition_active(&self, pid: usize, active: &AtomicBitmap) -> bool;
+
+    /// Takes a generation pin: rotating sources (the disk delta store)
+    /// keep serving their current data generation until the matching
+    /// [`PartitionSource::sweep_end`]. The runtimes
+    /// ([`crate::SharingRuntime`], [`crate::SharingService`]) hold one
+    /// pin for their whole busy period — first sweep through last job
+    /// retirement — so no in-flight job ever observes a generation flip,
+    /// even when another runtime sharing the handle triggers a refresh.
+    /// Static sources need not override (no-op); jobs never call this.
+    fn sweep_begin(&self) {}
+
+    /// Releases the pin taken by [`PartitionSource::sweep_begin`] (a
+    /// rotation published meanwhile is adopted at the last unpin).
+    fn sweep_end(&self) {}
 }
 
 /// The simplest source: pre-split in-memory partitions with contiguous

@@ -1,0 +1,670 @@
+//! The on-disk **delta store** format: append-only mutation segments plus
+//! generation-numbered manifests over a base partition store.
+//!
+//! A store directory written by `Convert()` (see [`crate::segment`]) is
+//! immutable; this module adds the evolving-graph half: a single writer
+//! appends per-partition *delta segments* (edge insertions and deletion
+//! tombstones), publishes them under a new *generation manifest*, and
+//! atomically flips the [`CURRENT_FILE`] pointer. Readers resolve
+//! `CURRENT` at open (or on an explicit refresh), overlay the ordered
+//! delta chain on the base segment, and never observe a half-published
+//! generation:
+//!
+//! * delta segments and generation manifests are written **before**
+//!   `CURRENT` moves, and no published file is ever modified in place
+//!   (append-only at the directory level);
+//! * `CURRENT` itself is replaced via write-to-temp + `rename`, which is
+//!   atomic on POSIX filesystems;
+//! * a generation manifest is **cumulative** — it names the base segment
+//!   file and the full delta chain per partition — so a reader can jump
+//!   from any generation straight to the newest without replaying
+//!   intermediate manifests.
+//!
+//! The merge semantics ([`apply_delta`]) are chosen so that a merged view
+//! is *bit-identical* to a from-scratch conversion of the mutated edge
+//! list: an insert appends the edge, a delete removes every `(src, dst)`
+//! occurrence accumulated so far (base and earlier deltas alike). Layout
+//! invariants mirror [`crate::segment`]: little-endian fields, 16-byte
+//! headers keeping record arrays 4-byte aligned for in-place
+//! reinterpretation, and every length validated against the real file
+//! length before any allocation.
+
+use crate::segment::{CountingReader, StoreLayout};
+use crate::types::{Edge, EdgeList, GraphError, Result, VertexId};
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every delta segment file.
+pub const DELTA_MAGIC: &[u8; 8] = b"GMDEL001";
+
+/// Magic bytes opening every generation manifest.
+pub const GEN_MAGIC: &[u8; 8] = b"GMGEN001";
+
+/// Magic bytes opening the [`CURRENT_FILE`] generation pointer.
+pub const CURRENT_MAGIC: &[u8; 8] = b"GMCUR001";
+
+/// Name of the current-generation pointer file inside a store directory.
+/// Absent = generation 0 (the base store, no deltas).
+pub const CURRENT_FILE: &str = "CURRENT";
+
+/// Fixed delta segment header size: magic (8) + `num_records` (8).
+pub const DELTA_HEADER_BYTES: usize = 16;
+
+/// Insert operation tag: the record's edge joins the merged view.
+pub const DELTA_OP_INSERT: u32 = 0;
+
+/// Delete (tombstone) tag: every `(src, dst)` occurrence accumulated so
+/// far — in the base or in earlier delta records — leaves the merged view.
+pub const DELTA_OP_DELETE: u32 = 1;
+
+/// One mutation record. `#[repr(C)]` fixes the 16-byte on-disk layout so
+/// little-endian hosts reinterpret mapped delta segments in place.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeltaRecord {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight (inserts; ignored by deletes, write 0).
+    pub weight: f32,
+    /// [`DELTA_OP_INSERT`] or [`DELTA_OP_DELETE`].
+    pub op: u32,
+}
+
+/// Size of one serialized [`DeltaRecord`].
+pub const DELTA_RECORD_BYTES: usize = std::mem::size_of::<DeltaRecord>();
+
+impl DeltaRecord {
+    /// An insertion record.
+    pub fn insert(src: VertexId, dst: VertexId, weight: f32) -> DeltaRecord {
+        DeltaRecord { src, dst, weight, op: DELTA_OP_INSERT }
+    }
+
+    /// A deletion tombstone for every `(src, dst)` edge.
+    pub fn delete(src: VertexId, dst: VertexId) -> DeltaRecord {
+        DeltaRecord { src, dst, weight: 0.0, op: DELTA_OP_DELETE }
+    }
+
+    /// Whether this record inserts (vs deletes).
+    pub fn is_insert(&self) -> bool {
+        self.op == DELTA_OP_INSERT
+    }
+}
+
+/// Delta segment file name for partition `pid` published at `generation`.
+pub fn delta_file_name(generation: u64, pid: usize) -> String {
+    format!("delta-{generation:06}-{pid:05}.dseg")
+}
+
+/// Generation manifest file name.
+pub fn gen_manifest_file_name(generation: u64) -> String {
+    format!("gen-{generation:06}.mf")
+}
+
+/// Segment file name for partition `pid`'s base rewritten by a compaction
+/// that published `generation`. Distinguished from `Convert`'s original
+/// `part-NNNNN.seg` names by the `-g` suffix, so retirement can tell them
+/// apart.
+pub fn compacted_segment_file_name(generation: u64, pid: usize) -> String {
+    format!("part-{pid:05}-g{generation:06}.seg")
+}
+
+/// Applies `records` to `edges` in record order: inserts append, deletes
+/// remove every `(src, dst)` match accumulated so far. This is the one
+/// definition of the merge semantics — the store's merged-view readers,
+/// the compactor, and the in-memory reference mutation all call it, which
+/// is what makes "merged read == from-scratch conversion of the mutated
+/// graph" hold bit for bit.
+pub fn apply_delta(edges: &mut Vec<Edge>, records: &[DeltaRecord]) {
+    // Consecutive tombstones commute, so each *run* of deletes is applied
+    // as one set-driven retain — delete-heavy batches cost O(edges + run)
+    // instead of one full rescan per tombstone. (A chain-wide multiset
+    // index is a recorded ROADMAP follow-up.)
+    let mut i = 0;
+    while i < records.len() {
+        let r = records[i];
+        if r.is_insert() {
+            edges.push(Edge { src: r.src, dst: r.dst, weight: r.weight });
+            i += 1;
+        } else {
+            let mut dead = HashSet::new();
+            while i < records.len() && !records[i].is_insert() {
+                dead.insert((records[i].src, records[i].dst));
+                i += 1;
+            }
+            edges.retain(|e| !dead.contains(&(e.src, e.dst)));
+        }
+    }
+}
+
+/// Applies `records` to a whole edge list — the in-memory reference for
+/// what a published delta batch does to the graph (deletes filter
+/// everywhere, inserts append at the end, exactly like [`apply_delta`]
+/// does per partition).
+pub fn apply_delta_to_edge_list(graph: &mut EdgeList, records: &[DeltaRecord]) {
+    apply_delta(&mut graph.edges, records);
+}
+
+/// Writes one partition's pending mutations as a delta segment file.
+/// Returns the payload byte count.
+pub fn write_delta_segment(records: &[DeltaRecord], path: &Path) -> Result<u64> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(DELTA_MAGIC)?;
+    w.write_all(&(records.len() as u64).to_le_bytes())?;
+    for r in records {
+        w.write_all(&r.src.to_le_bytes())?;
+        w.write_all(&r.dst.to_le_bytes())?;
+        w.write_all(&r.weight.to_le_bytes())?;
+        w.write_all(&r.op.to_le_bytes())?;
+    }
+    w.flush()?;
+    // Durability before the CURRENT flip references this file: the flip
+    // must never durably name a generation whose payload is not.
+    w.get_ref().sync_all()?;
+    Ok((records.len() * DELTA_RECORD_BYTES) as u64)
+}
+
+/// Validates a delta segment header against the file's real length and
+/// the manifest's expectation. Returns the record count.
+pub fn validate_delta_segment(
+    bytes: &[u8],
+    expect_records: Option<u64>,
+    what: &str,
+) -> Result<u64> {
+    if bytes.len() < DELTA_HEADER_BYTES {
+        return Err(GraphError::Truncated {
+            what: format!("{what}: delta segment header"),
+            needed: DELTA_HEADER_BYTES as u64,
+            available: bytes.len() as u64,
+        });
+    }
+    if &bytes[..8] != DELTA_MAGIC {
+        return Err(GraphError::Format(format!("{what}: bad delta segment magic")));
+    }
+    let num_records = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let payload = (bytes.len() - DELTA_HEADER_BYTES) as u64;
+    let needed = num_records
+        .checked_mul(DELTA_RECORD_BYTES as u64)
+        .ok_or_else(|| GraphError::Format(format!("{what}: record count overflows")))?;
+    if needed > payload {
+        return Err(GraphError::Truncated {
+            what: format!("{what}: {num_records} delta records"),
+            needed,
+            available: payload,
+        });
+    }
+    if let Some(expect) = expect_records {
+        if expect != num_records {
+            return Err(GraphError::Format(format!(
+                "{what}: manifest says {expect} records, segment header says {num_records}"
+            )));
+        }
+    }
+    Ok(num_records)
+}
+
+/// Reads a delta segment file eagerly (the non-mmap path; also the
+/// big-endian fallback). Rejects unknown operation tags.
+pub fn read_delta_segment(path: &Path) -> Result<Vec<DeltaRecord>> {
+    let available = std::fs::metadata(path)?.len();
+    let mut r = BufReader::new(File::open(path)?);
+    let mut header = [0u8; DELTA_HEADER_BYTES];
+    if available < DELTA_HEADER_BYTES as u64 {
+        return Err(GraphError::Truncated {
+            what: format!("{}: delta segment header", path.display()),
+            needed: DELTA_HEADER_BYTES as u64,
+            available,
+        });
+    }
+    r.read_exact(&mut header)?;
+    if &header[..8] != DELTA_MAGIC {
+        return Err(GraphError::Format(format!("bad delta magic in {}", path.display())));
+    }
+    let num_records = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let needed = num_records
+        .checked_mul(DELTA_RECORD_BYTES as u64)
+        .ok_or_else(|| GraphError::Format(format!("{}: record count overflows", path.display())))?;
+    let payload = available - DELTA_HEADER_BYTES as u64;
+    if needed > payload {
+        return Err(GraphError::Truncated {
+            what: format!("{}: {num_records} delta records", path.display()),
+            needed,
+            available: payload,
+        });
+    }
+    let mut records = Vec::with_capacity(num_records as usize);
+    let mut rec = [0u8; DELTA_RECORD_BYTES];
+    for i in 0..num_records {
+        r.read_exact(&mut rec)?;
+        let parsed = DeltaRecord {
+            src: VertexId::from_le_bytes(rec[0..4].try_into().unwrap()),
+            dst: VertexId::from_le_bytes(rec[4..8].try_into().unwrap()),
+            weight: f32::from_le_bytes(rec[8..12].try_into().unwrap()),
+            op: u32::from_le_bytes(rec[12..16].try_into().unwrap()),
+        };
+        if parsed.op > DELTA_OP_DELETE {
+            return Err(GraphError::Format(format!(
+                "{}: record {i} has unknown op {}",
+                path.display(),
+                parsed.op
+            )));
+        }
+        records.push(parsed);
+    }
+    Ok(records)
+}
+
+/// One delta segment in a partition's chain, as the generation manifest
+/// records it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaFileRef {
+    /// Delta segment file name, relative to the store directory.
+    pub file: String,
+    /// Number of 16-byte mutation records in the segment.
+    pub num_records: u64,
+}
+
+/// One partition's entry in a generation manifest: which segment file is
+/// its base *this generation* (compaction rewrites it) plus the ordered
+/// delta chain layered on top.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenPartition {
+    /// Base segment file name (original `part-NNNNN.seg` until a
+    /// compaction replaces it with a folded `part-NNNNN-gGGGGGG.seg`).
+    pub base_file: String,
+    /// Edge records in the base segment.
+    pub base_num_edges: u64,
+    /// Ordered delta chain (oldest first).
+    pub deltas: Vec<DeltaFileRef>,
+}
+
+impl GenPartition {
+    /// Total mutation records across the chain.
+    pub fn delta_records(&self) -> u64 {
+        self.deltas.iter().map(|d| d.num_records).sum()
+    }
+
+    /// Total delta payload bytes across the chain.
+    pub fn delta_bytes(&self) -> u64 {
+        self.delta_records() * DELTA_RECORD_BYTES as u64
+    }
+}
+
+/// A generation's table of contents. Cumulative: resolving the newest
+/// generation needs only this one file plus the base `manifest.bin`
+/// (which keeps the layout, streaming order, and activity bounds — none
+/// of which a delta publish changes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenManifest {
+    /// Generation number (>= 1; generation 0 is the bare base store).
+    pub generation: u64,
+    /// Cumulative compactions folded into the base so far — carried
+    /// forward by every publish so readers can report it.
+    pub compactions: u64,
+    /// Must match the base manifest's layout.
+    pub layout: StoreLayout,
+    /// Must match the base manifest's vertex count (growing the vertex
+    /// set requires reconversion).
+    pub num_vertices: VertexId,
+    /// Per-partition state, in partition-index order.
+    pub partitions: Vec<GenPartition>,
+}
+
+impl GenManifest {
+    /// Total delta payload bytes across all partitions.
+    pub fn delta_bytes(&self) -> u64 {
+        self.partitions.iter().map(GenPartition::delta_bytes).sum()
+    }
+
+    /// Total mutation records across all partitions.
+    pub fn delta_records(&self) -> u64 {
+        self.partitions.iter().map(GenPartition::delta_records).sum()
+    }
+
+    /// Writes the manifest into `dir` under its generation-numbered name.
+    pub fn write_to_dir(&self, dir: &Path) -> Result<PathBuf> {
+        let path = dir.join(gen_manifest_file_name(self.generation));
+        let mut w = BufWriter::new(File::create(&path)?);
+        w.write_all(GEN_MAGIC)?;
+        w.write_all(&self.generation.to_le_bytes())?;
+        w.write_all(&self.compactions.to_le_bytes())?;
+        w.write_all(&self.layout.tag().to_le_bytes())?;
+        w.write_all(&self.layout.p().to_le_bytes())?;
+        w.write_all(&self.num_vertices.to_le_bytes())?;
+        w.write_all(&(self.partitions.len() as u32).to_le_bytes())?;
+        let write_name = |w: &mut BufWriter<File>, name: &str| -> Result<()> {
+            let bytes = name.as_bytes();
+            if bytes.len() > u16::MAX as usize {
+                return Err(GraphError::Format(format!("file name too long: {name}")));
+            }
+            w.write_all(&(bytes.len() as u16).to_le_bytes())?;
+            w.write_all(bytes)?;
+            Ok(())
+        };
+        for part in &self.partitions {
+            write_name(&mut w, &part.base_file)?;
+            w.write_all(&part.base_num_edges.to_le_bytes())?;
+            w.write_all(&(part.deltas.len() as u32).to_le_bytes())?;
+            for d in &part.deltas {
+                write_name(&mut w, &d.file)?;
+                w.write_all(&d.num_records.to_le_bytes())?;
+            }
+        }
+        w.flush()?;
+        // Must be durable before CURRENT durably points at it.
+        w.get_ref().sync_all()?;
+        Ok(path)
+    }
+
+    /// Reads the manifest for `generation` previously written by
+    /// [`GenManifest::write_to_dir`].
+    pub fn read_from_dir(dir: &Path, generation: u64) -> Result<GenManifest> {
+        let path = dir.join(gen_manifest_file_name(generation));
+        let available = std::fs::metadata(&path)?.len();
+        let mut r = CountingReader::new(BufReader::new(File::open(&path)?), available);
+        let mut magic = [0u8; 8];
+        r.read_exact_or_truncated(&mut magic, "generation manifest magic")?;
+        if &magic != GEN_MAGIC {
+            return Err(GraphError::Format(format!(
+                "bad generation manifest magic in {}: {magic:?}",
+                path.display()
+            )));
+        }
+        let file_gen = r.read_u64("generation number")?;
+        if file_gen != generation {
+            return Err(GraphError::Format(format!(
+                "{}: header says generation {file_gen}, file name says {generation}",
+                path.display()
+            )));
+        }
+        let compactions = r.read_u64("compaction count")?;
+        let tag = r.read_u32("layout tag")?;
+        let p = r.read_u32("grid dimension")?;
+        let num_vertices = r.read_u32("vertex count")?;
+        let layout = match tag {
+            0 => StoreLayout::Grid { p },
+            1 => StoreLayout::Shards { p },
+            t => return Err(GraphError::Format(format!("unknown store layout tag {t}"))),
+        };
+        let num_partitions = r.read_u32("partition count")? as usize;
+        // Each entry is at least 14 bytes; reject counts the file cannot
+        // hold before allocating.
+        r.check_remaining(num_partitions as u64 * 14, "generation partitions")?;
+        let read_name = |r: &mut CountingReader<BufReader<File>>, what: &str| -> Result<String> {
+            let len = r.read_u16(&format!("{what} name length"))? as usize;
+            let mut bytes = vec![0u8; len];
+            r.read_exact_or_truncated(&mut bytes, &format!("{what} name"))?;
+            String::from_utf8(bytes)
+                .map_err(|_| GraphError::Format(format!("{what}: file name is not UTF-8")))
+        };
+        let mut partitions = Vec::with_capacity(num_partitions);
+        for i in 0..num_partitions {
+            let base_file = read_name(&mut r, &format!("partition {i} base"))?;
+            let base_num_edges = r.read_u64(&format!("partition {i} base edge count"))?;
+            let num_deltas = r.read_u32(&format!("partition {i} delta count"))? as usize;
+            r.check_remaining(num_deltas as u64 * 10, &format!("partition {i} delta chain"))?;
+            let mut deltas = Vec::with_capacity(num_deltas);
+            for d in 0..num_deltas {
+                let file = read_name(&mut r, &format!("partition {i} delta {d}"))?;
+                let num_records = r.read_u64(&format!("partition {i} delta {d} record count"))?;
+                deltas.push(DeltaFileRef { file, num_records });
+            }
+            partitions.push(GenPartition { base_file, base_num_edges, deltas });
+        }
+        Ok(GenManifest { generation, compactions, layout, num_vertices, partitions })
+    }
+}
+
+/// Reads the store's current generation: the [`CURRENT_FILE`] pointer, or
+/// 0 when it does not exist (a bare base store).
+pub fn read_current_generation(dir: &Path) -> Result<u64> {
+    let path = dir.join(CURRENT_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < 16 {
+        return Err(GraphError::Truncated {
+            what: format!("{}: generation pointer", path.display()),
+            needed: 16,
+            available: bytes.len() as u64,
+        });
+    }
+    if &bytes[..8] != CURRENT_MAGIC {
+        return Err(GraphError::Format(format!("bad CURRENT magic in {}", path.display())));
+    }
+    Ok(u64::from_le_bytes(bytes[8..16].try_into().unwrap()))
+}
+
+/// Atomically points the store at `generation`: the pointer is written to
+/// a temporary file and `rename`d over [`CURRENT_FILE`], so readers see
+/// either the old pointer or the new one, never a torn write. Call only
+/// after the generation's manifest and delta segments are fully on disk.
+pub fn write_current_generation(dir: &Path, generation: u64) -> Result<()> {
+    let tmp = dir.join(format!("{CURRENT_FILE}.tmp"));
+    let mut bytes = Vec::with_capacity(16);
+    bytes.extend_from_slice(CURRENT_MAGIC);
+    bytes.extend_from_slice(&generation.to_le_bytes());
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        // The pointer's content must hit disk before the rename can, or
+        // a crash could leave CURRENT durably pointing at garbage.
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(CURRENT_FILE))?;
+    // And the rename itself must be durable: fsync the directory.
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("graphm-delta-test-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn delta_record_layout_is_sixteen_bytes() {
+        assert_eq!(DELTA_RECORD_BYTES, 16);
+    }
+
+    #[test]
+    fn delta_segment_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let records = vec![
+            DeltaRecord::insert(1, 2, 0.5),
+            DeltaRecord::delete(3, 4),
+            DeltaRecord::insert(5, 6, -1.25),
+        ];
+        let path = dir.join(delta_file_name(1, 0));
+        let bytes = write_delta_segment(&records, &path).unwrap();
+        assert_eq!(bytes, 3 * DELTA_RECORD_BYTES as u64);
+        let back = read_delta_segment(&path).unwrap();
+        assert_eq!(back, records);
+        // Empty segments round-trip too.
+        let empty = dir.join(delta_file_name(1, 1));
+        write_delta_segment(&[], &empty).unwrap();
+        assert!(read_delta_segment(&empty).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_segment_rejects_corruption() {
+        let dir = tmpdir("bad");
+        let path = dir.join("x.dseg");
+        // Header promises u64::MAX records: typed error, no allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(DELTA_MAGIC);
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_delta_segment(&path).unwrap_err(), GraphError::Format(_)));
+        // Header promises 5 records but carries 1.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(DELTA_MAGIC);
+        bytes.extend_from_slice(&5u64.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; DELTA_RECORD_BYTES]);
+        std::fs::write(&path, &bytes).unwrap();
+        match read_delta_segment(&path).unwrap_err() {
+            GraphError::Truncated { needed, available, .. } => {
+                assert_eq!(needed, 80);
+                assert_eq!(available, 16);
+            }
+            e => panic!("expected Truncated, got {e}"),
+        }
+        assert!(matches!(
+            validate_delta_segment(&bytes, None, "slice").unwrap_err(),
+            GraphError::Truncated { .. }
+        ));
+        assert!(matches!(
+            validate_delta_segment(b"short", None, "slice").unwrap_err(),
+            GraphError::Truncated { .. }
+        ));
+        assert!(matches!(
+            validate_delta_segment(b"NOTMAGIC________", None, "slice").unwrap_err(),
+            GraphError::Format(_)
+        ));
+        // Unknown op tag.
+        let rec = DeltaRecord { src: 0, dst: 1, weight: 0.0, op: 7 };
+        write_delta_segment(&[rec], &path).unwrap();
+        assert!(matches!(read_delta_segment(&path).unwrap_err(), GraphError::Format(_)));
+        // Manifest/segment record-count mismatch through the validator.
+        let good = [DeltaRecord::insert(0, 1, 1.0)];
+        write_delta_segment(&good, &path).unwrap();
+        let file_bytes = std::fs::read(&path).unwrap();
+        assert_eq!(validate_delta_segment(&file_bytes, Some(1), "slice").unwrap(), 1);
+        assert!(matches!(
+            validate_delta_segment(&file_bytes, Some(2), "slice").unwrap_err(),
+            GraphError::Format(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_manifest_round_trip() {
+        let dir = tmpdir("genman");
+        let m = GenManifest {
+            generation: 3,
+            compactions: 1,
+            layout: StoreLayout::Grid { p: 2 },
+            num_vertices: 100,
+            partitions: (0..4)
+                .map(|i| GenPartition {
+                    base_file: format!("part-{i:05}.seg"),
+                    base_num_edges: 10 * i,
+                    deltas: (1..=i)
+                        .map(|g| DeltaFileRef {
+                            file: delta_file_name(g, i as usize),
+                            num_records: g * 2,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        };
+        m.write_to_dir(&dir).unwrap();
+        let back = GenManifest::read_from_dir(&dir, 3).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.delta_records(), 2 + (2 + 4) + (2 + 4 + 6));
+        assert_eq!(back.delta_bytes(), back.delta_records() * DELTA_RECORD_BYTES as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_manifest_rejects_corruption() {
+        let dir = tmpdir("genman-bad");
+        let name = gen_manifest_file_name(2);
+        // Bad magic.
+        std::fs::write(dir.join(&name), b"NOTMAGIC").unwrap();
+        assert!(matches!(GenManifest::read_from_dir(&dir, 2).unwrap_err(), GraphError::Format(_)));
+        // Truncated mid-header.
+        std::fs::write(dir.join(&name), &GEN_MAGIC[..4]).unwrap();
+        assert!(matches!(
+            GenManifest::read_from_dir(&dir, 2).unwrap_err(),
+            GraphError::Truncated { .. }
+        ));
+        // Header generation must match the file name's.
+        let m = GenManifest {
+            generation: 2,
+            compactions: 0,
+            layout: StoreLayout::Grid { p: 1 },
+            num_vertices: 4,
+            partitions: vec![GenPartition {
+                base_file: "part-00000.seg".to_string(),
+                base_num_edges: 0,
+                deltas: vec![],
+            }],
+        };
+        let written = m.write_to_dir(&dir).unwrap();
+        std::fs::rename(written, dir.join(gen_manifest_file_name(5))).unwrap();
+        assert!(matches!(GenManifest::read_from_dir(&dir, 5).unwrap_err(), GraphError::Format(_)));
+        // Partition count the file cannot hold.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(GEN_MAGIC);
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // grid
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // p
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // vertices
+        bytes.extend_from_slice(&1_000_000u32.to_le_bytes()); // partitions
+        std::fs::write(dir.join(&name), &bytes).unwrap();
+        assert!(matches!(
+            GenManifest::read_from_dir(&dir, 2).unwrap_err(),
+            GraphError::Truncated { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn current_pointer_round_trip() {
+        let dir = tmpdir("current");
+        assert_eq!(read_current_generation(&dir).unwrap(), 0, "missing CURRENT means gen 0");
+        write_current_generation(&dir, 7).unwrap();
+        assert_eq!(read_current_generation(&dir).unwrap(), 7);
+        write_current_generation(&dir, 8).unwrap();
+        assert_eq!(read_current_generation(&dir).unwrap(), 8);
+        assert!(!dir.join(format!("{CURRENT_FILE}.tmp")).exists(), "temp file renamed away");
+        // Corruption is a typed error, not a silent 0.
+        std::fs::write(dir.join(CURRENT_FILE), b"bogus").unwrap();
+        assert!(matches!(read_current_generation(&dir).unwrap_err(), GraphError::Truncated { .. }));
+        std::fs::write(dir.join(CURRENT_FILE), b"NOTMAGIC00000000").unwrap();
+        assert!(matches!(read_current_generation(&dir).unwrap_err(), GraphError::Format(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn apply_delta_semantics() {
+        let base =
+            vec![Edge::weighted(0, 1, 1.0), Edge::weighted(1, 2, 2.0), Edge::weighted(0, 1, 3.0)];
+        // Delete removes *every* (src, dst) match accumulated so far.
+        let mut edges = base.clone();
+        apply_delta(&mut edges, &[DeltaRecord::delete(0, 1)]);
+        assert_eq!(edges, vec![Edge::weighted(1, 2, 2.0)]);
+        // Insert after delete re-adds; a later delete removes that too.
+        let mut edges = base.clone();
+        apply_delta(
+            &mut edges,
+            &[
+                DeltaRecord::delete(0, 1),
+                DeltaRecord::insert(0, 1, 9.0),
+                DeltaRecord::insert(3, 0, 4.0),
+                DeltaRecord::delete(0, 1),
+            ],
+        );
+        assert_eq!(edges, vec![Edge::weighted(1, 2, 2.0), Edge::weighted(3, 0, 4.0)]);
+        // The edge-list form matches the per-partition form.
+        let mut g = EdgeList::new(4);
+        g.edges = base;
+        apply_delta_to_edge_list(&mut g, &[DeltaRecord::delete(1, 2)]);
+        assert_eq!(g.edges.len(), 2);
+    }
+}

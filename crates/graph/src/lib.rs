@@ -17,6 +17,7 @@
 pub mod bitmap;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod generators;
 pub mod grid;
 pub mod partition;
@@ -28,6 +29,7 @@ pub mod types;
 pub use bitmap::AtomicBitmap;
 pub use csr::Csr;
 pub use datasets::{DatasetId, DatasetSpec, MemoryProfile};
+pub use delta::{DeltaRecord, GenManifest, DELTA_RECORD_BYTES};
 pub use grid::{Grid, GridFile};
 pub use partition::VertexRanges;
 pub use segment::{Manifest, ManifestEntry, StoreLayout};

@@ -56,7 +56,8 @@ impl StoreLayout {
         }
     }
 
-    fn p(self) -> u32 {
+    /// Partition parameter: grid dimension `P` or shard count.
+    pub fn p(self) -> u32 {
         match self {
             StoreLayout::Grid { p } | StoreLayout::Shards { p } => p,
         }
@@ -183,6 +184,14 @@ impl Manifest {
             let src_lo = r.read_u32(&format!("entry {i} src_lo"))?;
             let src_hi = r.read_u32(&format!("entry {i} src_hi"))?;
             let load_bytes = r.read_u64(&format!("entry {i} load bytes"))?;
+            // Loads charge at least the payload (grid: exactly; shards:
+            // plus sliding windows); less means a corrupt manifest, and
+            // downstream byte accounting subtracts the two.
+            if load_bytes < byte_len {
+                return Err(GraphError::Format(format!(
+                    "entry {i}: load bytes {load_bytes} below payload {byte_len}"
+                )));
+            }
             partitions.push(ManifestEntry {
                 file,
                 num_edges,
@@ -310,18 +319,19 @@ pub fn read_segment(path: &Path) -> Result<Vec<Edge>> {
 }
 
 /// A reader that tracks remaining bytes so header-driven reads can fail
-/// with typed truncation errors before allocating.
-struct CountingReader<R> {
+/// with typed truncation errors before allocating. Shared with the delta
+/// store's generation-manifest reader ([`crate::delta`]).
+pub(crate) struct CountingReader<R> {
     inner: R,
     remaining: u64,
 }
 
 impl<R: Read> CountingReader<R> {
-    fn new(inner: R, total: u64) -> Self {
+    pub(crate) fn new(inner: R, total: u64) -> Self {
         CountingReader { inner, remaining: total }
     }
 
-    fn check_remaining(&self, needed: u64, what: &str) -> Result<()> {
+    pub(crate) fn check_remaining(&self, needed: u64, what: &str) -> Result<()> {
         if needed > self.remaining {
             return Err(GraphError::Truncated {
                 what: what.to_string(),
@@ -332,26 +342,26 @@ impl<R: Read> CountingReader<R> {
         Ok(())
     }
 
-    fn read_exact_or_truncated(&mut self, buf: &mut [u8], what: &str) -> Result<()> {
+    pub(crate) fn read_exact_or_truncated(&mut self, buf: &mut [u8], what: &str) -> Result<()> {
         self.check_remaining(buf.len() as u64, what)?;
         self.inner.read_exact(buf)?;
         self.remaining -= buf.len() as u64;
         Ok(())
     }
 
-    fn read_u16(&mut self, what: &str) -> Result<u16> {
+    pub(crate) fn read_u16(&mut self, what: &str) -> Result<u16> {
         let mut b = [0u8; 2];
         self.read_exact_or_truncated(&mut b, what)?;
         Ok(u16::from_le_bytes(b))
     }
 
-    fn read_u32(&mut self, what: &str) -> Result<u32> {
+    pub(crate) fn read_u32(&mut self, what: &str) -> Result<u32> {
         let mut b = [0u8; 4];
         self.read_exact_or_truncated(&mut b, what)?;
         Ok(u32::from_le_bytes(b))
     }
 
-    fn read_u64(&mut self, what: &str) -> Result<u64> {
+    pub(crate) fn read_u64(&mut self, what: &str) -> Result<u64> {
         let mut b = [0u8; 8];
         self.read_exact_or_truncated(&mut b, what)?;
         Ok(u64::from_le_bytes(b))

@@ -9,7 +9,7 @@
 //!               [--batch-window-ms N] [--profile default|test]
 //!               [--mode deterministic|wallclock]
 //!               [--memory-budget BYTES] [--prefetch-lookahead N]
-//!               [--fixed-prefetch] [--no-chunk-fanout]
+//!               [--fixed-prefetch] [--no-chunk-fanout] [--no-rotate]
 //! ```
 
 use graphm_server::{ExecutionMode, Server, ServerConfig};
@@ -37,6 +37,9 @@ fn usage() -> ! {
                               full announced lookahead)\n\
          --no-chunk-fanout    disable intra-job chunk fan-out across the\n\
                               worker pool (wallclock mode)\n\
+         --no-rotate          do not adopt delta generations published by\n\
+                              graphm-delta; serve the open-time generation\n\
+                              forever (default: rotate between rounds)\n\
          \n\
          at least one of --socket / --tcp is required"
     );
@@ -54,6 +57,7 @@ fn main() {
     let mut prefetch_lookahead: usize = graphm_store::DEFAULT_MAX_PREFETCH_LOOKAHEAD;
     let mut adaptive_prefetch = true;
     let mut chunk_fanout = true;
+    let mut auto_rotate = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -95,6 +99,7 @@ fn main() {
             }
             "--fixed-prefetch" => adaptive_prefetch = false,
             "--no-chunk-fanout" => chunk_fanout = false,
+            "--no-rotate" => auto_rotate = false,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -118,6 +123,7 @@ fn main() {
     config.max_prefetch_lookahead = prefetch_lookahead.max(1);
     config.adaptive_prefetch = adaptive_prefetch;
     config.chunk_fanout = chunk_fanout;
+    config.auto_rotate = auto_rotate;
 
     let server = Server::start(config).unwrap_or_else(|e| {
         eprintln!("failed to start: {e}");

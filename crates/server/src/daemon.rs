@@ -135,6 +135,13 @@ pub struct ServerConfig {
     /// Intra-job chunk fan-out across the worker pool (wallclock mode):
     /// on (default) lets a single heavy job use idle cores.
     pub chunk_fanout: bool,
+    /// Check the store's `CURRENT` pointer between rounds and rotate to
+    /// newly published delta generations (on by default; `--no-rotate`
+    /// pins the daemon to its open-time generation). Jobs always run
+    /// entirely within one generation — rotation happens only while no
+    /// round is in flight, and mutated graphs re-run `Init()`
+    /// preprocessing before the next round.
+    pub auto_rotate: bool,
 }
 
 impl ServerConfig {
@@ -154,6 +161,7 @@ impl ServerConfig {
             adaptive_prefetch: true,
             max_prefetch_lookahead: graphm_store::DEFAULT_MAX_PREFETCH_LOOKAHEAD,
             chunk_fanout: true,
+            auto_rotate: true,
         }
     }
 }
@@ -167,10 +175,14 @@ enum JobEntry {
 
 /// Submission queue: ids are assigned here, in push order, and the single
 /// runtime thread drains in FIFO order — which is what keeps daemon ids
-/// equal to `SharingService` ids.
+/// aligned with `SharingService` ids (offset by the jobs served before
+/// the last generation rotation). Specs, not instantiated jobs, are
+/// queued: instantiation happens at drain time on the runtime thread, so
+/// a job's out-degrees always match the generation of the round it runs
+/// in.
 struct Queue {
     next_id: JobId,
-    pending: VecDeque<(JobId, Box<dyn GraphJob>)>,
+    pending: VecDeque<(JobId, JobSpec)>,
 }
 
 /// Job lifecycle table with bounded retention of finished reports.
@@ -211,9 +223,13 @@ struct Shared {
     /// never be drained.
     runtime_exited: AtomicBool,
     num_vertices: u32,
-    out_degrees: Arc<Vec<u32>>,
-    /// The served store, for live residency/prefetch readings in `stats`
-    /// responses (counters accumulate in both execution modes).
+    /// Out-degrees of the served generation's merged view; replaced by
+    /// the runtime thread on every rotation (PageRank-family jobs divide
+    /// by them, so they must match the graph the job streams).
+    out_degrees: Mutex<Arc<Vec<u32>>>,
+    /// The served store, for live residency/prefetch/generation readings
+    /// in `stats` responses (counters accumulate in both execution
+    /// modes).
     store: Arc<DiskGridSource>,
 }
 
@@ -238,7 +254,19 @@ impl Shared {
         let pf = self.store.prefetch_stats();
         stats.prefetch_issued = pf.issued;
         stats.prefetch_hits = pf.hits;
+        let ds = self.store.delta_stats();
+        stats.generation = ds.generation;
+        stats.generation_rotations = ds.rotations;
+        stats.delta_bytes = ds.delta_bytes;
+        stats.delta_records = ds.delta_records;
+        stats.compactions = ds.compactions;
         stats
+    }
+
+    /// Instantiates a spec against the currently served generation.
+    fn instantiate(&self, spec: &JobSpec) -> Box<dyn GraphJob> {
+        let degrees = Arc::clone(&self.out_degrees.lock().unwrap_or_else(|e| e.into_inner()));
+        spec.instantiate(self.num_vertices, &degrees)
     }
 }
 
@@ -264,15 +292,9 @@ impl Server {
         source.set_memory_budget(config.memory_budget_bytes);
         source.set_adaptive_prefetch(config.adaptive_prefetch);
         source.set_prefetch_max_lookahead(config.max_prefetch_lookahead.max(1));
-        let out_degrees = Arc::new(source.out_degrees());
+        let out_degrees = Mutex::new(Arc::new(source.out_degrees()));
         let num_vertices = PartitionSource::num_vertices(source.as_ref());
         let num_partitions = source.num_partitions() as u64;
-        let graph_bytes = PartitionSource::graph_bytes(source.as_ref());
-
-        // Same derivation as Workbench::runner_config, so socket-submitted
-        // jobs replay identically to in-process runs over the same store.
-        let mut runner_cfg = RunnerConfig::new(config.profile);
-        runner_cfg.out_of_core = graph_bytes > config.profile.memory_bytes;
 
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue { next_id: 0, pending: VecDeque::new() }),
@@ -338,6 +360,8 @@ impl Server {
             let window = config.batch_window;
             let sbpv = config.state_bytes_per_vertex.max(1);
             let mode = config.mode;
+            let profile = config.profile;
+            let auto_rotate = config.auto_rotate;
             let wall_cfg = WallClockConfig {
                 state_bytes_per_vertex: sbpv,
                 max_prefetch_lookahead: config.max_prefetch_lookahead.max(1),
@@ -350,11 +374,15 @@ impl Server {
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match mode {
                             ExecutionMode::Deterministic => {
-                                runtime_loop(&shared, source.as_ref(), runner_cfg, sbpv, window)
+                                runtime_loop(&shared, &source, profile, sbpv, window, auto_rotate)
                             }
-                            ExecutionMode::Wallclock => {
-                                runtime_loop_wallclock(&shared, source, wall_cfg, window)
-                            }
+                            ExecutionMode::Wallclock => runtime_loop_wallclock(
+                                &shared,
+                                source,
+                                wall_cfg,
+                                window,
+                                auto_rotate,
+                            ),
                         }));
                     if result.is_err() {
                         // A runtime panic (e.g. thread-spawn exhaustion in
@@ -449,14 +477,35 @@ impl Drop for Server {
 // Runtime thread.
 // ---------------------------------------------------------------------------
 
+/// Derives the deterministic runner config for the store's *current*
+/// generation — the same derivation as `Workbench::runner_config`, so
+/// socket-submitted jobs replay identically to in-process runs over the
+/// same (possibly mutated) store.
+fn runner_config_for(store: &DiskGridSource, profile: MemoryProfile) -> RunnerConfig {
+    let mut cfg = RunnerConfig::new(profile);
+    cfg.out_of_core = PartitionSource::graph_bytes(store) > profile.memory_bytes;
+    cfg
+}
+
 fn runtime_loop(
     shared: &Shared,
-    source: &dyn PartitionSource,
-    cfg: RunnerConfig,
+    store: &Arc<DiskGridSource>,
+    profile: MemoryProfile,
     state_bytes_per_vertex: usize,
     batch_window: Duration,
+    auto_rotate: bool,
 ) {
-    let mut svc = SharingService::new(source, cfg, state_bytes_per_vertex);
+    let source: &dyn PartitionSource = store.as_ref();
+    let mut svc =
+        SharingService::new(source, runner_config_for(store, profile), state_bytes_per_vertex);
+    // Service ids restart at 0 whenever a rotation rebuilds the service;
+    // `id_base` maps them back onto the daemon's dense id space, and the
+    // `loads`/`vnow` bases keep the published counters cumulative and
+    // monotone across rebuilds.
+    let mut id_base: JobId = 0;
+    let mut loads_base = 0u64;
+    let mut vnow_base = 0.0f64;
+    let mut served_gen = store.generation();
     {
         let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
         stats.chunk_bytes = svc.chunk_bytes() as u64;
@@ -472,6 +521,40 @@ fn runtime_loop(
                 break; // Shutdown with an empty queue.
             }
         }
+        // Between rounds — no job in flight — adopt any newly published
+        // delta generation: rotate the store's view, recompute the merged
+        // out-degrees, and re-run Init() preprocessing (chunk tables are
+        // per-generation). Jobs queued for this round run entirely
+        // against the rotated graph.
+        if auto_rotate {
+            if let Err(e) = store.refresh_generation() {
+                // A corrupt CURRENT / generation manifest must not look
+                // like "no publish happened": keep serving the pinned
+                // generation, but say so.
+                eprintln!(
+                    "[graphm-server] generation refresh failed, serving gen {served_gen}: {e}"
+                );
+            }
+            // Rebuild on the *observed* generation, not refresh's return
+            // value: with several runtimes sharing one store handle, a
+            // peer may have adopted the rotation first.
+            if store.generation() != served_gen {
+                debug_assert_eq!(svc.jobs_unfinished(), 0, "rotation only between rounds");
+                served_gen = store.generation();
+                id_base += svc.jobs_submitted();
+                loads_base += svc.partition_loads();
+                vnow_base += svc.now_ns();
+                svc = SharingService::new(
+                    source,
+                    runner_config_for(store, profile),
+                    state_bytes_per_vertex,
+                );
+                *shared.out_degrees.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Arc::new(store.out_degrees());
+                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                stats.chunk_bytes = svc.chunk_bytes() as u64;
+            }
+        }
         // Let the concurrent burst land in one admission.
         if !batch_window.is_zero() {
             std::thread::sleep(batch_window);
@@ -485,20 +568,22 @@ fn runtime_loop(
         // Round: drain arrivals before every step so mid-round submitters
         // join at the next sweep boundary; publish finishers as they come.
         loop {
-            let drained: Vec<(JobId, Box<dyn GraphJob>)> = {
+            let drained: Vec<(JobId, JobSpec)> = {
                 let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
                 q.pending.drain(..).collect()
             };
             if !drained.is_empty() {
                 let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
-                for (id, job) in drained {
-                    let sid = svc.submit(job);
-                    assert_eq!(sid, id, "queue order must match service ids");
+                for (id, spec) in drained {
+                    // Instantiated here — not at submit — so the job's
+                    // out-degrees match this round's generation.
+                    let sid = svc.submit(shared.instantiate(&spec));
+                    assert_eq!(sid + id_base, id, "queue order must match service ids");
                     jobs.entries.insert(id, JobEntry::Running);
                 }
             }
             let more = svc.step();
-            publish_finished(shared, &mut svc);
+            publish_finished(shared, &mut svc, id_base, loads_base, vnow_base);
             if !more {
                 break;
             }
@@ -533,11 +618,12 @@ fn runtime_loop_wallclock(
     source: Arc<DiskGridSource>,
     cfg: WallClockConfig,
     batch_window: Duration,
+    auto_rotate: bool,
 ) {
     let prefetcher = Prefetcher::spawn(Arc::clone(&source) as Arc<dyn PrefetchTarget>);
-    let exec = WallClockExecutor::new(
+    let mut exec = WallClockExecutor::new(
         Arc::clone(&source) as Arc<dyn PartitionSource>,
-        cfg,
+        cfg.clone(),
         Some(prefetcher.hook()),
     );
     {
@@ -546,6 +632,7 @@ fn runtime_loop_wallclock(
     }
     let epoch = std::time::Instant::now();
     let mut loads_total = 0u64;
+    let mut served_gen = source.generation();
     loop {
         // Idle: wait for the first arrival of the next round (or shutdown).
         {
@@ -557,6 +644,29 @@ fn runtime_loop_wallclock(
                 break; // Shutdown with an empty queue.
             }
         }
+        // Between batches — no executor run in flight — adopt any newly
+        // published delta generation and re-run Init() over the rotated
+        // view (chunk tables and out-degrees are per-generation). The
+        // prefetcher keeps feeding the same store handle.
+        if auto_rotate {
+            if let Err(e) = source.refresh_generation() {
+                eprintln!(
+                    "[graphm-server] generation refresh failed, serving gen {served_gen}: {e}"
+                );
+            }
+            if source.generation() != served_gen {
+                served_gen = source.generation();
+                exec = WallClockExecutor::new(
+                    Arc::clone(&source) as Arc<dyn PartitionSource>,
+                    cfg.clone(),
+                    Some(prefetcher.hook()),
+                );
+                *shared.out_degrees.lock().unwrap_or_else(|e| e.into_inner()) =
+                    Arc::new(source.out_degrees());
+                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                stats.chunk_bytes = exec.chunk_bytes() as u64;
+            }
+        }
         // Let the concurrent burst land in one batch.
         if !batch_window.is_zero() {
             std::thread::sleep(batch_window);
@@ -566,7 +676,7 @@ fn runtime_loop_wallclock(
             stats.rounds += 1;
         }
         loop {
-            let drained: Vec<(JobId, Box<dyn GraphJob>)> = {
+            let drained: Vec<(JobId, JobSpec)> = {
                 let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
                 q.pending.drain(..).collect()
             };
@@ -577,10 +687,10 @@ fn runtime_loop_wallclock(
             let mut batch = Vec::with_capacity(drained.len());
             {
                 let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
-                for (id, job) in drained {
+                for (id, spec) in drained {
                     jobs.entries.insert(id, JobEntry::Running);
                     ids.push(id);
-                    batch.push(job);
+                    batch.push(shared.instantiate(&spec));
                 }
             }
             let batch_start_ns = epoch.elapsed().as_nanos() as f64;
@@ -627,12 +737,25 @@ fn runtime_loop_wallclock(
     publish_runtime_exit(shared);
 }
 
-fn publish_finished(shared: &Shared, svc: &mut SharingService<'_>) {
-    let finished = svc.take_finished();
+fn publish_finished(
+    shared: &Shared,
+    svc: &mut SharingService<'_>,
+    id_base: JobId,
+    loads_base: u64,
+    vnow_base: f64,
+) {
+    let mut finished = svc.take_finished();
+    for report in &mut finished {
+        // Service ids restart after a rotation rebuild; clients know the
+        // daemon's dense ids. (Report *timings* stay on the per-generation
+        // virtual timeline — each generation is a fresh deterministic
+        // replay — but the daemon-wide counters below are cumulative.)
+        report.id += id_base;
+    }
     {
         let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
-        stats.partition_loads = svc.partition_loads();
-        stats.virtual_ns = svc.now_ns();
+        stats.partition_loads = loads_base + svc.partition_loads();
+        stats.virtual_ns = vnow_base + svc.now_ns();
         stats.jobs_completed += finished.len() as u64;
     }
     if finished.is_empty() {
@@ -764,15 +887,16 @@ fn submit(spec: JobSpec, shared: &Shared) -> Value {
             spec.root, shared.num_vertices
         ));
     }
-    let job = spec.instantiate(shared.num_vertices, &shared.out_degrees);
     let id = {
         // Lock order queue -> jobs (see `Shared`); the entry must exist
         // before the runtime can drain the submission and mark it Running.
+        // The spec is instantiated by the runtime thread at drain time so
+        // its out-degrees match the generation of the round it runs in.
         let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         let id = q.next_id;
         q.next_id += 1;
         shared.jobs.lock().unwrap_or_else(|e| e.into_inner()).entries.insert(id, JobEntry::Queued);
-        q.pending.push_back((id, job));
+        q.pending.push_back((id, spec));
         id
     };
     shared.queue_cv.notify_all();

@@ -117,6 +117,17 @@ pub struct ServerStats {
     pub evictions: u64,
     /// Configured page-cache budget in bytes (0 = unlimited).
     pub memory_budget_bytes: u64,
+    /// Data generation the daemon currently serves (0 = the bare base
+    /// store; delta publishes rotate it between rounds).
+    pub generation: u64,
+    /// Generation rotations adopted since the daemon opened the store.
+    pub generation_rotations: u64,
+    /// Delta payload bytes overlaid on the base this generation.
+    pub delta_bytes: u64,
+    /// Mutation records overlaid on the base this generation.
+    pub delta_records: u64,
+    /// Cumulative compactions folded into the served store's base.
+    pub compactions: u64,
     /// Current virtual time of the runtime's clock (wall nanoseconds
     /// since runtime start in wallclock mode).
     pub virtual_ns: f64,
@@ -140,6 +151,11 @@ impl ServerStats {
             "evicted_bytes": self.evicted_bytes,
             "evictions": self.evictions,
             "memory_budget_bytes": self.memory_budget_bytes,
+            "generation": self.generation,
+            "generation_rotations": self.generation_rotations,
+            "delta_bytes": self.delta_bytes,
+            "delta_records": self.delta_records,
+            "compactions": self.compactions,
             "virtual_ns": self.virtual_ns,
         })
     }
@@ -166,6 +182,14 @@ impl ServerStats {
             evicted_bytes: v.get("evicted_bytes").and_then(Value::as_u64).unwrap_or(0),
             evictions: v.get("evictions").and_then(Value::as_u64).unwrap_or(0),
             memory_budget_bytes: v.get("memory_budget_bytes").and_then(Value::as_u64).unwrap_or(0),
+            generation: v.get("generation").and_then(Value::as_u64).unwrap_or(0),
+            generation_rotations: v
+                .get("generation_rotations")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            delta_bytes: v.get("delta_bytes").and_then(Value::as_u64).unwrap_or(0),
+            delta_records: v.get("delta_records").and_then(Value::as_u64).unwrap_or(0),
+            compactions: v.get("compactions").and_then(Value::as_u64).unwrap_or(0),
             virtual_ns: v
                 .get("virtual_ns")
                 .and_then(Value::as_f64)
@@ -486,6 +510,11 @@ mod tests {
             evicted_bytes: 3 << 19,
             evictions: 6,
             memory_budget_bytes: 2 << 20,
+            generation: 3,
+            generation_rotations: 2,
+            delta_bytes: 4096,
+            delta_records: 256,
+            compactions: 1,
             virtual_ns: 1.5e9,
         };
         let back = ServerStats::from_json(&s.to_json()).unwrap();

@@ -1,0 +1,208 @@
+//! `graphm-delta` — mutate a disk-resident store.
+//!
+//! The CLI front of [`graphm_store::DeltaWriter`]: batches edge
+//! insertions/deletions against a store written by `graphm-convert`,
+//! publishes them as a new generation (which a running `graphm-server`
+//! picks up between rounds), and drives compaction/retirement. The
+//! single-writer contract applies: run one `graphm-delta` at a time per
+//! store; any number of readers/daemons may stay live throughout.
+//!
+//! ```text
+//! graphm-delta --store DIR [--insert S,D[,W]]... [--delete S,D]...
+//!              [--random N,SEED] [--compact] [--retire] [--status]
+//!              [--max-delta-bytes B] [--max-delta-ratio R]
+//! ```
+
+use graphm_store::{CompactionPolicy, DeltaWriter};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graphm-delta --store DIR [--insert S,D[,W]]... [--delete S,D]... \
+         [--random N,SEED] [--compact] [--retire] [--status]\n\
+         \n\
+         --store DIR          store directory written by graphm-convert (required)\n\
+         --insert S,D[,W]     batch an edge insertion (weight defaults to 1.0)\n\
+         --delete S,D         batch a deletion tombstone for every (S, D) edge\n\
+         --random N,SEED      batch N deterministic pseudo-random mutations\n\
+         --max-delta-bytes B  auto-compact once delta payload exceeds B (default 64 MiB)\n\
+         --max-delta-ratio R  auto-compact once delta payload exceeds R * base (default 0.5)\n\
+         --compact            fold the delta chains into fresh base segments\n\
+         --retire             delete files unreferenced by the current generation\n\
+         --status             print generation / delta / compaction counters\n\
+         \n\
+         batched mutations (if any) are published as one new generation before\n\
+         --compact / --retire / --status run"
+    );
+    exit(2);
+}
+
+fn parse_pair(spec: &str) -> Option<(u32, u32)> {
+    let mut it = spec.split(',');
+    let s = it.next()?.trim().parse().ok()?;
+    let d = it.next()?.trim().parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some((s, d))
+}
+
+fn parse_insert(spec: &str) -> Option<(u32, u32, f32)> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    match parts.as_slice() {
+        [s, d] => Some((s.trim().parse().ok()?, d.trim().parse().ok()?, 1.0)),
+        [s, d, w] => Some((s.trim().parse().ok()?, d.trim().parse().ok()?, w.trim().parse().ok()?)),
+        _ => None,
+    }
+}
+
+/// SplitMix64 — deterministic pseudo-random mutations without pulling in
+/// a generator crate.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    let mut store: Option<PathBuf> = None;
+    enum Op {
+        Insert(u32, u32, f32),
+        Delete(u32, u32),
+        Random(u64, u64),
+    }
+    let mut ops: Vec<Op> = Vec::new();
+    let mut compact = false;
+    let mut retire = false;
+    let mut status = false;
+    let mut policy = CompactionPolicy::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--store" => store = Some(PathBuf::from(value("--store"))),
+            "--insert" => {
+                let (s, d, w) = parse_insert(&value("--insert")).unwrap_or_else(|| usage());
+                ops.push(Op::Insert(s, d, w));
+            }
+            "--delete" => {
+                let (s, d) = parse_pair(&value("--delete")).unwrap_or_else(|| usage());
+                ops.push(Op::Delete(s, d));
+            }
+            "--random" => {
+                let spec = value("--random");
+                let mut it = spec.split(',');
+                let n = it.next().and_then(|v| v.trim().parse().ok()).unwrap_or_else(|| usage());
+                let seed = it.next().and_then(|v| v.trim().parse().ok()).unwrap_or_else(|| usage());
+                ops.push(Op::Random(n, seed));
+            }
+            "--max-delta-bytes" => {
+                policy.max_delta_bytes =
+                    value("--max-delta-bytes").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-delta-ratio" => {
+                policy.max_delta_ratio =
+                    value("--max-delta-ratio").parse().unwrap_or_else(|_| usage())
+            }
+            "--compact" => compact = true,
+            "--retire" => retire = true,
+            "--status" => status = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let Some(store) = store else { usage() };
+    let mut writer = match DeltaWriter::open(&store) {
+        Ok(w) => w.with_policy(policy),
+        Err(e) => {
+            eprintln!("failed to open {}: {e}", store.display());
+            exit(1);
+        }
+    };
+    let nv = writer.num_vertices() as u64;
+    for op in &ops {
+        let result = match *op {
+            Op::Insert(s, d, w) => writer.insert(s, d, w),
+            Op::Delete(s, d) => writer.delete(s, d),
+            Op::Random(n, seed) => {
+                let mut state = seed;
+                let mut result = Ok(());
+                for i in 0..n {
+                    let src = (splitmix(&mut state) % nv.max(1)) as u32;
+                    let dst = (splitmix(&mut state) % nv.max(1)) as u32;
+                    result = if i % 4 == 3 {
+                        // Every fourth mutation is a tombstone; it may
+                        // match nothing, which is a legal no-op delete.
+                        writer.delete(src, dst)
+                    } else {
+                        writer.insert(src, dst, (splitmix(&mut state) % 1000) as f32 / 500.0)
+                    };
+                    if result.is_err() {
+                        break;
+                    }
+                }
+                result
+            }
+        };
+        if let Err(e) = result {
+            eprintln!("mutation rejected: {e}");
+            exit(1);
+        }
+    }
+
+    if writer.pending_mutations() > 0 {
+        let pending = writer.pending_mutations();
+        match writer.publish() {
+            Ok(generation) => {
+                eprintln!("[delta] published {pending} mutations as generation {generation}")
+            }
+            Err(e) => {
+                eprintln!("publish failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    if compact {
+        match writer.compact() {
+            Ok(generation) => eprintln!(
+                "[delta] compacted into generation {generation} ({} compactions total)",
+                writer.compactions()
+            ),
+            Err(e) => {
+                eprintln!("compaction failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    if retire {
+        match writer.retire_older_generations() {
+            Ok(removed) => eprintln!("[delta] retired {removed} stale files"),
+            Err(e) => {
+                eprintln!("retirement failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    if status || (ops.is_empty() && !compact && !retire) {
+        println!(
+            "{{\"generation\":{},\"delta_bytes\":{},\"base_bytes\":{},\"compactions\":{}}}",
+            writer.generation(),
+            writer.delta_bytes(),
+            writer.base_bytes(),
+            writer.compactions()
+        );
+    }
+}

@@ -1,0 +1,396 @@
+//! The delta store's **single writer**: batching mutations, publishing
+//! generations, compacting, and retiring old files.
+//!
+//! A [`DeltaWriter`] owns the mutation side of the
+//! single-writer/multi-reader contract (`docs/ARCHITECTURE.md`): it
+//! routes edge insertions/deletions to their partitions with the exact
+//! arithmetic `Convert()` used (grid block by `(row(src), col(dst))`,
+//! shard by destination interval), batches them in memory, and
+//! [`publish`](DeltaWriter::publish)es the batch as one new generation —
+//! per-partition append-only delta segments, a cumulative generation
+//! manifest, then an atomic `CURRENT` flip. Readers
+//! (`DiskGridSource::refresh_generation`) pick the new generation up
+//! between sweeps; nothing a writer does ever modifies a file a reader
+//! may hold mapped.
+//!
+//! When the accumulated delta payload trips the [`CompactionPolicy`], the
+//! writer [`compact`](DeltaWriter::compact)s: folds base + chain into
+//! fresh base segments (restoring `Convert()`'s source order, so the
+//! folded base is bit-identical to a from-scratch conversion of the
+//! mutated graph) and publishes a generation with empty chains.
+//! [`retire_older_generations`](DeltaWriter::retire_older_generations)
+//! then deletes files no longer referenced by the current generation —
+//! safe on Unix even while readers hold them, because an open mapping
+//! survives the unlink.
+
+use graphm_graph::delta::{
+    apply_delta, compacted_segment_file_name, delta_file_name, read_current_generation,
+    read_delta_segment, write_current_generation, write_delta_segment, DeltaFileRef, DeltaRecord,
+    GenManifest, GenPartition,
+};
+use graphm_graph::segment::{read_segment, write_segment, Manifest, StoreLayout};
+use graphm_graph::{Edge, GraphError, Result, VertexId, VertexRanges, EDGE_BYTES};
+use std::path::{Path, PathBuf};
+
+/// When the writer folds its delta chains back into base segments.
+/// Either trigger fires a compaction at the end of a publish; zero
+/// disables that trigger. [`DeltaWriter::compact`] can always be called
+/// explicitly.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactionPolicy {
+    /// Compact once total delta payload across the store exceeds this
+    /// many bytes (0 = no byte trigger).
+    pub max_delta_bytes: u64,
+    /// Compact once total delta payload exceeds this fraction of the
+    /// base payload (0.0 = no ratio trigger).
+    pub max_delta_ratio: f64,
+}
+
+impl Default for CompactionPolicy {
+    /// 64 MiB of deltas or half the base size, whichever trips first.
+    fn default() -> CompactionPolicy {
+        CompactionPolicy { max_delta_bytes: 64 << 20, max_delta_ratio: 0.5 }
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy that never auto-compacts.
+    pub fn never() -> CompactionPolicy {
+        CompactionPolicy { max_delta_bytes: 0, max_delta_ratio: 0.0 }
+    }
+}
+
+/// The mutation side of a disk store. See the module docs.
+///
+/// ```no_run
+/// use graphm_store::DeltaWriter;
+/// let mut writer = DeltaWriter::open(std::path::Path::new("/data/twitter.gm")).unwrap();
+/// writer.insert(7, 9, 1.0).unwrap();
+/// writer.delete(3, 4).unwrap();
+/// let generation = writer.publish().unwrap();
+/// assert!(generation >= 1);
+/// ```
+pub struct DeltaWriter {
+    dir: PathBuf,
+    manifest: Manifest,
+    gen: GenManifest,
+    ranges: VertexRanges,
+    pending: Vec<Vec<DeltaRecord>>,
+    pending_records: usize,
+    policy: CompactionPolicy,
+}
+
+impl DeltaWriter {
+    /// Opens the writer over a store directory, resuming from whatever
+    /// generation `CURRENT` names. One writer per store at a time — the
+    /// format has a single-writer contract; concurrent writers would race
+    /// the `CURRENT` flip.
+    pub fn open(dir: &Path) -> Result<DeltaWriter> {
+        let manifest = Manifest::read_from_dir(dir)?;
+        let generation = read_current_generation(dir)?;
+        let gen = if generation == 0 {
+            synthesize_gen0(&manifest)
+        } else {
+            let gm = GenManifest::read_from_dir(dir, generation)?;
+            if gm.layout != manifest.layout
+                || gm.num_vertices != manifest.num_vertices
+                || gm.partitions.len() != manifest.partitions.len()
+            {
+                return Err(GraphError::Format(format!(
+                    "{}: generation {generation} does not match the base manifest",
+                    dir.display()
+                )));
+            }
+            gm
+        };
+        let p = manifest.layout.p() as usize;
+        let ranges = VertexRanges::new(manifest.num_vertices.max(1), p);
+        let pending = vec![Vec::new(); manifest.partitions.len()];
+        Ok(DeltaWriter {
+            dir: dir.to_path_buf(),
+            manifest,
+            gen,
+            ranges,
+            pending,
+            pending_records: 0,
+            policy: CompactionPolicy::default(),
+        })
+    }
+
+    /// Replaces the auto-compaction policy (default: 64 MiB or 50% of the
+    /// base, see [`CompactionPolicy`]).
+    pub fn with_policy(mut self, policy: CompactionPolicy) -> DeltaWriter {
+        self.policy = policy;
+        self
+    }
+
+    /// The generation the store currently points at.
+    pub fn generation(&self) -> u64 {
+        self.gen.generation
+    }
+
+    /// Vertex count of the store (fixed for its lifetime; mutations must
+    /// stay within it).
+    pub fn num_vertices(&self) -> VertexId {
+        self.manifest.num_vertices
+    }
+
+    /// Mutations batched but not yet published.
+    pub fn pending_mutations(&self) -> usize {
+        self.pending_records
+    }
+
+    /// Published (on-disk) delta payload bytes of the current generation.
+    pub fn delta_bytes(&self) -> u64 {
+        self.gen.delta_bytes()
+    }
+
+    /// Base payload bytes of the current generation.
+    pub fn base_bytes(&self) -> u64 {
+        self.gen.partitions.iter().map(|p| p.base_num_edges * EDGE_BYTES as u64).sum()
+    }
+
+    /// Cumulative compactions folded into the base.
+    pub fn compactions(&self) -> u64 {
+        self.gen.compactions
+    }
+
+    /// The partition `Convert()` placed (and a delta must place) an edge
+    /// in: grid block `(row(src), col(dst))`, or the shard of `dst`'s
+    /// interval.
+    pub fn partition_of(&self, src: VertexId, dst: VertexId) -> usize {
+        match self.manifest.layout {
+            StoreLayout::Grid { p } => {
+                self.ranges.range_of(src) * p as usize + self.ranges.range_of(dst)
+            }
+            StoreLayout::Shards { .. } => self.ranges.range_of(dst),
+        }
+    }
+
+    fn check_bounds(&self, src: VertexId, dst: VertexId) -> Result<()> {
+        let nv = self.manifest.num_vertices;
+        for v in [src, dst] {
+            if v >= nv {
+                return Err(GraphError::VertexOutOfRange { vertex: v, num_vertices: nv });
+            }
+        }
+        Ok(())
+    }
+
+    /// Batches an edge insertion.
+    pub fn insert(&mut self, src: VertexId, dst: VertexId, weight: f32) -> Result<()> {
+        self.check_bounds(src, dst)?;
+        let pid = self.partition_of(src, dst);
+        self.pending[pid].push(DeltaRecord::insert(src, dst, weight));
+        self.pending_records += 1;
+        Ok(())
+    }
+
+    /// Batches a deletion tombstone: every `(src, dst)` edge — in the
+    /// base or inserted by an earlier delta — leaves the merged view.
+    pub fn delete(&mut self, src: VertexId, dst: VertexId) -> Result<()> {
+        self.check_bounds(src, dst)?;
+        let pid = self.partition_of(src, dst);
+        self.pending[pid].push(DeltaRecord::delete(src, dst));
+        self.pending_records += 1;
+        Ok(())
+    }
+
+    /// Publishes the pending batch as a new generation: writes one delta
+    /// segment per touched partition, the cumulative generation manifest,
+    /// then atomically flips `CURRENT`. Returns the generation readers
+    /// will rotate to (unchanged when nothing was pending). Runs a
+    /// compaction afterwards if the [`CompactionPolicy`] trips.
+    pub fn publish(&mut self) -> Result<u64> {
+        if self.pending_records == 0 {
+            return Ok(self.gen.generation);
+        }
+        let next = self.gen.generation + 1;
+        let mut partitions = self.gen.partitions.clone();
+        for (pid, records) in self.pending.iter().enumerate() {
+            if records.is_empty() {
+                continue;
+            }
+            let file = delta_file_name(next, pid);
+            write_delta_segment(records, &self.dir.join(&file))?;
+            partitions[pid].deltas.push(DeltaFileRef { file, num_records: records.len() as u64 });
+        }
+        let gm = GenManifest {
+            generation: next,
+            compactions: self.gen.compactions,
+            layout: self.manifest.layout,
+            num_vertices: self.manifest.num_vertices,
+            partitions,
+        };
+        gm.write_to_dir(&self.dir)?;
+        write_current_generation(&self.dir, next)?;
+        self.gen = gm;
+        for p in &mut self.pending {
+            p.clear();
+        }
+        self.pending_records = 0;
+        if self.should_compact() {
+            return self.compact();
+        }
+        Ok(next)
+    }
+
+    fn should_compact(&self) -> bool {
+        let delta = self.gen.delta_bytes();
+        if delta == 0 {
+            return false;
+        }
+        if self.policy.max_delta_bytes > 0 && delta > self.policy.max_delta_bytes {
+            return true;
+        }
+        let base = self.base_bytes();
+        self.policy.max_delta_ratio > 0.0
+            && base > 0
+            && delta as f64 > self.policy.max_delta_ratio * base as f64
+    }
+
+    /// Folds every partition's delta chain into a fresh base segment
+    /// (skipping partitions with empty chains, whose base files carry
+    /// over) and publishes the result as a new generation with zero delta
+    /// bytes. Merged content is unchanged — the fold applies the chain
+    /// and restores `Convert()`'s stable source order, exactly what the
+    /// readers' merged view does. No-op (returns the current generation)
+    /// when there is nothing to fold.
+    pub fn compact(&mut self) -> Result<u64> {
+        if self.pending_records > 0 {
+            // Fold everything the caller has asked for so far, not a
+            // surprising subset.
+            self.publish_pending_only()?;
+        }
+        if self.gen.delta_bytes() == 0 {
+            return Ok(self.gen.generation);
+        }
+        let next = self.gen.generation + 1;
+        let mut partitions = Vec::with_capacity(self.gen.partitions.len());
+        for (pid, part) in self.gen.partitions.iter().enumerate() {
+            if part.deltas.is_empty() {
+                partitions.push(part.clone());
+                continue;
+            }
+            let mut edges = read_segment(&self.dir.join(&part.base_file))?;
+            for dref in &part.deltas {
+                let records = read_delta_segment(&self.dir.join(&dref.file))?;
+                apply_delta(&mut edges, &records);
+            }
+            edges.sort_by_key(|e: &Edge| e.src);
+            let file = compacted_segment_file_name(next, pid);
+            let path = self.dir.join(&file);
+            write_segment(&edges, &path)?;
+            // Same durability rule as publish(): the folded base must be
+            // on disk before CURRENT durably references it.
+            std::fs::File::open(&path)?.sync_all()?;
+            partitions.push(GenPartition {
+                base_file: file,
+                base_num_edges: edges.len() as u64,
+                deltas: Vec::new(),
+            });
+        }
+        let gm = GenManifest {
+            generation: next,
+            compactions: self.gen.compactions + 1,
+            layout: self.manifest.layout,
+            num_vertices: self.manifest.num_vertices,
+            partitions,
+        };
+        gm.write_to_dir(&self.dir)?;
+        write_current_generation(&self.dir, next)?;
+        self.gen = gm;
+        Ok(next)
+    }
+
+    /// `publish` without the policy check (used by `compact` to flush
+    /// pending mutations before folding, avoiding mutual recursion).
+    fn publish_pending_only(&mut self) -> Result<u64> {
+        let policy = std::mem::replace(&mut self.policy, CompactionPolicy::never());
+        let result = self.publish();
+        self.policy = policy;
+        result
+    }
+
+    /// Deletes files no longer referenced by the current generation:
+    /// older generation manifests, delta segments off the current chains,
+    /// and compacted base segments superseded since. The original
+    /// `Convert()` output (`manifest.bin` + `part-NNNNN.seg`) is always
+    /// kept — it is the generation-0 base other tooling may expect.
+    /// Returns the number of files removed.
+    ///
+    /// Safe while readers are live on Unix: a reader's `mmap` keeps the
+    /// unlinked file's data reachable until the mapping drops. Readers
+    /// *opening* mid-retire re-resolve `CURRENT`, which only references
+    /// surviving files.
+    pub fn retire_older_generations(&self) -> Result<usize> {
+        let current = self.gen.generation;
+        let mut referenced: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for part in &self.gen.partitions {
+            referenced.insert(part.base_file.clone());
+            for d in &part.deltas {
+                referenced.insert(d.file.clone());
+            }
+        }
+        let mut removed = 0usize;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = if let Some(gen) = parse_gen_manifest_name(name) {
+                gen < current
+            } else {
+                let delta_seg = name.starts_with("delta-") && name.ends_with(".dseg");
+                let compacted_base =
+                    name.starts_with("part-") && name.contains("-g") && name.ends_with(".seg");
+                (delta_seg || compacted_base) && !referenced.contains(name)
+            };
+            if stale {
+                std::fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// What generation 0 — the bare base store — looks like as a generation
+/// manifest: the original segment files, empty chains.
+fn synthesize_gen0(manifest: &Manifest) -> GenManifest {
+    GenManifest {
+        generation: 0,
+        compactions: 0,
+        layout: manifest.layout,
+        num_vertices: manifest.num_vertices,
+        partitions: manifest
+            .partitions
+            .iter()
+            .map(|e| GenPartition {
+                base_file: e.file.clone(),
+                base_num_edges: e.num_edges,
+                deltas: Vec::new(),
+            })
+            .collect(),
+    }
+}
+
+/// Parses `gen-NNNNNN.mf` into its generation number.
+fn parse_gen_manifest_name(name: &str) -> Option<u64> {
+    // Keep in sync with `gen_manifest_file_name`; parse by shape, not
+    // width, so retirement still recognizes generations past 999999.
+    name.strip_prefix("gen-")?.strip_suffix(".mf")?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphm_graph::delta::gen_manifest_file_name;
+
+    #[test]
+    fn gen_manifest_names_parse_back() {
+        assert_eq!(parse_gen_manifest_name(&gen_manifest_file_name(3)), Some(3));
+        assert_eq!(parse_gen_manifest_name(&gen_manifest_file_name(1_234_567)), Some(1_234_567));
+        assert_eq!(parse_gen_manifest_name("gen-x.mf"), None);
+        assert_eq!(parse_gen_manifest_name("manifest.bin"), None);
+    }
+}

@@ -37,15 +37,19 @@
 //! ```
 
 pub mod convert;
+pub mod delta;
 pub mod mmap;
 pub mod prefetch;
 pub mod source;
 
 pub use convert::{convert_fresh, segment_file_name, Convert};
+pub use delta::{CompactionPolicy, DeltaWriter};
 pub use prefetch::{
     AdaptiveWindow, Prefetcher, DEFAULT_MAX_PREFETCH_LOOKAHEAD, MIN_PREFETCH_WINDOW,
 };
-pub use source::{DiskGridSource, DiskShardSource, PrefetchStats, PrefetchTarget, ResidencyStats};
+pub use source::{
+    DeltaStats, DiskGridSource, DiskShardSource, PrefetchStats, PrefetchTarget, ResidencyStats,
+};
 
 #[cfg(test)]
 mod tests {
@@ -288,6 +292,268 @@ mod tests {
         Convert::grid(2).write(&g2, &dir).unwrap();
         let c = DiskGridSource::open_shared(&dir).unwrap();
         assert_eq!(c.num_vertices(), 60, "fresh handle sees the new store");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The tentpole contract: merged (base + delta) reads are
+    /// bit-identical to a from-scratch conversion of the mutated graph —
+    /// edges, accounting, and out-degrees alike.
+    #[test]
+    fn merged_reads_match_from_scratch_conversion_of_mutated_graph() {
+        let g = generators::rmat(300, 2600, generators::RmatParams::GRAPH500, 17);
+        let dir = tmpdir("delta-merge");
+        Convert::grid(3).write(&g, &dir).unwrap();
+
+        // Mutate: delete a handful of real edges (all (src,dst) copies),
+        // insert new ones — some into partitions the deletions touched.
+        let mut writer = DeltaWriter::open(&dir).unwrap().with_policy(CompactionPolicy::never());
+        let mut records = Vec::new();
+        for e in g.edges.iter().step_by(97).take(12) {
+            writer.delete(e.src, e.dst).unwrap();
+            records.push(graphm_graph::delta::DeltaRecord::delete(e.src, e.dst));
+        }
+        for i in 0..20u32 {
+            let (src, dst, w) = (i * 13 % 300, i * 7 % 300, i as f32 * 0.5);
+            writer.insert(src, dst, w).unwrap();
+            records.push(graphm_graph::delta::DeltaRecord::insert(src, dst, w));
+        }
+        assert_eq!(writer.pending_mutations(), 32);
+        assert_eq!(writer.publish().unwrap(), 1);
+        assert_eq!(writer.pending_mutations(), 0);
+        assert!(writer.delta_bytes() > 0);
+
+        // Reference: the same mutations applied to the edge list, then a
+        // fresh conversion into a second directory.
+        let mut mutated = g.clone();
+        graphm_graph::delta::apply_delta_to_edge_list(&mut mutated, &records);
+        let dir2 = tmpdir("delta-merge-ref");
+        Convert::grid(3).write(&mutated, &dir2).unwrap();
+
+        let merged = DiskGridSource::open(&dir).unwrap();
+        let reference = DiskGridSource::open(&dir2).unwrap();
+        assert_eq!(merged.generation(), 1);
+        assert_eq!(merged.graph_bytes(), reference.graph_bytes());
+        for pid in 0..merged.num_partitions() {
+            let a = merged.load(pid);
+            let b = reference.load(pid);
+            assert_eq!(a.len(), b.len(), "partition {pid} edge count");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!((x.src, x.dst), (y.src, y.dst), "partition {pid}");
+                assert_eq!(x.weight.to_bits(), y.weight.to_bits(), "partition {pid}");
+            }
+            assert_eq!(merged.partition_bytes(pid), reference.partition_bytes(pid));
+        }
+        assert_eq!(merged.out_degrees(), mutated.out_degrees());
+        let ds = merged.delta_stats();
+        assert_eq!(ds.generation, 1);
+        assert_eq!(ds.delta_records, 32);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+    }
+
+    /// A live handle rotates on refresh — but never mid-sweep: a pinned
+    /// sweep keeps its generation, and the rotation lands at the unpin.
+    #[test]
+    fn refresh_rotates_between_sweeps_only() {
+        let g = generators::rmat(120, 900, generators::RmatParams::GRAPH500, 23);
+        let dir = tmpdir("delta-rotate");
+        Convert::grid(2).write(&g, &dir).unwrap();
+        let src = DiskGridSource::open(&dir).unwrap();
+        assert_eq!(src.generation(), 0);
+        assert!(!src.refresh_generation().unwrap(), "nothing published yet");
+
+        let mut writer = DeltaWriter::open(&dir).unwrap().with_policy(CompactionPolicy::never());
+        writer.insert(5, 9, 2.0).unwrap();
+        writer.publish().unwrap();
+        assert_eq!(src.generation(), 0, "publishes are pull-based");
+
+        // Mid-sweep: the new generation is picked up but not adopted.
+        let before: Vec<usize> = (0..4).map(|pid| src.load(pid).len()).collect();
+        src.sweep_begin();
+        assert!(src.refresh_generation().unwrap());
+        assert_eq!(src.generation(), 0, "pinned sweep keeps its generation");
+        let during: Vec<usize> = (0..4).map(|pid| src.load(pid).len()).collect();
+        assert_eq!(during, before, "loads under the pin see the old generation");
+        src.sweep_end();
+        assert_eq!(src.generation(), 1, "rotation adopted at the last unpin");
+        let after: usize = (0..4).map(|pid| src.load(pid).len()).sum();
+        assert_eq!(after, 901, "the merged view carries the insert");
+        assert_eq!(src.delta_stats().rotations, 1);
+        assert!(!src.refresh_generation().unwrap(), "already current");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Compaction folds the chain into fresh base segments: delta bytes
+    /// drop to zero, results do not change, and retirement removes the
+    /// superseded files while the store stays openable.
+    #[test]
+    fn compaction_preserves_results_and_retires_old_generations() {
+        let g = generators::rmat(200, 1600, generators::RmatParams::GRAPH500, 29);
+        let dir = tmpdir("delta-compact");
+        Convert::grid(2).write(&g, &dir).unwrap();
+        let mut writer = DeltaWriter::open(&dir).unwrap().with_policy(CompactionPolicy::never());
+        for e in g.edges.iter().step_by(131).take(6) {
+            writer.delete(e.src, e.dst).unwrap();
+        }
+        for i in 0..9u32 {
+            writer.insert(i * 11 % 200, i * 17 % 200, 1.0).unwrap();
+        }
+        writer.publish().unwrap();
+        let merged: Vec<Vec<graphm_graph::Edge>> = {
+            let src = DiskGridSource::open(&dir).unwrap();
+            (0..4).map(|pid| src.load(pid).as_ref().clone()).collect()
+        };
+
+        let gen = writer.compact().unwrap();
+        assert_eq!(gen, 2);
+        assert_eq!(writer.delta_bytes(), 0, "compaction folds the whole chain");
+        assert_eq!(writer.compactions(), 1);
+
+        let src = DiskGridSource::open(&dir).unwrap();
+        assert_eq!(src.generation(), 2);
+        assert_eq!(src.delta_stats().compactions, 1);
+        assert_eq!(src.delta_stats().delta_bytes, 0);
+        for (pid, expect) in merged.iter().enumerate() {
+            assert_eq!(src.load(pid).as_slice(), &expect[..], "partition {pid} after compaction");
+        }
+
+        // Retire: delta files and the old generation manifest go away,
+        // the original Convert() output stays, and a fresh open works.
+        let removed = writer.retire_older_generations().unwrap();
+        assert!(removed >= 1, "retirement removed stale files");
+        assert!(dir.join(segment_file_name(0)).exists(), "gen-0 base is kept");
+        assert!(
+            !std::fs::read_dir(&dir)
+                .unwrap()
+                .any(|e| { e.unwrap().file_name().to_string_lossy().ends_with(".dseg") }),
+            "no delta segments survive retirement after a full compaction"
+        );
+        let reopened = DiskGridSource::open(&dir).unwrap();
+        for (pid, expect) in merged.iter().enumerate() {
+            assert_eq!(reopened.load(pid).as_slice(), &expect[..], "partition {pid} post-retire");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The policy triggers compaction from inside publish once delta
+    /// payload crosses the threshold.
+    #[test]
+    fn compaction_policy_triggers_on_publish() {
+        let g = generators::rmat(100, 800, generators::RmatParams::GRAPH500, 31);
+        let dir = tmpdir("delta-policy");
+        Convert::grid(2).write(&g, &dir).unwrap();
+        let mut writer = DeltaWriter::open(&dir)
+            .unwrap()
+            .with_policy(CompactionPolicy { max_delta_bytes: 64, max_delta_ratio: 0.0 });
+        for i in 0..10u32 {
+            writer.insert(i % 100, (i * 3) % 100, 1.0).unwrap();
+        }
+        // 10 records * 16 B = 160 B > 64 B: publish (gen 1) then an
+        // automatic compaction (gen 2).
+        assert_eq!(writer.publish().unwrap(), 2);
+        assert_eq!(writer.compactions(), 1);
+        assert_eq!(writer.delta_bytes(), 0);
+        let src = DiskGridSource::open(&dir).unwrap();
+        assert_eq!(src.generation(), 2);
+        assert_eq!(src.manifest().num_edges() + 10, {
+            let mut total = 0;
+            for pid in 0..4 {
+                total += src.load(pid).len() as u64;
+            }
+            total
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The shard layout merges and routes deltas too (by destination
+    /// interval), with exact merged activity sets.
+    #[test]
+    fn shard_store_serves_deltas() {
+        let g = generators::rmat(160, 1200, generators::RmatParams::SOCIAL, 37);
+        let dir = tmpdir("delta-shards");
+        Convert::shards(4).write(&g, &dir).unwrap();
+        let mut writer = DeltaWriter::open(&dir).unwrap().with_policy(CompactionPolicy::never());
+        let victim = g.edges[42];
+        writer.delete(victim.src, victim.dst).unwrap();
+        writer.insert(150, 3, 2.5).unwrap();
+        writer.publish().unwrap();
+
+        let mut mutated = g.clone();
+        graphm_graph::delta::apply_delta_to_edge_list(
+            &mut mutated,
+            &[
+                graphm_graph::delta::DeltaRecord::delete(victim.src, victim.dst),
+                graphm_graph::delta::DeltaRecord::insert(150, 3, 2.5),
+            ],
+        );
+        let reference = Shards::convert(&mutated, 4);
+        let src = DiskShardSource::open(&dir).unwrap();
+        assert_eq!(src.generation(), 1);
+        for s in 0..4 {
+            let merged = src.load(s);
+            let expect = reference.shard(s);
+            assert_eq!(merged.len(), expect.len(), "shard {s}");
+            for (a, b) in merged.iter().zip(expect) {
+                assert_eq!((a.src, a.dst), (b.src, b.dst), "shard {s}");
+            }
+        }
+        // Activity reflects the merged sources: vertex 150 now reaches
+        // interval 0 (dst 3).
+        let active = AtomicBitmap::new(160);
+        active.set(150);
+        assert!(src.partition_active(0, &active), "inserted source activates its shard");
+        assert_eq!(src.out_degrees(), mutated.out_degrees());
+
+        // Compaction keeps shard content and byte accounting coherent:
+        // the charged load drops by exactly the folded chain payload
+        // (the merged payload itself is unchanged).
+        let before: usize = (0..4).map(|s| src.partition_bytes(s)).sum();
+        let chain_bytes = src.delta_stats().delta_bytes as usize;
+        assert!(chain_bytes > 0);
+        writer.compact().unwrap();
+        assert!(src.refresh_generation().unwrap());
+        assert_eq!(src.generation(), 2);
+        for s in 0..4 {
+            let merged = src.load(s);
+            let expect = reference.shard(s);
+            assert_eq!(merged.len(), expect.len(), "shard {s} after compaction");
+        }
+        let after: usize = (0..4).map(|s| src.partition_bytes(s)).sum();
+        assert_eq!(after + chain_bytes, before, "compaction sheds exactly the chain payload");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Delta bounds are validated at write time and at open time: a
+    /// record pointing past the vertex set is a typed error.
+    #[test]
+    fn delta_rejects_out_of_range_mutations() {
+        let g = generators::rmat(50, 300, generators::RmatParams::GRAPH500, 41);
+        let dir = tmpdir("delta-bounds");
+        Convert::grid(2).write(&g, &dir).unwrap();
+        let mut writer = DeltaWriter::open(&dir).unwrap();
+        assert!(matches!(
+            writer.insert(50, 0, 1.0).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 50, num_vertices: 50 }
+        ));
+        assert!(matches!(
+            writer.delete(0, 99).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 99, num_vertices: 50 }
+        ));
+        // Corrupt a published delta segment on disk: open must reject it.
+        writer.insert(1, 2, 1.0).unwrap();
+        writer.publish().unwrap();
+        let delta_file = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "dseg"))
+            .unwrap();
+        let mut bytes = std::fs::read(&delta_file).unwrap();
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes()); // src out of range
+        std::fs::write(&delta_file, &bytes).unwrap();
+        assert!(matches!(
+            DiskGridSource::open(&dir).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: u32::MAX, num_vertices: 50 }
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,17 +13,35 @@
 //! through a `Weak` so concurrent jobs share one copy while any of them
 //! holds it — the in-memory half of the paper's "one copy of the graph
 //! structure".
+//!
+//! ## Generations (the evolving-graph path)
+//!
+//! A source serves one **generation** at a time: the base segments plus
+//! the ordered per-partition delta chains the generation manifest names
+//! (see `graphm_graph::delta` and `docs/ARCHITECTURE.md`). `load()`
+//! overlays the chain on the base — inserts appended, tombstones applied,
+//! the result re-sorted into `Convert()`'s stable source order — so a
+//! merged read is bit-identical to a from-scratch conversion of the
+//! mutated graph. [`DiskGridSource::refresh_generation`] polls the
+//! store's `CURRENT` pointer and rotates the in-process view; while any
+//! sweep holds a pin ([`PartitionSource::sweep_begin`]) the rotation is
+//! deferred, so readers never observe a mid-sweep flip, and the previous
+//! generation's mappings are retired (dropped/unmapped) once the last
+//! reference to them goes away.
 
 use crate::mmap::FileView;
 use crate::prefetch::{AdaptiveWindow, DEFAULT_MAX_PREFETCH_LOOKAHEAD};
 use graphm_core::PartitionSource;
+use graphm_graph::delta::{
+    self, DeltaRecord, GenManifest, DELTA_HEADER_BYTES, DELTA_OP_DELETE, DELTA_RECORD_BYTES,
+};
 use graphm_graph::segment::{validate_segment, Manifest, StoreLayout, SEGMENT_HEADER_BYTES};
 use graphm_graph::{AtomicBitmap, Edge, GraphError, Result, VertexId, EDGE_BYTES};
 use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, Weak};
 use std::time::Instant;
 
 /// Readahead counters for a disk store (see [`PrefetchTarget`]).
@@ -75,6 +93,23 @@ pub struct ResidencyStats {
     pub budget_bytes: u64,
     /// Current adaptive prefetch window depth.
     pub prefetch_window: u64,
+}
+
+/// Delta-store counters of a disk source (see the module docs and
+/// `docs/OPERATIONS.md`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Generation currently served (0 = the bare base store).
+    pub generation: u64,
+    /// Generation rotations this handle has adopted since open.
+    pub rotations: u64,
+    /// Delta payload bytes overlaid on the base this generation.
+    pub delta_bytes: u64,
+    /// Mutation records overlaid on the base this generation.
+    pub delta_records: u64,
+    /// Cumulative compactions folded into the base (from the generation
+    /// manifest).
+    pub compactions: u64,
 }
 
 /// Process-wide registry of live shared openers, keyed by canonical store
@@ -181,15 +216,415 @@ impl Segment {
     }
 }
 
+/// One mapped (or decoded) delta segment in a partition's chain.
+enum DeltaData {
+    Mapped(FileView),
+    Decoded(Vec<DeltaRecord>),
+}
+
+struct DeltaSeg {
+    data: DeltaData,
+    num_records: usize,
+}
+
+impl DeltaSeg {
+    fn open(path: &Path, expect_records: u64) -> Result<DeltaSeg> {
+        if cfg!(target_endian = "little") {
+            let view = FileView::open(&File::open(path)?)?;
+            let num_records = delta::validate_delta_segment(
+                view.as_slice(),
+                Some(expect_records),
+                &path.display().to_string(),
+            )? as usize;
+            let payload = &view.as_slice()[DELTA_HEADER_BYTES..];
+            let aligned =
+                (payload.as_ptr() as usize).is_multiple_of(std::mem::align_of::<DeltaRecord>());
+            if view.is_mapped() || num_records == 0 || aligned {
+                Ok(DeltaSeg { data: DeltaData::Mapped(view), num_records })
+            } else {
+                let records = delta::read_delta_segment(path)?;
+                Ok(DeltaSeg { data: DeltaData::Decoded(records), num_records })
+            }
+        } else {
+            let records = delta::read_delta_segment(path)?;
+            if records.len() as u64 != expect_records {
+                return Err(GraphError::Format(format!(
+                    "{}: manifest says {expect_records} records, segment holds {}",
+                    path.display(),
+                    records.len()
+                )));
+            }
+            let num_records = records.len();
+            Ok(DeltaSeg { data: DeltaData::Decoded(records), num_records })
+        }
+    }
+
+    fn records(&self) -> &[DeltaRecord] {
+        match &self.data {
+            DeltaData::Mapped(view) => {
+                if self.num_records == 0 {
+                    return &[];
+                }
+                let bytes = &view.as_slice()[DELTA_HEADER_BYTES
+                    ..DELTA_HEADER_BYTES + self.num_records * DELTA_RECORD_BYTES];
+                // SAFETY: same argument as [`Segment::edges`] —
+                // `DeltaRecord` is `#[repr(C)] { u32, u32, f32, u32 }`
+                // (16 bytes, no padding, every bit pattern inhabited), the
+                // range was validated at open, and the 16-byte header
+                // keeps the array 4-byte aligned in the page-aligned
+                // mapping. Operation tags are validated by the view
+                // builder before any record is applied.
+                unsafe {
+                    std::slice::from_raw_parts(
+                        bytes.as_ptr() as *const DeltaRecord,
+                        self.num_records,
+                    )
+                }
+            }
+            DeltaData::Decoded(records) => records,
+        }
+    }
+
+    fn payload_bytes(&self) -> u64 {
+        (self.num_records * DELTA_RECORD_BYTES) as u64
+    }
+}
+
+/// One generation's immutable resolution of the store: base segments plus
+/// per-partition delta chains, with the merged-view accounting
+/// precomputed. Readers hold it through an `Arc`; dropping the last
+/// reference after a rotation unmaps the retired generation's files.
+struct GenView {
+    generation: u64,
+    compactions: u64,
+    segments: Vec<Arc<Segment>>,
+    base_files: Vec<String>,
+    deltas: Vec<Vec<Arc<DeltaSeg>>>,
+    delta_files: Vec<Vec<String>>,
+    /// Edge count of the merged (base + deltas) view per partition.
+    merged_edges: Vec<u64>,
+    /// Bytes charged per load of the merged view (grid: the merged
+    /// payload, exactly what an in-memory conversion of the mutated graph
+    /// would charge; shards: the base interval load plus the chain
+    /// payload).
+    load_bytes: Vec<u64>,
+    /// Merged structure bytes (`S_G` over the merged view).
+    graph_bytes: u64,
+    delta_bytes: u64,
+    delta_records: u64,
+    /// Shards only: distinct merged sources per shard, for exact
+    /// activity checks.
+    srcs: Option<Vec<Arc<Vec<VertexId>>>>,
+}
+
+impl GenView {
+    /// Resolves `generation` against the store directory, reusing
+    /// mappings from `prev` for files both generations reference (the
+    /// common case: a rotation adds a few delta files and everything else
+    /// carries over).
+    fn build(
+        dir: &Path,
+        manifest: &Manifest,
+        generation: u64,
+        prev: Option<&GenView>,
+    ) -> Result<GenView> {
+        let parts = manifest.partitions.len();
+        let gen_manifest = if generation == 0 {
+            None
+        } else {
+            let gm = GenManifest::read_from_dir(dir, generation)?;
+            if gm.layout != manifest.layout {
+                return Err(GraphError::Format(format!(
+                    "generation {generation} layout {:?} does not match base {:?}",
+                    gm.layout, manifest.layout
+                )));
+            }
+            if gm.num_vertices != manifest.num_vertices {
+                return Err(GraphError::Format(format!(
+                    "generation {generation} has {} vertices, base store has {} \
+                     (growing the vertex set requires reconversion)",
+                    gm.num_vertices, manifest.num_vertices
+                )));
+            }
+            if gm.partitions.len() != parts {
+                return Err(GraphError::Format(format!(
+                    "generation {generation} has {} partitions, base store has {parts}",
+                    gm.partitions.len()
+                )));
+            }
+            Some(gm)
+        };
+        let nv = manifest.num_vertices;
+        let mut segments = Vec::with_capacity(parts);
+        let mut base_files = Vec::with_capacity(parts);
+        let mut deltas: Vec<Vec<Arc<DeltaSeg>>> = Vec::with_capacity(parts);
+        let mut delta_files: Vec<Vec<String>> = Vec::with_capacity(parts);
+        let mut merged_edges = Vec::with_capacity(parts);
+        let mut load_bytes = Vec::with_capacity(parts);
+        let mut srcs: Vec<Arc<Vec<VertexId>>> = Vec::with_capacity(parts);
+        let shards = matches!(manifest.layout, StoreLayout::Shards { .. });
+        let mut delta_bytes = 0u64;
+        let mut delta_records = 0u64;
+        for pid in 0..parts {
+            let entry = &manifest.partitions[pid];
+            let (base_file, base_num_edges, chain) = match &gen_manifest {
+                Some(gm) => {
+                    let gp = &gm.partitions[pid];
+                    (gp.base_file.clone(), gp.base_num_edges, gp.deltas.as_slice())
+                }
+                None => (entry.file.clone(), entry.num_edges, &[][..]),
+            };
+            // Reuse the previous view's mapping when it serves the same
+            // file; validate (O(records)) only what was freshly opened.
+            let reused = prev.and_then(|p| {
+                (p.base_files[pid] == base_file).then(|| Arc::clone(&p.segments[pid]))
+            });
+            let segment = match reused {
+                Some(seg) => seg,
+                None => {
+                    let seg = Segment::open(&dir.join(&base_file), base_num_edges)?;
+                    // Records are untrusted: every endpoint must be in
+                    // range before any job indexes its vertex-state arrays
+                    // with them (same guarantee `storage::read_edge_list`
+                    // gives, as a typed error, not a panic).
+                    for e in seg.edges() {
+                        if e.src >= nv {
+                            return Err(GraphError::VertexOutOfRange {
+                                vertex: e.src,
+                                num_vertices: nv,
+                            });
+                        }
+                        if e.dst >= nv {
+                            return Err(GraphError::VertexOutOfRange {
+                                vertex: e.dst,
+                                num_vertices: nv,
+                            });
+                        }
+                    }
+                    Arc::new(seg)
+                }
+            };
+            let prev_chain: Option<(&Vec<String>, &Vec<Arc<DeltaSeg>>)> =
+                prev.map(|p| (&p.delta_files[pid], &p.deltas[pid]));
+            let mut chain_segs = Vec::with_capacity(chain.len());
+            let mut chain_names = Vec::with_capacity(chain.len());
+            for dref in chain {
+                let reused = prev_chain.and_then(|(names, segs)| {
+                    names.iter().position(|n| n == &dref.file).map(|i| Arc::clone(&segs[i]))
+                });
+                let seg = match reused {
+                    Some(seg) => seg,
+                    None => {
+                        let seg = DeltaSeg::open(&dir.join(&dref.file), dref.num_records)?;
+                        for (i, r) in seg.records().iter().enumerate() {
+                            if r.op > DELTA_OP_DELETE {
+                                return Err(GraphError::Format(format!(
+                                    "{}: record {i} has unknown op {}",
+                                    dref.file, r.op
+                                )));
+                            }
+                            if r.src >= nv {
+                                return Err(GraphError::VertexOutOfRange {
+                                    vertex: r.src,
+                                    num_vertices: nv,
+                                });
+                            }
+                            if r.dst >= nv {
+                                return Err(GraphError::VertexOutOfRange {
+                                    vertex: r.dst,
+                                    num_vertices: nv,
+                                });
+                            }
+                        }
+                        Arc::new(seg)
+                    }
+                };
+                delta_bytes += seg.payload_bytes();
+                delta_records += seg.num_records as u64;
+                chain_segs.push(seg);
+                chain_names.push(dref.file.clone());
+            }
+            // Partitions the rotation did not touch (same base file,
+            // same chain) carry their accounting over verbatim — a
+            // publish touching one partition costs O(that partition),
+            // not O(every chained partition).
+            let unchanged: Option<&GenView> = prev
+                .filter(|p| p.base_files[pid] == base_file && p.delta_files[pid] == chain_names);
+            // Merged accounting. With a non-empty chain, replay the
+            // chain over a `(src, dst) -> count` multiset — exact
+            // surviving-edge counts (a tombstone zeroes its key) without
+            // materializing the merge; the first `load()` does the only
+            // real merge.
+            let survivors: Option<HashMap<(VertexId, VertexId), u64>> =
+                if chain_segs.is_empty() || unchanged.is_some() {
+                    None
+                } else {
+                    let mut counts: HashMap<(VertexId, VertexId), u64> = HashMap::new();
+                    for e in segment.edges() {
+                        *counts.entry((e.src, e.dst)).or_insert(0) += 1;
+                    }
+                    for seg in &chain_segs {
+                        for r in seg.records() {
+                            if r.is_insert() {
+                                *counts.entry((r.src, r.dst)).or_insert(0) += 1;
+                            } else {
+                                counts.remove(&(r.src, r.dst));
+                            }
+                        }
+                    }
+                    Some(counts)
+                };
+            let count = match (&unchanged, &survivors) {
+                (Some(p), _) => p.merged_edges[pid],
+                (None, Some(c)) => c.values().sum::<u64>(),
+                (None, None) => segment.num_edges as u64,
+            };
+            let chain_payload: u64 = chain_segs.iter().map(|s| s.payload_bytes()).sum();
+            let load = if let Some(p) = unchanged {
+                p.load_bytes[pid]
+            } else if shards {
+                // Interval load = the merged shard payload plus the base
+                // manifest's sliding-window overhead (windows are not
+                // re-derived for mutated stores) plus the chain itself.
+                // Saturating: load_bytes < byte_len only on a corrupt
+                // manifest, which must not wrap the accounting.
+                entry.load_bytes.saturating_sub(entry.byte_len)
+                    + count * EDGE_BYTES as u64
+                    + chain_payload
+            } else {
+                count * EDGE_BYTES as u64
+            };
+            if shards {
+                // Exact per-vertex activity, as `ChiSource` computes it —
+                // over the merged view. Reuse the previous generation's
+                // set when neither the base nor the chain changed.
+                let reusable = prev
+                    .filter(|p| p.base_files[pid] == base_file && p.delta_files[pid] == chain_names)
+                    .and_then(|p| p.srcs.as_ref().map(|s| Arc::clone(&s[pid])));
+                let set = match reusable {
+                    Some(set) => set,
+                    None => {
+                        let mut sv: Vec<VertexId> = match &survivors {
+                            Some(c) => c
+                                .iter()
+                                .filter(|&(_, &n)| n > 0)
+                                .map(|(&(src, _), _)| src)
+                                .collect(),
+                            None => segment.edges().iter().map(|e| e.src).collect(),
+                        };
+                        sv.sort_unstable();
+                        sv.dedup();
+                        Arc::new(sv)
+                    }
+                };
+                srcs.push(set);
+            }
+            segments.push(segment);
+            base_files.push(base_file);
+            deltas.push(chain_segs);
+            delta_files.push(chain_names);
+            merged_edges.push(count);
+            load_bytes.push(load);
+        }
+        let graph_bytes = merged_edges.iter().map(|&n| n * EDGE_BYTES as u64).sum();
+        Ok(GenView {
+            generation,
+            compactions: gen_manifest.map(|gm| gm.compactions).unwrap_or(0),
+            segments,
+            base_files,
+            deltas,
+            delta_files,
+            merged_edges,
+            load_bytes,
+            graph_bytes,
+            delta_bytes,
+            delta_records,
+            srcs: shards.then_some(srcs),
+        })
+    }
+
+    /// Materializes partition `pid`'s merged view: base records, the
+    /// delta chain applied in order, restored to `Convert()`'s stable
+    /// source order — bit-identical to a from-scratch conversion of the
+    /// mutated graph.
+    fn merged(&self, pid: usize) -> Vec<Edge> {
+        let base = self.segments[pid].edges();
+        if self.deltas[pid].is_empty() {
+            return base.to_vec();
+        }
+        let mut out = base.to_vec();
+        for seg in &self.deltas[pid] {
+            delta::apply_delta(&mut out, seg.records());
+        }
+        // Stable, so the per-source order (base order, then inserts in
+        // publish order) matches what Grid/Shards::convert produces.
+        out.sort_by_key(|e| e.src);
+        out
+    }
+
+    /// Bytes the residency model charges for partition `pid`'s files
+    /// (base payload + delta chain payload).
+    fn resident_charge(&self, pid: usize) -> u64 {
+        (self.segments[pid].num_edges * EDGE_BYTES) as u64
+            + self.deltas[pid].iter().map(|s| s.payload_bytes()).sum::<u64>()
+    }
+
+    /// Issues `MADV_WILLNEED` for every mapping behind partition `pid`.
+    fn advise_willneed(&self, pid: usize) {
+        if let SegmentData::Mapped(view) = &self.segments[pid].data {
+            view.advise_willneed();
+        }
+        for seg in &self.deltas[pid] {
+            if let DeltaData::Mapped(view) = &seg.data {
+                view.advise_willneed();
+            }
+        }
+    }
+
+    /// Releases partition `pid`'s mappings with `MADV_DONTNEED`. Returns
+    /// whether anything was actually released (decoded fallbacks cannot
+    /// be).
+    fn release(&self, pid: usize) -> bool {
+        let mut released = match &self.segments[pid].data {
+            SegmentData::Mapped(view) => view.advise_dontneed(),
+            SegmentData::Decoded(_) => false,
+        };
+        for seg in &self.deltas[pid] {
+            if let DeltaData::Mapped(view) = &seg.data {
+                released |= view.advise_dontneed();
+            }
+        }
+        released
+    }
+}
+
+/// Current / incoming generation views plus the sweep pin count that
+/// gates adoption.
+struct Views {
+    current: Arc<GenView>,
+    /// A generation picked up by `refresh` while sweeps were pinned;
+    /// adopted at the last unpin.
+    incoming: Option<Arc<GenView>>,
+    pins: usize,
+}
+
+/// Per-partition memoization slot, keyed by the generation it holds.
+struct CacheSlot {
+    generation: u64,
+    weak: Weak<Vec<Edge>>,
+}
+
 /// Shared machinery of the two disk sources.
 struct DiskStore {
     dir: PathBuf,
     manifest: Manifest,
-    segments: Vec<Segment>,
+    views: RwLock<Views>,
+    rotations: AtomicU64,
     /// Per-partition memoized materialization: jobs running concurrently
     /// share one `Arc` per partition; once every holder drops it the
-    /// memory is returned and only the mapping remains.
-    cache: Vec<Mutex<Weak<Vec<Edge>>>>,
+    /// memory is returned and only the mapping remains. Keyed by
+    /// generation so a rotation invalidates stale copies.
+    cache: Vec<Mutex<CacheSlot>>,
     /// Per-partition "advised since last load" flags plus the global
     /// readahead counters.
     advised: Vec<AtomicBool>,
@@ -207,6 +642,10 @@ struct DiskStore {
     /// moment a load or readahead hint touches its segment until the
     /// budget enforcement releases it with `MADV_DONTNEED`.
     resident: Vec<AtomicBool>,
+    /// What each resident partition was charged at touch time, so a
+    /// release after a rotation (which may change the partition's byte
+    /// size) subtracts exactly what was added.
+    resident_charged: Vec<AtomicU64>,
     resident_bytes: AtomicU64,
     evicted_bytes: AtomicU64,
     evictions: AtomicU64,
@@ -223,32 +662,21 @@ struct DiskStore {
 impl DiskStore {
     fn open(dir: &Path) -> Result<DiskStore> {
         let manifest = Manifest::read_from_dir(dir)?;
-        let mut segments = Vec::with_capacity(manifest.partitions.len());
-        for entry in &manifest.partitions {
-            segments.push(Segment::open(&dir.join(&entry.file), entry.num_edges)?);
-        }
-        // Records are untrusted: every endpoint must be in range before any
-        // job indexes its vertex-state arrays with them (same guarantee
-        // `storage::read_edge_list` gives, as a typed error, not a panic).
-        let nv = manifest.num_vertices;
-        for seg in &segments {
-            for e in seg.edges() {
-                if e.src >= nv {
-                    return Err(GraphError::VertexOutOfRange { vertex: e.src, num_vertices: nv });
-                }
-                if e.dst >= nv {
-                    return Err(GraphError::VertexOutOfRange { vertex: e.dst, num_vertices: nv });
-                }
-            }
-        }
-        let cache = (0..segments.len()).map(|_| Mutex::new(Weak::new())).collect();
-        let advised = (0..segments.len()).map(|_| AtomicBool::new(false)).collect();
-        let resident = (0..segments.len()).map(|_| AtomicBool::new(false)).collect();
-        let last_touch = (0..segments.len()).map(|_| AtomicU64::new(0)).collect();
+        let generation = delta::read_current_generation(dir)?;
+        let view = Arc::new(GenView::build(dir, &manifest, generation, None)?);
+        let parts = manifest.partitions.len();
+        let cache = (0..parts)
+            .map(|_| Mutex::new(CacheSlot { generation: u64::MAX, weak: Weak::new() }))
+            .collect();
+        let advised = (0..parts).map(|_| AtomicBool::new(false)).collect();
+        let resident = (0..parts).map(|_| AtomicBool::new(false)).collect();
+        let resident_charged = (0..parts).map(|_| AtomicU64::new(0)).collect();
+        let last_touch = (0..parts).map(|_| AtomicU64::new(0)).collect();
         Ok(DiskStore {
             dir: dir.to_path_buf(),
             manifest,
-            segments,
+            views: RwLock::new(Views { current: view, incoming: None, pins: 0 }),
+            rotations: AtomicU64::new(0),
             cache,
             advised,
             pf_issued: AtomicU64::new(0),
@@ -258,6 +686,7 @@ impl DiskStore {
             adaptive: AtomicBool::new(true),
             budget: AtomicU64::new(0),
             resident,
+            resident_charged,
             resident_bytes: AtomicU64::new(0),
             evicted_bytes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -267,37 +696,128 @@ impl DiskStore {
         })
     }
 
-    /// Segment bytes charged to the residency model for `pid`.
-    fn seg_bytes(&self, pid: usize) -> u64 {
-        self.manifest.partitions[pid].byte_len
+    fn num_partitions(&self) -> usize {
+        self.manifest.partitions.len()
     }
 
-    /// Marks `pid`'s segment as paged in (by a load or a readahead hint)
+    /// The generation view loads currently resolve against. Stable for
+    /// the duration of a pinned busy period: `refresh` defers adoption
+    /// while pins are held.
+    fn view(&self) -> Arc<GenView> {
+        Arc::clone(&self.views.read().unwrap_or_else(|e| e.into_inner()).current)
+    }
+
+    /// Runs `f` against the current view under the read guard — the hot
+    /// per-partition queries (activity, byte accounting) avoid the Arc
+    /// refcount round-trip `view()` pays; readers never block each other.
+    fn with_view<R>(&self, f: impl FnOnce(&GenView) -> R) -> R {
+        f(&self.views.read().unwrap_or_else(|e| e.into_inner()).current)
+    }
+
+    /// Pins the current generation for a sweep (counted; sweeps may
+    /// overlap across runtimes sharing the handle).
+    fn sweep_begin(&self) {
+        self.views.write().unwrap_or_else(|e| e.into_inner()).pins += 1;
+    }
+
+    /// Releases a sweep pin; the last unpin adopts any generation that
+    /// arrived mid-sweep.
+    fn sweep_end(&self) {
+        let mut views = self.views.write().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(views.pins > 0, "sweep_end without a matching sweep_begin");
+        views.pins = views.pins.saturating_sub(1);
+        if views.pins == 0 {
+            if let Some(incoming) = views.incoming.take() {
+                views.current = incoming;
+                self.rotations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Polls the store's `CURRENT` pointer and resolves any newer
+    /// generation. Returns `true` when a new generation was picked up
+    /// (adopted immediately, or staged for adoption at the last sweep
+    /// unpin). The old generation's mappings are retired when the last
+    /// reader drops its `Arc`.
+    fn refresh(&self) -> Result<bool> {
+        let disk_gen = delta::read_current_generation(&self.dir)?;
+        let (known, prev) = {
+            let views = self.views.read().unwrap_or_else(|e| e.into_inner());
+            let latest = views.incoming.as_ref().unwrap_or(&views.current);
+            (latest.generation, Arc::clone(latest))
+        };
+        if disk_gen == known {
+            return Ok(false);
+        }
+        if disk_gen < known {
+            return Err(GraphError::Format(format!(
+                "{}: CURRENT moved backwards ({} -> {disk_gen})",
+                self.dir.display(),
+                known
+            )));
+        }
+        let built = Arc::new(GenView::build(&self.dir, &self.manifest, disk_gen, Some(&prev))?);
+        let mut views = self.views.write().unwrap_or_else(|e| e.into_inner());
+        // The build ran outside the lock: a concurrent refresher (two
+        // runtimes sharing one handle) may have installed this — or a
+        // newer — generation meanwhile. Never replace newer with older,
+        // and count each adoption exactly once.
+        let known_now = views.incoming.as_ref().unwrap_or(&views.current).generation;
+        if built.generation > known_now {
+            if views.pins == 0 {
+                views.current = built;
+                views.incoming = None;
+                self.rotations.fetch_add(1, Ordering::Relaxed);
+            } else {
+                views.incoming = Some(built);
+            }
+        }
+        Ok(true)
+    }
+
+    fn generation(&self) -> u64 {
+        self.views.read().unwrap_or_else(|e| e.into_inner()).current.generation
+    }
+
+    fn delta_stats(&self) -> DeltaStats {
+        let view = self.view();
+        DeltaStats {
+            generation: view.generation,
+            rotations: self.rotations.load(Ordering::Relaxed),
+            delta_bytes: view.delta_bytes,
+            delta_records: view.delta_records,
+            compactions: view.compactions,
+        }
+    }
+
+    /// Marks `pid`'s files as paged in (by a load or a readahead hint)
     /// and records its position in the eviction order. The queue is kept
     /// bounded: stale entries (a later touch superseded them) are
     /// compacted away once they dominate, and with no budget configured —
     /// where nothing would ever pop the queue — it is skipped entirely.
-    fn touch(&self, pid: usize) {
+    fn touch(&self, pid: usize, view: &GenView) {
         if self.budget.load(Ordering::Relaxed) > 0 {
             let seq = self.touch_seq.fetch_add(1, Ordering::Relaxed) + 1;
             self.last_touch[pid].store(seq, Ordering::Relaxed);
             let mut order = self.touch_order.lock().unwrap_or_else(|e| e.into_inner());
             order.push_back((pid, seq));
-            if order.len() > self.segments.len() * 4 + 64 {
+            if order.len() > self.num_partitions() * 4 + 64 {
                 // At most one entry per partition is live; everything
                 // else is superseded history.
                 order.retain(|&(p, s)| self.last_touch[p].load(Ordering::Relaxed) == s);
             }
         }
         if !self.resident[pid].swap(true, Ordering::AcqRel) {
-            self.resident_bytes.fetch_add(self.seg_bytes(pid), Ordering::Relaxed);
+            let charge = view.resident_charge(pid);
+            self.resident_charged[pid].store(charge, Ordering::Relaxed);
+            self.resident_bytes.fetch_add(charge, Ordering::Relaxed);
         }
     }
 
     /// Releases resident segments behind the sweep frontier (oldest touch
     /// first) until the model fits the budget again. `current` — the
     /// partition being streamed right now — is never released.
-    fn enforce_budget(&self, current: usize) {
+    fn enforce_budget(&self, current: usize, view: &GenView) {
         let budget = self.budget.load(Ordering::Relaxed);
         if budget == 0 {
             return;
@@ -318,14 +838,11 @@ impl DiskStore {
             if !self.resident[pid].load(Ordering::Acquire) {
                 continue;
             }
-            let released = match &self.segments[pid].data {
-                SegmentData::Mapped(view) => view.advise_dontneed(),
-                SegmentData::Decoded(_) => false,
-            };
-            if released {
+            if view.release(pid) {
                 self.resident[pid].store(false, Ordering::Release);
-                self.resident_bytes.fetch_sub(self.seg_bytes(pid), Ordering::Relaxed);
-                self.evicted_bytes.fetch_add(self.seg_bytes(pid), Ordering::Relaxed);
+                let charge = self.resident_charged[pid].load(Ordering::Relaxed);
+                self.resident_bytes.fetch_sub(charge, Ordering::Relaxed);
+                self.evicted_bytes.fetch_add(charge, Ordering::Relaxed);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 // A pending WILLNEED hint for released pages is stale:
                 // the next load must count as a miss and re-grow the
@@ -341,8 +858,9 @@ impl DiskStore {
     }
 
     fn load(&self, pid: usize) -> Arc<Vec<Edge>> {
+        let view = self.view();
         let mut slot = self.cache[pid].lock().unwrap_or_else(|e| e.into_inner());
-        let cached = slot.upgrade();
+        let cached = if slot.generation == view.generation { slot.weak.upgrade() } else { None };
         let advised = self.advised[pid].swap(false, Ordering::AcqRel);
         if advised {
             self.pf_hits.fetch_add(1, Ordering::Relaxed);
@@ -362,8 +880,8 @@ impl DiskStore {
                 self.window.on_miss();
             }
         }
-        self.touch(pid);
-        self.enforce_budget(pid);
+        self.touch(pid, &view);
+        self.enforce_budget(pid, &view);
         let budget = self.budget.load(Ordering::Relaxed);
         if adaptive
             && budget > 0
@@ -376,22 +894,22 @@ impl DiskStore {
         if let Some(live) = cached {
             return live;
         }
-        let materialized = Arc::new(self.segments[pid].edges().to_vec());
-        *slot = Arc::downgrade(&materialized);
+        let materialized = Arc::new(view.merged(pid));
+        slot.generation = view.generation;
+        slot.weak = Arc::downgrade(&materialized);
         materialized
     }
 
-    /// Issues a readahead hint for `pid`'s segment, at most once per load
+    /// Issues a readahead hint for `pid`'s files, at most once per load
     /// cycle (the flag re-arms when the partition is next loaded).
     fn advise(&self, pid: usize) {
-        if pid >= self.segments.len() || self.advised[pid].swap(true, Ordering::AcqRel) {
+        if pid >= self.num_partitions() || self.advised[pid].swap(true, Ordering::AcqRel) {
             return;
         }
         let start = Instant::now();
-        if let SegmentData::Mapped(view) = &self.segments[pid].data {
-            view.advise_willneed();
-        }
-        self.touch(pid);
+        let view = self.view();
+        view.advise_willneed(pid);
+        self.touch(pid, &view);
         self.pf_advise_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.pf_issued.fetch_add(1, Ordering::Relaxed);
     }
@@ -435,10 +953,17 @@ impl DiskStore {
     }
 
     fn out_degrees(&self) -> Vec<u32> {
+        let view = self.view();
         let mut deg = vec![0u32; self.manifest.num_vertices as usize];
-        for seg in &self.segments {
-            for e in seg.edges() {
-                deg[e.src as usize] += 1;
+        for pid in 0..self.num_partitions() {
+            if view.deltas[pid].is_empty() {
+                for e in view.segments[pid].edges() {
+                    deg[e.src as usize] += 1;
+                }
+            } else {
+                for e in view.merged(pid) {
+                    deg[e.src as usize] += 1;
+                }
             }
         }
         deg
@@ -450,7 +975,8 @@ impl std::fmt::Debug for DiskGridSource {
         f.debug_struct("DiskGridSource")
             .field("dir", &self.store.dir)
             .field("p", &self.p)
-            .field("partitions", &self.store.segments.len())
+            .field("generation", &self.store.generation())
+            .field("partitions", &self.store.num_partitions())
             .finish()
     }
 }
@@ -464,7 +990,9 @@ pub struct DiskGridSource {
 }
 
 impl DiskGridSource {
-    /// Opens a store directory written by [`Convert::grid`](crate::Convert::grid).
+    /// Opens a store directory written by [`Convert::grid`](crate::Convert::grid),
+    /// resolved at the generation its `CURRENT` pointer names (0 — the
+    /// bare base store — when none exists).
     pub fn open(dir: &Path) -> Result<DiskGridSource> {
         let store = DiskStore::open(dir)?;
         let p = match store.manifest.layout {
@@ -476,12 +1004,12 @@ impl DiskGridSource {
                 )))
             }
         };
-        if store.segments.len() != p * p {
+        if store.num_partitions() != p * p {
             return Err(GraphError::Format(format!(
                 "{}: grid p = {p} implies {} partitions, manifest has {}",
                 dir.display(),
                 p * p,
-                store.segments.len()
+                store.num_partitions()
             )));
         }
         let order = store.manifest.order.iter().map(|&v| v as usize).collect();
@@ -493,10 +1021,10 @@ impl DiskGridSource {
     /// same (canonicalized) directory returns a clone of the same `Arc`,
     /// so N workbenches/daemon threads over one store share one mapping,
     /// one manifest, and one per-partition materialization cache instead
-    /// of N. Stores are single-writer/multi-reader: `Convert` writes a
-    /// directory once, readers never mutate it (see
-    /// `docs/ARCHITECTURE.md`), which is what makes the shared handle
-    /// sound.
+    /// of N. Stores are single-writer/multi-reader: `Convert` writes the
+    /// base once and a `DeltaWriter` only ever *adds* files before
+    /// flipping `CURRENT` (see `docs/ARCHITECTURE.md`), which is what
+    /// makes the shared handle sound.
     pub fn open_shared(dir: &Path) -> Result<Arc<DiskGridSource>> {
         static REGISTRY: OnceLock<ShareRegistry<DiskGridSource>> = OnceLock::new();
         REGISTRY.get_or_init(ShareRegistry::new).open_shared(dir, || DiskGridSource::open(dir))
@@ -507,7 +1035,7 @@ impl DiskGridSource {
         self.p
     }
 
-    /// The store's manifest.
+    /// The store's base manifest.
     pub fn manifest(&self) -> &Manifest {
         &self.store.manifest
     }
@@ -517,15 +1045,41 @@ impl DiskGridSource {
         &self.store.dir
     }
 
-    /// Zero-copy view of partition `pid`'s records inside the mapping.
-    pub fn edges(&self, pid: usize) -> &[Edge] {
-        self.store.segments[pid].edges()
+    /// A copy of partition `pid`'s **base-segment** records for the
+    /// currently served generation (delta overlays are visible through
+    /// [`PartitionSource::load`], which materializes the merged view).
+    /// Owned rather than borrowed so the handle never has to pin a
+    /// retired generation's mappings — and its unlinked files — alive.
+    pub fn edges(&self, pid: usize) -> Vec<Edge> {
+        self.store.view().segments[pid].edges().to_vec()
     }
 
-    /// Out-degrees, streamed from the mapped segments (PageRank-family
-    /// jobs need them; no `EdgeList` is ever materialized).
+    /// Out-degrees of the currently served generation's merged view,
+    /// streamed from the mapped segments (PageRank-family jobs need them;
+    /// no `EdgeList` is ever materialized).
     pub fn out_degrees(&self) -> Vec<u32> {
         self.store.out_degrees()
+    }
+
+    /// Polls the store's `CURRENT` pointer and rotates to any newer
+    /// generation. Returns `true` when one was picked up. While a sweep
+    /// pin is held ([`PartitionSource::sweep_begin`]) adoption is
+    /// deferred to the last unpin, so in-flight sweeps keep their
+    /// generation. Runtimes that preprocessed this source (chunk tables,
+    /// out-degrees) must be rebuilt after a rotation — the daemon does
+    /// this between rounds.
+    pub fn refresh_generation(&self) -> Result<bool> {
+        self.store.refresh()
+    }
+
+    /// The generation loads currently resolve against.
+    pub fn generation(&self) -> u64 {
+        self.store.generation()
+    }
+
+    /// Delta/rotation counters (see [`DeltaStats`]).
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.store.delta_stats()
     }
 
     /// Sets the page-cache budget in bytes (0 = unlimited): once modeled
@@ -572,7 +1126,7 @@ impl PrefetchTarget for DiskGridSource {
 
 impl PartitionSource for DiskGridSource {
     fn num_partitions(&self) -> usize {
-        self.store.segments.len()
+        self.store.num_partitions()
     }
 
     fn num_vertices(&self) -> VertexId {
@@ -584,11 +1138,11 @@ impl PartitionSource for DiskGridSource {
     }
 
     fn partition_bytes(&self, pid: usize) -> usize {
-        self.store.manifest.partitions[pid].load_bytes as usize
+        self.store.with_view(|v| v.load_bytes[pid] as usize)
     }
 
     fn graph_bytes(&self) -> usize {
-        self.store.manifest.graph_bytes() as usize
+        self.store.with_view(|v| v.graph_bytes as usize)
     }
 
     fn order(&self) -> Vec<usize> {
@@ -596,11 +1150,19 @@ impl PartitionSource for DiskGridSource {
     }
 
     fn partition_active(&self, pid: usize, active: &AtomicBitmap) -> bool {
-        if self.store.segments[pid].num_edges == 0 {
+        if self.store.with_view(|v| v.merged_edges[pid] == 0) {
             return false;
         }
         let e = &self.store.manifest.partitions[pid];
         e.src_lo < e.src_hi && active.any_in_range(e.src_lo as usize, e.src_hi as usize)
+    }
+
+    fn sweep_begin(&self) {
+        self.store.sweep_begin();
+    }
+
+    fn sweep_end(&self) {
+        self.store.sweep_end();
     }
 }
 
@@ -608,7 +1170,8 @@ impl std::fmt::Debug for DiskShardSource {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DiskShardSource")
             .field("dir", &self.store.dir)
-            .field("partitions", &self.store.segments.len())
+            .field("generation", &self.store.generation())
+            .field("partitions", &self.store.num_partitions())
             .finish()
     }
 }
@@ -617,13 +1180,11 @@ impl std::fmt::Debug for DiskShardSource {
 /// for the in-memory `ChiSource`.
 pub struct DiskShardSource {
     store: DiskStore,
-    /// Distinct source vertices per shard, rebuilt from the mapped records
-    /// at open — the exact activity semantics of `ChiSource`.
-    srcs: Vec<Vec<VertexId>>,
 }
 
 impl DiskShardSource {
-    /// Opens a store directory written by [`Convert::shards`](crate::Convert::shards).
+    /// Opens a store directory written by [`Convert::shards`](crate::Convert::shards),
+    /// resolved at the generation its `CURRENT` pointer names.
     pub fn open(dir: &Path) -> Result<DiskShardSource> {
         let store = DiskStore::open(dir)?;
         match store.manifest.layout {
@@ -635,17 +1196,7 @@ impl DiskShardSource {
                 )))
             }
         }
-        let srcs = store
-            .segments
-            .iter()
-            .map(|seg| {
-                let mut sv: Vec<VertexId> = seg.edges().iter().map(|e| e.src).collect();
-                sv.sort_unstable();
-                sv.dedup();
-                sv
-            })
-            .collect();
-        Ok(DiskShardSource { store, srcs })
+        Ok(DiskShardSource { store })
     }
 
     /// Opens `dir` through the process-wide share registry (the shard
@@ -655,19 +1206,36 @@ impl DiskShardSource {
         REGISTRY.get_or_init(ShareRegistry::new).open_shared(dir, || DiskShardSource::open(dir))
     }
 
-    /// The store's manifest.
+    /// The store's base manifest.
     pub fn manifest(&self) -> &Manifest {
         &self.store.manifest
     }
 
-    /// Zero-copy view of shard `pid`'s records inside the mapping.
-    pub fn edges(&self, pid: usize) -> &[Edge] {
-        self.store.segments[pid].edges()
+    /// A copy of shard `pid`'s base-segment records for the currently
+    /// served generation (see [`DiskGridSource::edges`]).
+    pub fn edges(&self, pid: usize) -> Vec<Edge> {
+        self.store.view().segments[pid].edges().to_vec()
     }
 
-    /// Out-degrees, streamed from the mapped segments.
+    /// Out-degrees of the merged view, streamed from the mapped segments.
     pub fn out_degrees(&self) -> Vec<u32> {
         self.store.out_degrees()
+    }
+
+    /// Polls `CURRENT` and rotates; see
+    /// [`DiskGridSource::refresh_generation`].
+    pub fn refresh_generation(&self) -> Result<bool> {
+        self.store.refresh()
+    }
+
+    /// The generation loads currently resolve against.
+    pub fn generation(&self) -> u64 {
+        self.store.generation()
+    }
+
+    /// Delta/rotation counters (see [`DeltaStats`]).
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.store.delta_stats()
     }
 
     /// Sets the page-cache budget in bytes (0 = unlimited); see
@@ -710,7 +1278,7 @@ impl PrefetchTarget for DiskShardSource {
 
 impl PartitionSource for DiskShardSource {
     fn num_partitions(&self) -> usize {
-        self.store.segments.len()
+        self.store.num_partitions()
     }
 
     fn num_vertices(&self) -> VertexId {
@@ -722,14 +1290,26 @@ impl PartitionSource for DiskShardSource {
     }
 
     fn partition_bytes(&self, pid: usize) -> usize {
-        self.store.manifest.partitions[pid].load_bytes as usize
+        self.store.with_view(|v| v.load_bytes[pid] as usize)
     }
 
     fn graph_bytes(&self) -> usize {
-        self.store.manifest.graph_bytes() as usize
+        self.store.with_view(|v| v.graph_bytes as usize)
     }
 
     fn partition_active(&self, pid: usize, active: &AtomicBitmap) -> bool {
-        self.srcs[pid].iter().any(|&v| active.get(v as usize))
+        // Clone the shard's Arc'd source set under the guard, scan outside.
+        let srcs = self.store.with_view(|v| {
+            Arc::clone(&v.srcs.as_ref().expect("shard stores always carry source sets")[pid])
+        });
+        srcs.iter().any(|&v| active.get(v as usize))
+    }
+
+    fn sweep_begin(&self) {
+        self.store.sweep_begin();
+    }
+
+    fn sweep_end(&self) {
+        self.store.sweep_end();
     }
 }
