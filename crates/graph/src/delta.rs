@@ -29,6 +29,7 @@
 //! reinterpretation, and every length validated against the real file
 //! length before any allocation.
 
+use crate::failpoint;
 use crate::segment::{CountingReader, StoreLayout};
 use crate::types::{Edge, EdgeList, GraphError, Result, VertexId};
 use std::collections::HashSet;
@@ -161,9 +162,11 @@ pub fn write_delta_segment(records: &[DeltaRecord], path: &Path) -> Result<u64> 
         w.write_all(&r.op.to_le_bytes())?;
     }
     w.flush()?;
+    failpoint::hit("delta.segment.written")?;
     // Durability before the CURRENT flip references this file: the flip
     // must never durably name a generation whose payload is not.
     w.get_ref().sync_all()?;
+    failpoint::hit("delta.segment.synced")?;
     Ok((records.len() * DELTA_RECORD_BYTES) as u64)
 }
 
@@ -354,8 +357,10 @@ impl GenManifest {
             }
         }
         w.flush()?;
+        failpoint::hit("gen.manifest.written")?;
         // Must be durable before CURRENT durably points at it.
         w.get_ref().sync_all()?;
+        failpoint::hit("gen.manifest.synced")?;
         Ok(path)
     }
 
@@ -452,13 +457,17 @@ pub fn write_current_generation(dir: &Path, generation: u64) -> Result<()> {
     {
         let mut f = File::create(&tmp)?;
         f.write_all(&bytes)?;
+        failpoint::hit("current.tmp.written")?;
         // The pointer's content must hit disk before the rename can, or
         // a crash could leave CURRENT durably pointing at garbage.
         f.sync_all()?;
+        failpoint::hit("current.tmp.synced")?;
     }
     std::fs::rename(&tmp, dir.join(CURRENT_FILE))?;
+    failpoint::hit("current.renamed")?;
     // And the rename itself must be durable: fsync the directory.
     File::open(dir)?.sync_all()?;
+    failpoint::hit("current.dir.synced")?;
     Ok(())
 }
 

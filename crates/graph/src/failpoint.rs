@@ -1,0 +1,130 @@
+//! Deterministic crash injection for the durable write path.
+//!
+//! Every fsync/rename boundary in the delta-publish path calls
+//! [`hit`] with a stable point name. In normal operation the calls are
+//! free (one thread-local read). A crash test drives them in two modes:
+//!
+//! 1. **Trace mode** ([`record`] / [`trace`]): a clean publish records the
+//!    ordered list of boundaries it crossed, so the test harness can
+//!    *enumerate* the crash matrix instead of hard-coding it — a new
+//!    fsync added to the publish path automatically grows the matrix.
+//! 2. **Armed mode** ([`arm`]): the k-th crossing of one named point
+//!    returns an injected I/O error, which aborts the publish exactly as
+//!    a crash would — everything before the boundary is on disk,
+//!    everything after never happens. The test then reopens the store
+//!    and asserts recovery.
+//!
+//! State is **thread-local**: a `DeltaWriter` performs its whole publish
+//! on the calling thread, so parallel tests never see each other's armed
+//! points.
+
+use crate::types::{GraphError, Result};
+use std::cell::RefCell;
+
+/// What a thread has asked the failpoint layer to do.
+#[derive(Default)]
+struct FailState {
+    /// Ordered crossings recorded since [`record`] (None = not tracing).
+    trace: Option<Vec<String>>,
+    /// `(point, remaining_skips)` — trip when a crossing of `point` finds
+    /// `remaining_skips == 0`.
+    armed: Option<(String, usize)>,
+}
+
+thread_local! {
+    static STATE: RefCell<FailState> = RefCell::new(FailState::default());
+}
+
+/// Marker embedded in every injected error message, so tests can tell an
+/// injected crash from a real I/O failure.
+pub const INJECTED_MARKER: &str = "crash injected at failpoint";
+
+/// Clears all failpoint state on this thread (tracing and armed points).
+pub fn reset() {
+    STATE.with(|s| *s.borrow_mut() = FailState::default());
+}
+
+/// Starts recording boundary crossings on this thread (clearing any
+/// previous trace).
+pub fn record() {
+    STATE.with(|s| s.borrow_mut().trace = Some(Vec::new()));
+}
+
+/// The crossings recorded since [`record`], in order.
+pub fn trace() -> Vec<String> {
+    STATE.with(|s| s.borrow().trace.clone().unwrap_or_default())
+}
+
+/// Arms one point on this thread: the `(skip + 1)`-th crossing of `point`
+/// fails with an injected I/O error. Re-arming replaces the previous
+/// armed point.
+pub fn arm(point: &str, skip: usize) {
+    STATE.with(|s| s.borrow_mut().armed = Some((point.to_string(), skip)));
+}
+
+/// Disarms without touching the trace.
+pub fn disarm() {
+    STATE.with(|s| s.borrow_mut().armed = None);
+}
+
+/// Whether `err` is an injected crash (vs a real I/O failure).
+pub fn is_injected(err: &GraphError) -> bool {
+    matches!(err, GraphError::Io(e) if e.to_string().contains(INJECTED_MARKER))
+}
+
+/// Declares a boundary crossing. Returns the injected error when this
+/// thread armed this point (consuming the armed state so recovery code
+/// running after the "crash" is not re-tripped).
+pub fn hit(point: &str) -> Result<()> {
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        if let Some(trace) = st.trace.as_mut() {
+            trace.push(point.to_string());
+        }
+        let tripped = match st.armed.as_mut() {
+            Some((armed, skip)) if armed == point => {
+                if *skip == 0 {
+                    true
+                } else {
+                    *skip -= 1;
+                    false
+                }
+            }
+            _ => false,
+        };
+        if tripped {
+            st.armed = None;
+            return Err(GraphError::Io(std::io::Error::other(format!(
+                "{INJECTED_MARKER} {point}"
+            ))));
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_trips_the_selected_occurrence_once() {
+        reset();
+        record();
+        assert!(hit("a").is_ok());
+        arm("b", 1);
+        assert!(hit("b").is_ok(), "first crossing is skipped");
+        let err = hit("b").unwrap_err();
+        assert!(is_injected(&err), "second crossing trips: {err}");
+        assert!(hit("b").is_ok(), "tripping disarms");
+        assert_eq!(trace(), vec!["a", "b", "b", "b"]);
+        reset();
+        assert!(trace().is_empty());
+    }
+
+    #[test]
+    fn real_io_errors_are_not_injected() {
+        let real = GraphError::Io(std::io::Error::other("disk on fire"));
+        assert!(!is_injected(&real));
+        assert!(!is_injected(&GraphError::Format("x".into())));
+    }
+}

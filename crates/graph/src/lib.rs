@@ -18,6 +18,7 @@ pub mod bitmap;
 pub mod csr;
 pub mod datasets;
 pub mod delta;
+pub mod failpoint;
 pub mod generators;
 pub mod grid;
 pub mod partition;

@@ -143,6 +143,19 @@ pub enum GraphError {
     Truncated { what: String, needed: u64, available: u64 },
     /// An edge referenced a vertex outside `0..num_vertices`.
     VertexOutOfRange { vertex: VertexId, num_vertices: VertexId },
+    /// A second writer tried to acquire a store's writer lease while a
+    /// live holder's heartbeat is still fresh. The payload describes the
+    /// current holder (epoch, pid, heartbeat age).
+    LeaseHeld { holder: String },
+    /// The writer's lease disappeared or changed hands underneath it —
+    /// detected at heartbeat or pre-flip validation. The holder must stop
+    /// publishing immediately.
+    LeaseLost { what: String },
+    /// A `CURRENT` flip (or heartbeat) observed a *newer* epoch than the
+    /// one this writer holds: another writer took the store over. Races
+    /// between concurrent writers surface as this typed error instead of
+    /// silent corruption.
+    EpochFenced { held: u64, current: u64 },
 }
 
 impl fmt::Display for GraphError {
@@ -155,6 +168,13 @@ impl fmt::Display for GraphError {
             }
             GraphError::VertexOutOfRange { vertex, num_vertices } => {
                 write!(f, "vertex {vertex} out of range (num_vertices = {num_vertices})")
+            }
+            GraphError::LeaseHeld { holder } => {
+                write!(f, "writer lease held by another writer: {holder}")
+            }
+            GraphError::LeaseLost { what } => write!(f, "writer lease lost: {what}"),
+            GraphError::EpochFenced { held, current } => {
+                write!(f, "epoch fenced: this writer holds epoch {held} but the store is at epoch {current}")
             }
         }
     }

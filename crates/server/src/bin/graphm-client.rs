@@ -10,11 +10,18 @@
 //!   stats
 //!   ping
 //!   shutdown
+//!   ingest-edge SRC,DST[,WEIGHT]
+//!   delete-edge SRC,DST
+//!   ingest-random COUNT,SEED
 //! ```
 //!
 //! `submit` prints `{"job_id":N}` (or, with `--wait`, the full report
 //! JSON); `wait` prints the report; `stats` prints the daemon counters.
+//! The `ingest-*` commands stage their mutations and group-commit them
+//! in one connection, printing the durable generation (the daemon must
+//! run with `--ingest`).
 
+use graphm_graph::delta::DeltaRecord;
 use graphm_server::protocol::{report_to_json, spec_from_json};
 use graphm_server::Client;
 use serde_json::json;
@@ -31,9 +38,22 @@ fn usage() -> ! {
          wait JOB_ID\n\
          stats\n\
          ping\n\
-         shutdown"
+         shutdown\n\
+         ingest-edge SRC,DST[,WEIGHT]   insert one edge and commit\n\
+         delete-edge SRC,DST            tombstone one edge and commit\n\
+         ingest-random COUNT,SEED       insert COUNT random edges (over the\n\
+         \x20                           served vertex space) and commit"
     );
     exit(2);
+}
+
+/// SplitMix64: cheap deterministic stream for `ingest-random`.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 fn connect(socket: Option<String>, tcp: Option<String>) -> Client {
@@ -141,6 +161,47 @@ fn main() {
             } else {
                 println!("{}", json!({ "job_id": id }));
             }
+        }
+        "ingest-edge" | "delete-edge" => {
+            let parts: Vec<&str> = rest.get(1).unwrap_or_else(|| usage()).split(',').collect();
+            let vertex = |s: &&str| s.parse::<u32>().unwrap_or_else(|_| usage());
+            let weight = |s: &&str| s.parse::<f32>().unwrap_or_else(|_| usage());
+            let deleting = rest[0] == "delete-edge";
+            let ops = match (deleting, parts.as_slice()) {
+                (true, [src, dst]) => vec![DeltaRecord::delete(vertex(src), vertex(dst))],
+                (false, [src, dst]) => vec![DeltaRecord::insert(vertex(src), vertex(dst), 1.0)],
+                (false, [src, dst, w]) => {
+                    vec![DeltaRecord::insert(vertex(src), vertex(dst), weight(w))]
+                }
+                _ => usage(),
+            };
+            client.ingest(&ops).unwrap_or_else(|e| fail(e));
+            let (generation, records) = client.ingest_commit().unwrap_or_else(|e| fail(e));
+            println!("{}", json!({ "generation": generation, "records": records }));
+        }
+        "ingest-random" => {
+            let parts: Vec<u64> = rest
+                .get(1)
+                .unwrap_or_else(|| usage())
+                .split(',')
+                .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                .collect();
+            let [count, seed] = parts.as_slice() else { usage() };
+            let nv = client.stats().unwrap_or_else(|e| fail(e)).num_vertices;
+            if nv == 0 {
+                fail("served store has no vertices");
+            }
+            let mut state = *seed;
+            let ops: Vec<DeltaRecord> = (0..*count)
+                .map(|_| {
+                    let src = (splitmix(&mut state) % nv) as u32;
+                    let dst = (splitmix(&mut state) % nv) as u32;
+                    DeltaRecord::insert(src, dst, 1.0)
+                })
+                .collect();
+            client.ingest(&ops).unwrap_or_else(|e| fail(e));
+            let (generation, records) = client.ingest_commit().unwrap_or_else(|e| fail(e));
+            println!("{}", json!({ "generation": generation, "records": records }));
         }
         other => {
             eprintln!("unknown command: {other}");

@@ -10,6 +10,7 @@
 //!               [--mode deterministic|wallclock]
 //!               [--memory-budget BYTES] [--prefetch-lookahead N]
 //!               [--fixed-prefetch] [--no-chunk-fanout] [--no-rotate]
+//!               [--ingest]
 //! ```
 
 use graphm_server::{ExecutionMode, Server, ServerConfig};
@@ -40,6 +41,10 @@ fn usage() -> ! {
          --no-rotate          do not adopt delta generations published by\n\
                               graphm-delta; serve the open-time generation\n\
                               forever (default: rotate between rounds)\n\
+         --ingest             serve ingest/ingest_commit sessions: acquire the\n\
+                              store's writer lease and group-commit client\n\
+                              mutation batches through its WAL (off by default;\n\
+                              incompatible with an external graphm-delta writer)\n\
          \n\
          at least one of --socket / --tcp is required"
     );
@@ -58,6 +63,7 @@ fn main() {
     let mut adaptive_prefetch = true;
     let mut chunk_fanout = true;
     let mut auto_rotate = true;
+    let mut enable_ingest = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -100,6 +106,7 @@ fn main() {
             "--fixed-prefetch" => adaptive_prefetch = false,
             "--no-chunk-fanout" => chunk_fanout = false,
             "--no-rotate" => auto_rotate = false,
+            "--ingest" => enable_ingest = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -124,6 +131,7 @@ fn main() {
     config.adaptive_prefetch = adaptive_prefetch;
     config.chunk_fanout = chunk_fanout;
     config.auto_rotate = auto_rotate;
+    config.enable_ingest = enable_ingest;
 
     let server = Server::start(config).unwrap_or_else(|e| {
         eprintln!("failed to start: {e}");
@@ -143,6 +151,12 @@ fn main() {
         stats.num_vertices,
         mode.name()
     );
+    if stats.lease_held != 0 {
+        eprintln!(
+            "[graphm-server] ingest enabled: holding writer lease epoch {}",
+            stats.lease_epoch
+        );
+    }
     // Park until a client requests shutdown; queued jobs drain first.
     server.join();
     eprintln!("[graphm-server] shut down");

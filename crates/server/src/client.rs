@@ -6,6 +6,7 @@
 
 use crate::protocol::{report_from_json, request_to_json, JobState, Request, ServerStats};
 use graphm_core::{JobId, JobReport};
+use graphm_graph::delta::DeltaRecord;
 use graphm_workloads::JobSpec;
 use serde_json::Value;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -137,5 +138,38 @@ impl Client {
     /// Asks the daemon to shut down (queued jobs still drain).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.request(&Request::Shutdown).map(|_| ())
+    }
+
+    /// Stages mutations on this connection (ingest-enabled daemons
+    /// only); returns the total staged so far.
+    pub fn ingest(&mut self, ops: &[DeltaRecord]) -> Result<usize, ClientError> {
+        let v = self.request(&Request::Ingest(ops.to_vec()))?;
+        v.get("staged")
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| ClientError::Protocol("ingest ack missing staged".to_string()))
+    }
+
+    /// Group-commits this connection's staged mutations; blocks until
+    /// the absorbing generation is durable. Returns `(generation,
+    /// records_committed)`.
+    pub fn ingest_commit(&mut self) -> Result<(u64, u64), ClientError> {
+        let v = self.request(&Request::IngestCommit)?;
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ClientError::Protocol(format!("ingest_commit ack missing {k}")))
+        };
+        Ok((field("generation")?, field("records")?))
+    }
+
+    /// Drops this connection's staged mutations; returns how many were
+    /// discarded.
+    pub fn ingest_abort(&mut self) -> Result<usize, ClientError> {
+        let v = self.request(&Request::IngestAbort)?;
+        v.get("discarded")
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| ClientError::Protocol("ingest_abort ack missing discarded".to_string()))
     }
 }

@@ -26,6 +26,7 @@
 //! burst of submissions lands in one admission and shares from the first
 //! sweep. Jobs arriving mid-round join at the next sweep boundary.
 
+use crate::ingest::IngestCoordinator;
 use crate::protocol::{
     error_response, parse_request, report_to_json, JobState, Request, ServerStats,
 };
@@ -34,8 +35,9 @@ use graphm_core::{
     GraphJob, JobId, JobReport, PartitionSource, RunnerConfig, SharingService, WallClockConfig,
     WallClockExecutor,
 };
+use graphm_graph::delta::DeltaRecord;
 use graphm_graph::{GraphError, MemoryProfile, Result};
-use graphm_store::{DiskGridSource, PrefetchTarget, Prefetcher};
+use graphm_store::{DeltaWriter, DiskGridSource, PrefetchTarget, Prefetcher};
 use graphm_workloads::JobSpec;
 use serde_json::{json, Value};
 use std::collections::{HashMap, VecDeque};
@@ -142,6 +144,14 @@ pub struct ServerConfig {
     /// round is in flight, and mutated graphs re-run `Init()`
     /// preprocessing before the next round.
     pub auto_rotate: bool,
+    /// Serve `ingest`/`ingest_commit` sessions (off by default). When on,
+    /// the daemon acquires the store's **writer lease** at startup —
+    /// startup fails with [`GraphError::LeaseHeld`] if another writer
+    /// (e.g. a `graphm-delta` process) holds it — and multiplexes client
+    /// mutation batches through one group-commit [`IngestCoordinator`].
+    /// Off keeps the daemon a pure reader, compatible with an external
+    /// writer publishing generations it rotates to.
+    pub enable_ingest: bool,
 }
 
 impl ServerConfig {
@@ -162,6 +172,7 @@ impl ServerConfig {
             max_prefetch_lookahead: graphm_store::DEFAULT_MAX_PREFETCH_LOOKAHEAD,
             chunk_fanout: true,
             auto_rotate: true,
+            enable_ingest: false,
         }
     }
 }
@@ -231,6 +242,9 @@ struct Shared {
     /// in `stats` responses (counters accumulate in both execution
     /// modes).
     store: Arc<DiskGridSource>,
+    /// Group-commit ingest over the store's leased writer; `None` unless
+    /// [`ServerConfig::enable_ingest`] was set.
+    ingest: Option<Arc<IngestCoordinator>>,
 }
 
 impl Shared {
@@ -260,6 +274,18 @@ impl Shared {
         stats.delta_bytes = ds.delta_bytes;
         stats.delta_records = ds.delta_records;
         stats.compactions = ds.compactions;
+        if let Some(ingest) = &self.ingest {
+            let (wal, epoch) = ingest.writer_stats();
+            stats.delta_wal_records = wal.records;
+            stats.delta_wal_batches = wal.batches;
+            stats.delta_wal_syncs = wal.syncs;
+            stats.delta_wal_bytes = wal.bytes;
+            stats.lease_epoch = epoch;
+            stats.lease_held = 1;
+            let is = ingest.stats();
+            stats.ingest_commits = is.commits;
+            stats.ingest_groups = is.groups;
+        }
         stats
     }
 
@@ -288,6 +314,16 @@ impl Server {
                 "server config needs a unix socket path or a tcp address".to_string(),
             ));
         }
+        // Ingest acquires the writer lease up front: failing here (e.g. a
+        // graphm-delta process holds the store) beats failing on the
+        // first client commit. Opening the writer *before* the reader
+        // also replays any crashed writer's WAL first, so the daemon
+        // starts serving the recovered generation directly.
+        let ingest = if config.enable_ingest {
+            Some(Arc::new(IngestCoordinator::new(DeltaWriter::open(&config.store_dir)?)))
+        } else {
+            None
+        };
         let source = DiskGridSource::open_shared(&config.store_dir)?;
         source.set_memory_budget(config.memory_budget_bytes);
         source.set_adaptive_prefetch(config.adaptive_prefetch);
@@ -315,6 +351,7 @@ impl Server {
             num_vertices,
             out_degrees,
             store: Arc::clone(&source),
+            ingest,
         });
 
         // Bind every listener *before* spawning any thread: a bind
@@ -834,6 +871,10 @@ fn write_line(w: &mut dyn Write, v: &Value) -> std::io::Result<()> {
 
 fn serve_connection(read: Box<dyn Read + Send>, mut write: Box<dyn Write + Send>, shared: &Shared) {
     let reader = BufReader::new(read);
+    // Mutations staged by this connection's `ingest` requests, awaiting
+    // its `ingest_commit`/`ingest_abort`. Dropped with the connection: a
+    // client that hangs up mid-session implicitly aborts.
+    let mut staged: Vec<DeltaRecord> = Vec::new();
     for line in reader.lines() {
         let Ok(line) = line else { return };
         if line.trim().is_empty() {
@@ -843,7 +884,7 @@ fn serve_connection(read: Box<dyn Read + Send>, mut write: Box<dyn Write + Send>
             Err(msg) => error_response(&msg),
             Ok(req) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
-                let resp = respond(req, shared);
+                let resp = respond(req, shared, &mut staged);
                 let _ = write_line(write.as_mut(), &resp);
                 if is_shutdown {
                     return;
@@ -857,7 +898,7 @@ fn serve_connection(read: Box<dyn Read + Send>, mut write: Box<dyn Write + Send>
     }
 }
 
-fn respond(req: Request, shared: &Shared) -> Value {
+fn respond(req: Request, shared: &Shared, staged: &mut Vec<DeltaRecord>) -> Value {
     match req {
         Request::Ping => json!({ "ok": true, "pong": true }),
         Request::Stats => {
@@ -874,6 +915,56 @@ fn respond(req: Request, shared: &Shared) -> Value {
             None => error_response(&format!("unknown job {id}")),
         },
         Request::Wait(id) => wait_for(shared, id),
+        Request::Ingest(ops) => ingest_stage(shared, staged, ops),
+        Request::IngestCommit => ingest_commit(shared, staged),
+        Request::IngestAbort => {
+            let discarded = staged.len();
+            staged.clear();
+            json!({ "ok": true, "discarded": discarded })
+        }
+    }
+}
+
+fn ingest_stage(shared: &Shared, staged: &mut Vec<DeltaRecord>, ops: Vec<DeltaRecord>) -> Value {
+    if shared.ingest.is_none() {
+        return error_response("ingest is disabled (start the server with --ingest)");
+    }
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return error_response("server is shutting down");
+    }
+    // Bounds-check at staging so a commit can only fail on real I/O, and
+    // a bad op is rejected while the client can still tell which request
+    // carried it.
+    for r in &ops {
+        for v in [r.src, r.dst] {
+            if v >= shared.num_vertices {
+                return error_response(&format!(
+                    "vertex {v} out of range (store has {} vertices); nothing staged",
+                    shared.num_vertices
+                ));
+            }
+        }
+    }
+    staged.extend(ops);
+    json!({ "ok": true, "staged": staged.len() })
+}
+
+fn ingest_commit(shared: &Shared, staged: &mut Vec<DeltaRecord>) -> Value {
+    let Some(ingest) = &shared.ingest else {
+        return error_response("ingest is disabled (start the server with --ingest)");
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return error_response("server is shutting down");
+    }
+    let records = staged.len();
+    match ingest.commit(std::mem::take(staged)) {
+        Ok(outcome) => json!({
+            "ok": true,
+            "generation": outcome.generation,
+            "records": records,
+            "group": outcome.group_size,
+        }),
+        Err(msg) => error_response(&msg),
     }
 }
 

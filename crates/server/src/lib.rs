@@ -13,7 +13,10 @@
 //!   reports with bit-exact `f64` round-trips, stats);
 //! * [`daemon`] — [`Server`]: listeners, the submission queue, and the
 //!   batched-round runtime thread;
-//! * [`client`] — [`Client`]: a blocking connection wrapper.
+//! * [`client`] — [`Client`]: a blocking connection wrapper;
+//! * [`ingest`] — [`IngestCoordinator`]: group-commit mutation sessions
+//!   through the store's single leased writer (opt-in via
+//!   [`ServerConfig::enable_ingest`]).
 //!
 //! Binaries: `graphm-server` (the daemon) and `graphm-client` (submit /
 //! status / wait / stats / shutdown from the command line); convert a
@@ -50,8 +53,10 @@
 
 pub mod client;
 pub mod daemon;
+pub mod ingest;
 pub mod protocol;
 
 pub use client::{Client, ClientError};
 pub use daemon::{ExecutionMode, Server, ServerConfig};
+pub use ingest::{CommitOutcome, IngestCoordinator, IngestStats};
 pub use protocol::{JobState, Request, ServerStats};

@@ -11,9 +11,22 @@
 //! | `{"cmd":"wait","job_id":N}` | `{"ok":true,"job_id":N,"state":"done","report":{...}}` |
 //! | `{"cmd":"stats"}` | `{"ok":true,"stats":{...}}` |
 //! | `{"cmd":"shutdown"}` | `{"ok":true,"shutting_down":true}` |
+//! | `{"cmd":"ingest","ops":[{"op":"insert","src":1,"dst":2,"weight":1.0},{"op":"delete","src":3,"dst":4}]}` | `{"ok":true,"staged":N}` |
+//! | `{"cmd":"ingest_commit"}` | `{"ok":true,"generation":G,"records":N,"group":K}` |
+//! | `{"cmd":"ingest_abort"}` | `{"ok":true,"discarded":N}` |
 //!
 //! Failures answer `{"ok":false,"error":"..."}` and keep the connection
 //! open; only `shutdown`, EOF, or a transport error end it.
+//!
+//! ## Ingest sessions
+//!
+//! `ingest` verbs exist only on daemons started with ingest enabled (the
+//! daemon then holds the store's writer lease). Mutations accumulate
+//! per-connection with `ingest`; `ingest_commit` hands the staged batch
+//! to the group-commit coordinator, which merges concurrently committing
+//! connections into one WAL append + one published generation, and
+//! blocks until that generation is durable. `ingest_abort` drops the
+//! staged batch. The connection's stage is empty after either.
 //!
 //! ## Exactness
 //!
@@ -27,6 +40,7 @@
 
 use graphm_cachesim::VirtualClock;
 use graphm_core::{JobId, JobReport};
+use graphm_graph::delta::{DeltaRecord, DELTA_OP_DELETE, DELTA_OP_INSERT};
 use graphm_workloads::{AlgoKind, JobSpec};
 use serde_json::{json, Value};
 
@@ -46,6 +60,13 @@ pub enum Request {
     Stats,
     /// Stop accepting work and exit once the queue drains.
     Shutdown,
+    /// Stage mutations on this connection (ingest-enabled daemons only).
+    Ingest(Vec<DeltaRecord>),
+    /// Group-commit this connection's staged mutations; blocks until the
+    /// resulting generation is durable.
+    IngestCommit,
+    /// Drop this connection's staged mutations.
+    IngestAbort,
 }
 
 /// Lifecycle of a submitted job, as reported by `status`.
@@ -131,6 +152,26 @@ pub struct ServerStats {
     /// Current virtual time of the runtime's clock (wall nanoseconds
     /// since runtime start in wallclock mode).
     pub virtual_ns: f64,
+    /// Mutation records appended to the ingest writer's write-ahead log
+    /// (0 when ingest is disabled).
+    pub delta_wal_records: u64,
+    /// Batches (WAL frames) appended by the ingest writer.
+    pub delta_wal_batches: u64,
+    /// fsyncs the ingest WAL issued — `delta_wal_batches` per
+    /// `delta_wal_syncs` is the group-commit amortization.
+    pub delta_wal_syncs: u64,
+    /// Frame bytes appended to the ingest WAL.
+    pub delta_wal_bytes: u64,
+    /// Epoch of the writer lease the daemon holds (0 = no lease: ingest
+    /// disabled).
+    pub lease_epoch: u64,
+    /// 1 when the daemon holds the store's writer lease.
+    pub lease_held: u64,
+    /// Client commits applied through ingest sessions.
+    pub ingest_commits: u64,
+    /// Commit groups published (≤ `ingest_commits`; the gap is the
+    /// group-commit win).
+    pub ingest_groups: u64,
 }
 
 impl ServerStats {
@@ -157,6 +198,14 @@ impl ServerStats {
             "delta_records": self.delta_records,
             "compactions": self.compactions,
             "virtual_ns": self.virtual_ns,
+            "delta_wal_records": self.delta_wal_records,
+            "delta_wal_batches": self.delta_wal_batches,
+            "delta_wal_syncs": self.delta_wal_syncs,
+            "delta_wal_bytes": self.delta_wal_bytes,
+            "lease_epoch": self.lease_epoch,
+            "lease_held": self.lease_held,
+            "ingest_commits": self.ingest_commits,
+            "ingest_groups": self.ingest_groups,
         })
     }
 
@@ -194,6 +243,14 @@ impl ServerStats {
                 .get("virtual_ns")
                 .and_then(Value::as_f64)
                 .ok_or("stats missing virtual_ns")?,
+            delta_wal_records: v.get("delta_wal_records").and_then(Value::as_u64).unwrap_or(0),
+            delta_wal_batches: v.get("delta_wal_batches").and_then(Value::as_u64).unwrap_or(0),
+            delta_wal_syncs: v.get("delta_wal_syncs").and_then(Value::as_u64).unwrap_or(0),
+            delta_wal_bytes: v.get("delta_wal_bytes").and_then(Value::as_u64).unwrap_or(0),
+            lease_epoch: v.get("lease_epoch").and_then(Value::as_u64).unwrap_or(0),
+            lease_held: v.get("lease_held").and_then(Value::as_u64).unwrap_or(0),
+            ingest_commits: v.get("ingest_commits").and_then(Value::as_u64).unwrap_or(0),
+            ingest_groups: v.get("ingest_groups").and_then(Value::as_u64).unwrap_or(0),
         })
     }
 }
@@ -345,6 +402,58 @@ pub fn report_from_json(v: &Value) -> Result<JobReport, String> {
     })
 }
 
+/// Serializes mutation records into `ingest` `ops`.
+pub fn ops_to_json(ops: &[DeltaRecord]) -> Value {
+    Value::Array(
+        ops.iter()
+            .map(|r| {
+                if r.op == DELTA_OP_DELETE {
+                    json!({ "op": "delete", "src": r.src, "dst": r.dst })
+                } else {
+                    json!({ "op": "insert", "src": r.src, "dst": r.dst,
+                            "weight": f64::from(r.weight) })
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Decodes `ingest` `ops` into mutation records. Weights default to 1.0
+/// on insert; deletes ignore them.
+pub fn ops_from_json(v: &Value) -> Result<Vec<DeltaRecord>, String> {
+    let arr = v.as_array().ok_or("ingest needs an \"ops\" array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, op) in arr.iter().enumerate() {
+        let vertex = |k: &str| -> Result<u32, String> {
+            let raw = op
+                .get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("ops[{i}] needs a non-negative \"{k}\""))?;
+            u32::try_from(raw).map_err(|_| format!("ops[{i}].{k} {raw} exceeds u32"))
+        };
+        let kind = op.get("op").and_then(Value::as_str).unwrap_or("insert");
+        let (src, dst) = (vertex("src")?, vertex("dst")?);
+        out.push(match kind {
+            "insert" => {
+                let weight = match op.get("weight") {
+                    None => 1.0,
+                    Some(w) => {
+                        w.as_f64().ok_or_else(|| format!("ops[{i}].weight must be a number"))?
+                            as f32
+                    }
+                };
+                if !weight.is_finite() {
+                    return Err(format!("ops[{i}].weight must be finite"));
+                }
+                DeltaRecord { src, dst, weight, op: DELTA_OP_INSERT }
+            }
+            "delete" => DeltaRecord::delete(src, dst),
+            other => return Err(format!("ops[{i}].op {other:?} (expected insert|delete)")),
+        });
+    }
+    Ok(out)
+}
+
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = serde_json::from_str(line).map_err(|e| format!("bad json: {e}"))?;
@@ -362,6 +471,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "wait" => Ok(Request::Wait(job_id()?)),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
+        "ingest" => {
+            Ok(Request::Ingest(ops_from_json(v.get("ops").ok_or("ingest needs \"ops\"")?)?))
+        }
+        "ingest_commit" => Ok(Request::IngestCommit),
+        "ingest_abort" => Ok(Request::IngestAbort),
         other => Err(format!("unknown cmd {other:?}")),
     }
 }
@@ -381,6 +495,9 @@ pub fn request_to_json(req: &Request) -> Value {
         Request::Wait(id) => json!({ "cmd": "wait", "job_id": *id }),
         Request::Stats => json!({ "cmd": "stats" }),
         Request::Shutdown => json!({ "cmd": "shutdown" }),
+        Request::Ingest(ops) => json!({ "cmd": "ingest", "ops": ops_to_json(ops) }),
+        Request::IngestCommit => json!({ "cmd": "ingest_commit" }),
+        Request::IngestAbort => json!({ "cmd": "ingest_abort" }),
     }
 }
 
@@ -516,8 +633,60 @@ mod tests {
             delta_records: 256,
             compactions: 1,
             virtual_ns: 1.5e9,
+            delta_wal_records: 512,
+            delta_wal_batches: 17,
+            delta_wal_syncs: 5,
+            delta_wal_bytes: 9000,
+            lease_epoch: 2,
+            lease_held: 1,
+            ingest_commits: 21,
+            ingest_groups: 6,
         };
         let back = ServerStats::from_json(&s.to_json()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn ingest_ops_round_trip() {
+        let ops = vec![
+            DeltaRecord::insert(1, 2, 0.5),
+            DeltaRecord::delete(3, 4),
+            DeltaRecord::insert(5, 6, 1.0),
+        ];
+        let back = ops_from_json(&ops_to_json(&ops)).unwrap();
+        assert_eq!(back.len(), ops.len());
+        for (a, b) in back.iter().zip(&ops) {
+            assert_eq!((a.src, a.dst, a.op), (b.src, b.dst, b.op));
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+        }
+        // Through the full request layer, including defaults.
+        let req = parse_request(
+            r#"{"cmd":"ingest","ops":[{"src":7,"dst":8},{"op":"delete","src":1,"dst":1}]}"#,
+        )
+        .unwrap();
+        let Request::Ingest(ops) = req else { panic!("not an ingest") };
+        assert_eq!(ops[0].op, DELTA_OP_INSERT);
+        assert_eq!(ops[0].weight, 1.0, "weight defaults to 1.0");
+        assert_eq!(ops[1].op, DELTA_OP_DELETE);
+        let line = serde_json::to_string(&request_to_json(&Request::Ingest(ops.clone()))).unwrap();
+        let Request::Ingest(back) = parse_request(&line).unwrap() else { panic!() };
+        assert_eq!(back.len(), ops.len());
+        assert!(matches!(parse_request(r#"{"cmd":"ingest_commit"}"#), Ok(Request::IngestCommit)));
+        assert!(matches!(parse_request(r#"{"cmd":"ingest_abort"}"#), Ok(Request::IngestAbort)));
+    }
+
+    #[test]
+    fn ingest_ops_reject_bad_input() {
+        for line in [
+            r#"{"cmd":"ingest"}"#,
+            r#"{"cmd":"ingest","ops":{}}"#,
+            r#"{"cmd":"ingest","ops":[{"op":"upsert","src":1,"dst":2}]}"#,
+            r#"{"cmd":"ingest","ops":[{"src":-1,"dst":2}]}"#,
+            r#"{"cmd":"ingest","ops":[{"src":4294967296,"dst":2}]}"#,
+            r#"{"cmd":"ingest","ops":[{"src":1}]}"#,
+            r#"{"cmd":"ingest","ops":[{"src":1,"dst":2,"weight":"heavy"}]}"#,
+        ] {
+            assert!(parse_request(line).is_err(), "accepted {line}");
+        }
     }
 }

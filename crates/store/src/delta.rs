@@ -22,7 +22,28 @@
 //! then deletes files no longer referenced by the current generation —
 //! safe on Unix even while readers hold them, because an open mapping
 //! survives the unlink.
+//!
+//! ## Durability and exclusion
+//!
+//! Two mechanisms harden the writer beyond the happy path:
+//!
+//! * A **group-commit write-ahead log** ([`crate::wal`]). `publish` first
+//!   appends the whole pending batch to `wal.log` with one fsync — the
+//!   batch's durability point — then writes segments, the generation
+//!   manifest, and the `CURRENT` flip, then checkpoints the log. A
+//!   writer that crashes anywhere after the WAL sync recovers at the
+//!   next [`DeltaWriter::open`]: committed-but-unpublished entries are
+//!   replayed into a fresh publish of the same generation, byte-for-byte
+//!   identical to the one the crash interrupted (routing is
+//!   deterministic and the log preserves order).
+//! * A **writer lease** ([`crate::lease`]). `open` acquires the store's
+//!   `EPOCH` file; a second live writer fails with
+//!   [`GraphError::LeaseHeld`], and every flip validates the lease
+//!   first, so a fenced writer gets [`GraphError::EpochFenced`] /
+//!   [`GraphError::LeaseLost`] instead of racing the `CURRENT` pointer.
 
+use crate::lease::{LeaseConfig, WriterLease};
+use crate::wal::{Wal, WalStats};
 use graphm_graph::delta::{
     apply_delta, compacted_segment_file_name, delta_file_name, read_current_generation,
     read_delta_segment, write_current_generation, write_delta_segment, DeltaFileRef, DeltaRecord,
@@ -78,14 +99,30 @@ pub struct DeltaWriter {
     pending: Vec<Vec<DeltaRecord>>,
     pending_records: usize,
     policy: CompactionPolicy,
+    lease: WriterLease,
+    wal: Wal,
 }
 
 impl DeltaWriter {
-    /// Opens the writer over a store directory, resuming from whatever
-    /// generation `CURRENT` names. One writer per store at a time — the
-    /// format has a single-writer contract; concurrent writers would race
-    /// the `CURRENT` flip.
+    /// Opens the writer over a store directory with the default lease
+    /// config, resuming from whatever generation `CURRENT` names. One
+    /// writer per store at a time — enforced by the writer lease: a
+    /// second open while a live writer's heartbeat is fresh fails with
+    /// [`GraphError::LeaseHeld`].
     pub fn open(dir: &Path) -> Result<DeltaWriter> {
+        DeltaWriter::open_with(dir, LeaseConfig::default())
+    }
+
+    /// [`open`](DeltaWriter::open) with an explicit [`LeaseConfig`] —
+    /// recovery tooling passes [`LeaseConfig::force_takeover`] to fence a
+    /// writer known to be dead without waiting out the TTL.
+    ///
+    /// After acquiring the lease this replays the write-ahead log:
+    /// batches the crashed previous writer committed (WAL-synced) but
+    /// never published are re-published here, so the open writer always
+    /// starts from a store that honors every durable commit.
+    pub fn open_with(dir: &Path, lease_config: LeaseConfig) -> Result<DeltaWriter> {
+        let lease = WriterLease::acquire(dir, lease_config)?;
         let manifest = Manifest::read_from_dir(dir)?;
         let generation = read_current_generation(dir)?;
         let gen = if generation == 0 {
@@ -103,10 +140,11 @@ impl DeltaWriter {
             }
             gm
         };
+        let (wal, replayed) = Wal::open(dir)?;
         let p = manifest.layout.p() as usize;
         let ranges = VertexRanges::new(manifest.num_vertices.max(1), p);
         let pending = vec![Vec::new(); manifest.partitions.len()];
-        Ok(DeltaWriter {
+        let mut writer = DeltaWriter {
             dir: dir.to_path_buf(),
             manifest,
             gen,
@@ -114,7 +152,33 @@ impl DeltaWriter {
             pending,
             pending_records: 0,
             policy: CompactionPolicy::default(),
-        })
+            lease,
+            wal,
+        };
+        // Entries targeting a generation at or below CURRENT were already
+        // published (crash landed between the flip and the WAL reset);
+        // anything above is a durable commit the crash interrupted.
+        let unpublished: Vec<_> =
+            replayed.into_iter().filter(|b| b.target_gen > writer.gen.generation).collect();
+        if !unpublished.is_empty() {
+            writer.wal.note_replayed(unpublished.len() as u64);
+            for batch in &unpublished {
+                for r in &batch.records {
+                    // Deterministic routing + preserved order reconstruct
+                    // the exact per-partition batches of the interrupted
+                    // publish, so the recovered generation is bit-identical.
+                    let pid = writer.partition_of(r.src, r.dst);
+                    writer.pending[pid].push(*r);
+                    writer.pending_records += 1;
+                }
+            }
+            writer.publish_internal(false)?;
+        } else {
+            // Nothing to replay: checkpoint so a stale committed-and-
+            // published tail does not linger in the log.
+            writer.wal.reset()?;
+        }
+        Ok(writer)
     }
 
     /// Replaces the auto-compaction policy (default: 64 MiB or 50% of the
@@ -196,16 +260,40 @@ impl DeltaWriter {
         Ok(())
     }
 
-    /// Publishes the pending batch as a new generation: writes one delta
-    /// segment per touched partition, the cumulative generation manifest,
-    /// then atomically flips `CURRENT`. Returns the generation readers
-    /// will rotate to (unchanged when nothing was pending). Runs a
-    /// compaction afterwards if the [`CompactionPolicy`] trips.
+    /// Publishes the pending batch as a new generation. The sequence is
+    /// WAL-first: heartbeat the lease, append the whole batch to the
+    /// write-ahead log (one fsync — the durability point), write one
+    /// delta segment per touched partition, the cumulative generation
+    /// manifest, validate the lease, atomically flip `CURRENT`, then
+    /// checkpoint the WAL. Returns the generation readers will rotate to
+    /// (unchanged when nothing was pending). Runs a compaction afterwards
+    /// if the [`CompactionPolicy`] trips.
+    ///
+    /// A crash after the WAL sync loses nothing: the next
+    /// [`DeltaWriter::open`] replays the committed batch into the
+    /// identical generation. A crash before it rolls the batch back
+    /// entirely — the store still reads as the previous generation.
     pub fn publish(&mut self) -> Result<u64> {
+        self.publish_internal(true)
+    }
+
+    /// The publish body. `wal_append == false` is the WAL-recovery path:
+    /// the pending records came *out of* the log, so re-appending them
+    /// would double them on a second crash.
+    fn publish_internal(&mut self, wal_append: bool) -> Result<u64> {
         if self.pending_records == 0 {
             return Ok(self.gen.generation);
         }
+        self.lease.heartbeat()?;
         let next = self.gen.generation + 1;
+        if wal_append {
+            // Partition-major flatten: replay re-routes records through
+            // the same deterministic partition_of, so this order rebuilds
+            // identical per-partition batches.
+            let flat: Vec<DeltaRecord> =
+                self.pending.iter().flat_map(|p| p.iter().copied()).collect();
+            self.wal.append(next, &flat)?;
+        }
         let mut partitions = self.gen.partitions.clone();
         for (pid, records) in self.pending.iter().enumerate() {
             if records.is_empty() {
@@ -223,12 +311,16 @@ impl DeltaWriter {
             partitions,
         };
         gm.write_to_dir(&self.dir)?;
+        // The fence: never flip CURRENT on a lease another writer took.
+        self.lease.validate()?;
         write_current_generation(&self.dir, next)?;
         self.gen = gm;
         for p in &mut self.pending {
             p.clear();
         }
         self.pending_records = 0;
+        // The flip is durable; the logged batch is superseded.
+        self.wal.reset()?;
         if self.should_compact() {
             return self.compact();
         }
@@ -298,9 +390,42 @@ impl DeltaWriter {
             partitions,
         };
         gm.write_to_dir(&self.dir)?;
+        // Same fence as publish: a compaction flip must also lose to a
+        // newer epoch rather than race it. (No WAL involvement — the fold
+        // re-encodes already-durable data; a crashed compaction is simply
+        // re-runnable.)
+        self.lease.validate()?;
         write_current_generation(&self.dir, next)?;
         self.gen = gm;
         Ok(next)
+    }
+
+    /// Drops every batched-but-unpublished mutation (e.g. after one batch
+    /// in a group failed to apply, so the group must not publish).
+    pub fn discard_pending(&mut self) {
+        for p in &mut self.pending {
+            p.clear();
+        }
+        self.pending_records = 0;
+    }
+
+    /// Write-ahead log counters since open.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// The epoch this writer's lease holds.
+    pub fn lease_epoch(&self) -> u64 {
+        self.lease.epoch()
+    }
+
+    /// Simulates this writer crashing: consumes it *without* releasing
+    /// the lease or checkpointing the WAL, exactly the on-disk state a
+    /// killed process leaves behind. Crash/recovery tests pair this with
+    /// [`DeltaWriter::open_with`] + [`LeaseConfig::force_takeover`].
+    pub fn crash(self) {
+        let DeltaWriter { lease, .. } = self;
+        lease.abandon();
     }
 
     /// `publish` without the policy check (used by `compact` to flush
@@ -339,6 +464,11 @@ impl DeltaWriter {
             let Some(name) = name.to_str() else { continue };
             let stale = if let Some(gen) = parse_gen_manifest_name(name) {
                 gen < current
+            } else if name == "CURRENT.tmp" || name == "EPOCH.tmp" {
+                // Orphans of a crash between temp-write and rename. Never
+                // `wal.log` or `EPOCH` themselves — those are live
+                // infrastructure, not generation data.
+                true
             } else {
                 let delta_seg = name.starts_with("delta-") && name.ends_with(".dseg");
                 let compacted_base =

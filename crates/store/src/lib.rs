@@ -38,18 +38,22 @@
 
 pub mod convert;
 pub mod delta;
+pub mod lease;
 pub mod mmap;
 pub mod prefetch;
 pub mod source;
+pub mod wal;
 
 pub use convert::{convert_fresh, segment_file_name, Convert};
 pub use delta::{CompactionPolicy, DeltaWriter};
+pub use lease::{LeaseConfig, WriterLease};
 pub use prefetch::{
     AdaptiveWindow, Prefetcher, DEFAULT_MAX_PREFETCH_LOOKAHEAD, MIN_PREFETCH_WINDOW,
 };
 pub use source::{
     DeltaStats, DiskGridSource, DiskShardSource, PrefetchStats, PrefetchTarget, ResidencyStats,
 };
+pub use wal::{replay_wal_bytes, Wal, WalBatch, WalStats};
 
 #[cfg(test)]
 mod tests {
