@@ -12,10 +12,40 @@
 //! mode; wallclock runs jobs on one OS thread each with partition
 //! prefetch).
 
-use graphm_server::{Client, ExecutionMode, Server, ServerConfig};
+use graphm_server::{Client, ClientError, ExecutionMode, Priority, Server, ServerConfig};
 use serde_json::json;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Submit with bounded retries on typed `overloaded` rejections — the
+/// flood tenant is *expected* to be shed; counting retries is part of
+/// the measurement.
+fn submit_riding_shed(
+    client: &mut Client,
+    spec: &graphm_workloads::JobSpec,
+    tenant: &str,
+    priority: Priority,
+    shed: &mut u64,
+) -> usize {
+    loop {
+        match client.submit_as(spec, tenant, priority) {
+            Ok(id) => return id,
+            Err(ClientError::Overloaded(_)) => {
+                *shed += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("submit: {e}"),
+        }
+    }
+}
 
 fn main() {
     graphm_bench::banner(
@@ -100,6 +130,97 @@ fn main() {
             stats.prefetch_issued, stats.prefetch_hits
         );
     }
+    server.shutdown();
+
+    // Phase 2 — adversarial mix: a batch-heavy tenant floods a daemon
+    // running with admission control while a latency-sensitive tenant
+    // submits interactive jobs one at a time. The question the series
+    // answers: what interactive p99 does the round-size policy hold
+    // while the flood is being shed, and how much flood gets shed.
+    let mut config = ServerConfig::new(&dir);
+    config.socket_path = Some(dir.join("graphm-adv.sock"));
+    config.profile = wb.profile;
+    config.batch_window = Duration::from_millis(50);
+    config.mode = mode;
+    config.max_pending = (clients * 4).max(8);
+    config.max_batch_per_round = 2;
+    let server = Server::start(config).expect("adversarial server starts");
+    let socket = server.socket_path().unwrap().to_path_buf();
+
+    let flood_jobs = total_jobs;
+    let interactive_jobs = graphm_bench::env_usize("GRAPHM_INTERACTIVE_JOBS", 16).max(1);
+    let flood_specs = specs.clone();
+    eprintln!(
+        "[adversarial] flood {} batch jobs vs {} sequential interactive jobs \
+         (max_pending {}, max_batch_per_round {})",
+        flood_jobs,
+        interactive_jobs,
+        (clients * 4).max(8),
+        2
+    );
+
+    let flood_socket = socket.clone();
+    let flood = std::thread::spawn(move || {
+        let mut client = Client::connect_unix(&flood_socket).expect("connect");
+        let mut shed = 0u64;
+        let ids: Vec<_> = flood_specs
+            .iter()
+            .map(|s| submit_riding_shed(&mut client, s, "flood", Priority::Batch, &mut shed))
+            .collect();
+        let done = ids.into_iter().map(|id| client.wait(id).expect("wait")).count();
+        (done, shed)
+    });
+
+    // The latency tenant: interactive PageRank round-trips, timed.
+    let mut client = Client::connect_unix(&socket).expect("connect");
+    let probe = specs[0];
+    let mut latency_ms: Vec<f64> = Vec::with_capacity(interactive_jobs);
+    let mut interactive_shed = 0u64;
+    for _ in 0..interactive_jobs {
+        let t0 = Instant::now();
+        let id = submit_riding_shed(
+            &mut client,
+            &probe,
+            "dash",
+            Priority::Interactive,
+            &mut interactive_shed,
+        );
+        client.wait(id).expect("wait");
+        latency_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let (flood_done, flood_shed) = flood.join().expect("flood client");
+
+    let mut sorted = latency_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = percentile(&sorted, 0.50);
+    let p99 = percentile(&sorted, 0.99);
+    let adv_stats = server.stats();
+    graphm_bench::header(&["interactive", "p50_ms", "p99_ms", "flood_done", "flood_shed"]);
+    graphm_bench::row(&[
+        interactive_jobs.to_string(),
+        format!("{p50:.1}"),
+        format!("{p99:.1}"),
+        flood_done.to_string(),
+        flood_shed.to_string(),
+    ]);
+    println!(
+        "\n(interactive latency is the full submit->report round trip while the \
+         flood tenant saturates admission; flood_shed = typed 'overloaded' \
+         rejections absorbed by client backoff)"
+    );
+
+    let adversarial = json!({
+        "interactive_jobs": interactive_jobs,
+        "interactive_latency_ms": latency_ms,
+        "interactive_p50_ms": p50,
+        "interactive_p99_ms": p99,
+        "interactive_shed": interactive_shed,
+        "flood_jobs": flood_jobs,
+        "flood_completed": flood_done,
+        "flood_shed": flood_shed,
+        "jobs_shed": adv_stats.jobs_shed,
+        "rounds": adv_stats.rounds,
+    });
     graphm_bench::save_json(
         "server_throughput",
         &json!({
@@ -115,6 +236,7 @@ fn main() {
             "virtual_ns": stats.virtual_ns,
             "prefetch_issued": stats.prefetch_issued,
             "prefetch_hits": stats.prefetch_hits,
+            "adversarial": adversarial,
         }),
     );
     server.shutdown();

@@ -145,6 +145,12 @@ pub struct WallJobReport {
     pub busy_ms: f64,
     /// Wall milliseconds from batch start to this job's completion.
     pub finish_ms: f64,
+    /// Set when the job failed instead of converging — a shared load
+    /// error (real or injected I/O fault) or a panicking kernel.
+    /// `iterations`/`values` reflect whatever state the job reached.
+    /// `None` = completed normally. A failed job never poisons its
+    /// batch: co-batched jobs finish with their usual results.
+    pub error: Option<String>,
 }
 
 /// A whole batch's wall-clock outcome.
@@ -240,6 +246,7 @@ impl WallClockExecutor {
             let pids = self.active_pids(job.as_ref());
             rt.register_job(id, &pids);
         }
+        let names: Vec<String> = jobs.iter().map(|j| j.name().to_string()).collect();
         let mut handles = Vec::with_capacity(jobs.len());
         for (id, job) in jobs.into_iter().enumerate() {
             let rt = Arc::clone(&rt);
@@ -274,8 +281,31 @@ impl WallClockExecutor {
                     .expect("spawn job thread"),
             );
         }
-        let jobs: Vec<WallJobReport> =
-            handles.into_iter().map(|h| h.join().expect("job thread panicked")).collect();
+        // `run_job_thread` catches kernel panics itself, so a join error
+        // means the thread died without unwinding (e.g. a panic-in-panic
+        // abort path). Belt-and-braces: abandon the job so peers keep
+        // progressing and synthesize a failed report — never kill the
+        // batch for one job.
+        let jobs: Vec<WallJobReport> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(id, h)| match h.join() {
+                Ok(report) => report,
+                Err(_) => {
+                    rt.abandon(id);
+                    WallJobReport {
+                        id,
+                        name: names[id].clone(),
+                        iterations: 0,
+                        edges_processed: 0,
+                        values: Vec::new(),
+                        busy_ms: 0.0,
+                        finish_ms: start.elapsed().as_secs_f64() * 1e3,
+                        error: Some("job thread died unexpectedly".to_string()),
+                    }
+                }
+            })
+            .collect();
         WallRunReport {
             jobs,
             total_ms: start.elapsed().as_secs_f64() * 1e3,
@@ -374,6 +404,7 @@ impl WallClockExecutor {
                 values: st.job.vertex_values(),
                 busy_ms: st.finish_ms,
                 finish_ms: st.finish_ms,
+                error: None,
             })
             .collect();
         WallRunReport { jobs, total_ms: start.elapsed().as_secs_f64() * 1e3, partition_loads }
@@ -388,6 +419,7 @@ impl WallClockExecutor {
         if jobs.is_empty() {
             return WallRunReport::default();
         }
+        let names: Vec<String> = jobs.iter().map(|j| j.name().to_string()).collect();
         let mut handles = Vec::with_capacity(jobs.len());
         for (id, mut job) in jobs.into_iter().enumerate() {
             let source = Arc::clone(&self.source);
@@ -438,6 +470,7 @@ impl WallClockExecutor {
                                 values: job.vertex_values(),
                                 busy_ms: elapsed_ms,
                                 finish_ms: elapsed_ms,
+                                error: None,
                             },
                             loads,
                         )
@@ -447,12 +480,38 @@ impl WallClockExecutor {
         }
         let mut jobs = Vec::with_capacity(handles.len());
         let mut partition_loads = 0u64;
-        for h in handles {
-            let (report, loads) = h.join().expect("job thread panicked");
-            jobs.push(report);
-            partition_loads += loads;
+        for (id, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok((report, loads)) => {
+                    jobs.push(report);
+                    partition_loads += loads;
+                }
+                // Private loads, no shared runtime: a panicking job only
+                // owes its own failed report.
+                Err(payload) => jobs.push(WallJobReport {
+                    id,
+                    name: names[id].clone(),
+                    iterations: 0,
+                    edges_processed: 0,
+                    values: Vec::new(),
+                    busy_ms: 0.0,
+                    finish_ms: start.elapsed().as_secs_f64() * 1e3,
+                    error: Some(format!("job panicked: {}", panic_message(payload.as_ref()))),
+                }),
+            }
         }
         WallRunReport { jobs, total_ms: start.elapsed().as_secs_f64() * 1e3, partition_loads }
+    }
+}
+
+/// Renders a panic payload for a failed [`WallJobReport`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
     }
 }
 
@@ -460,6 +519,12 @@ impl WallClockExecutor {
 /// turnover — Table 1's programming interface verbatim. With `pool` set,
 /// the per-partition chunk loop fans out (see the module docs); results
 /// are bit-identical either way.
+///
+/// Failure isolation: a shared-load error retires the job through the
+/// normal protocol (barrier, then end), and a panicking kernel is caught
+/// here and removed via [`SharingRuntime::abandon`]. Either way the job
+/// returns a report with [`WallJobReport::error`] set and its co-batched
+/// peers keep sweeping.
 #[allow(clippy::too_many_arguments)]
 fn run_job_thread(
     id: JobId,
@@ -472,6 +537,44 @@ fn run_job_thread(
     pool: Option<&ThreadPool>,
 ) -> WallJobReport {
     let thread_start = Instant::now();
+    let name = job.name().to_string();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_job_protocol(id, job.as_mut(), rt, gm, source, max_iterations, pool)
+    }));
+    let (edges_processed, error) = match outcome {
+        Ok(Ok(edges)) => (edges, None),
+        Ok(Err((edges, msg))) => (edges, Some(msg)),
+        Err(payload) => {
+            // The job can no longer follow the sharing protocol; pull it
+            // out so peers waiting on its barrier/end keep progressing.
+            rt.abandon(id);
+            (0, Some(format!("job panicked: {}", panic_message(payload.as_ref()))))
+        }
+    };
+    WallJobReport {
+        id,
+        name,
+        iterations: job.iterations(),
+        edges_processed,
+        values: job.vertex_values(),
+        busy_ms: thread_start.elapsed().as_secs_f64() * 1e3,
+        finish_ms: batch_start.elapsed().as_secs_f64() * 1e3,
+        error,
+    }
+}
+
+/// The protocol loop of [`run_job_thread`]. Returns the edges processed,
+/// or `Err((edges_so_far, message))` when the job retired on a shared
+/// load error.
+fn run_job_protocol(
+    id: JobId,
+    job: &mut dyn GraphJob,
+    rt: &SharingRuntime,
+    gm: &GraphM,
+    source: &dyn PartitionSource,
+    max_iterations: usize,
+    pool: Option<&ThreadPool>,
+) -> Result<u64, (u64, String)> {
     let mut edges_processed = 0u64;
     let mut iters = 0usize;
     // Fan out only where worker lanes exist; a one-lane pool would just
@@ -491,6 +594,16 @@ fn run_job_thread(
             _ => None,
         };
         while let Some(sp) = rt.sharing(id) {
+            if let Some(msg) = &sp.error {
+                // The shared load failed: honor the barrier (peers must
+                // advance) and retire through the normal protocol, then
+                // report this job — and only this job — as failed.
+                let msg = msg.clone();
+                rt.barrier(id, sp.pid);
+                drop(kernel);
+                rt.end_iteration(id, None);
+                return Err((edges_processed, msg));
+            }
             let table = &gm.tables[sp.pid];
             match (pool, &kernel, &frontier) {
                 (Some(pool), Some(kernel), _) if table.chunks.len() > 1 => {
@@ -498,7 +611,7 @@ fn run_job_thread(
                         pool,
                         rt,
                         id,
-                        job.as_mut(),
+                        &mut *job,
                         kernel.as_ref(),
                         table,
                         &sp,
@@ -511,7 +624,7 @@ fn run_job_thread(
                     if table.chunks.len() > 1 && sp.edges.len() < u32::MAX as usize =>
                 {
                     edges_processed +=
-                        stream_partition_filter(pool, rt, id, job.as_mut(), frontier, table, &sp);
+                        stream_partition_filter(pool, rt, id, &mut *job, frontier, table, &sp);
                 }
                 _ => {
                     let skips = job.skips_inactive();
@@ -549,15 +662,7 @@ fn run_job_thread(
         }
         rt.end_iteration(id, Some(&pids));
     }
-    WallJobReport {
-        id,
-        name: job.name().to_string(),
-        iterations: job.iterations(),
-        edges_processed,
-        values: job.vertex_values(),
-        busy_ms: thread_start.elapsed().as_secs_f64() * 1e3,
-        finish_ms: batch_start.elapsed().as_secs_f64() * 1e3,
-    }
+    Ok(edges_processed)
 }
 
 /// Per-chunk hand-off between gather/filter workers and the serially
@@ -922,10 +1027,12 @@ mod tests {
         assert!(a.jobs[0].iterations > 1, "frontier job must actually traverse");
     }
 
-    /// A producer panic must surface on the job thread (and out of
-    /// `run_batch`), never wedge the applier waiting on an unfilled slot.
+    /// A producer panic must surface on the job thread — never wedge the
+    /// applier waiting on an unfilled slot — and convert to a *failed
+    /// report* for that job alone: co-batched jobs finish with results
+    /// bit-identical to a batch that never contained the saboteur.
     #[test]
-    fn panicking_kernel_propagates_instead_of_hanging() {
+    fn panicking_kernel_becomes_failed_report_without_poisoning_batch() {
         struct BoomKernel;
         impl crate::job::GatherKernel for BoomKernel {
             fn gather(&self, _edges: &[Edge], _out: &mut Vec<f64>) {
@@ -966,10 +1073,23 @@ mod tests {
         cfg.chunk_bytes_override = Some(1152);
         let exec =
             WallClockExecutor::new(source(2), cfg, None).with_pool(Arc::new(ThreadPool::new(3)));
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            exec.run_batch(vec![Box::new(BoomJob(CountingJob::new(256, 2))) as Box<dyn GraphJob>])
-        }));
-        assert!(result.is_err(), "the kernel panic must propagate out of run_batch");
+        // Reference: the survivors without the saboteur.
+        let reference = exec.run_batch(counting_jobs(2, 2));
+        let mut jobs = counting_jobs(2, 2);
+        jobs.push(Box::new(BoomJob(CountingJob::new(256, 2))) as Box<dyn GraphJob>);
+        let mixed = exec.run_batch(jobs);
+        assert_eq!(mixed.jobs.len(), 3);
+        let boom = &mixed.jobs[2];
+        let err = boom.error.as_deref().expect("the panicking job must report an error");
+        assert!(err.contains("kernel boom"), "error carries the panic message: {err}");
+        for (r, m) in reference.jobs.iter().zip(&mixed.jobs[..2]) {
+            assert!(m.error.is_none(), "survivor {} must not fail", m.id);
+            assert_eq!(r.iterations, m.iterations, "survivor {}", m.id);
+            assert_eq!(r.edges_processed, m.edges_processed, "survivor {}", m.id);
+            for (a, b) in r.values.iter().zip(&m.values) {
+                assert_eq!(a.to_bits(), b.to_bits(), "survivor {}", m.id);
+            }
+        }
     }
 
     /// Stress satellite: intra-job chunk fan-out under mid-sweep

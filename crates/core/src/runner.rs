@@ -144,6 +144,11 @@ pub struct JobReport {
     pub finish_ns: f64,
     /// Final per-vertex values (oracle comparison).
     pub values: Vec<f64>,
+    /// Why the job failed, if it did not run to convergence (injected or
+    /// real I/O errors on the shared read path, or a panicking kernel).
+    /// Failed jobs report the iterations/values they reached; `None`
+    /// means the job completed normally.
+    pub error: Option<String>,
 }
 
 impl JobReport {
@@ -254,6 +259,7 @@ pub(crate) struct JobState {
     pub(crate) admitted: bool,
     pub(crate) finished: bool,
     pub(crate) finish_ns: f64,
+    pub(crate) error: Option<String>,
 }
 
 impl JobState {
@@ -272,6 +278,7 @@ impl JobState {
             admitted: false,
             finished: false,
             finish_ns: 0.0,
+            error: None,
         }
     }
 
@@ -296,6 +303,7 @@ impl JobState {
             submit_ns: self.submit_ns,
             finish_ns: self.finish_ns,
             values: self.job.vertex_values(),
+            error: self.error,
         }
     }
 }

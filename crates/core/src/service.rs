@@ -265,7 +265,21 @@ impl<'s> SharingService<'s> {
             if needing.is_empty() {
                 continue;
             }
-            let edges = self.source.load(pid);
+            let edges = match self.source.try_load(pid) {
+                Ok(edges) => edges,
+                Err(e) => {
+                    // A failed shared load fails exactly the jobs that
+                    // needed this partition — they retire with the error
+                    // on their report — and the sweep continues for
+                    // everyone else. The daemon above stays up.
+                    let msg = e.to_string();
+                    for &i in &needing {
+                        active_mut(&mut self.slots, i).error = Some(msg.clone());
+                        self.finish(i);
+                    }
+                    continue;
+                }
+            };
             let bytes = self.source.partition_bytes(pid);
             let disk = self.ctx.touch_buffer(shared_graph_region(pid), bytes, false);
             sweep_io += disk;
@@ -348,6 +362,9 @@ impl<'s> SharingService<'s> {
         self.sync_total += sweep_sync;
         self.vnow = self.vnow.max(self.io_acc.max(self.cpu_acc + self.sync_total));
         for &i in alive {
+            if !matches!(self.slots[i], Slot::Active(_)) {
+                continue; // Failed mid-sweep and already retired.
+            }
             let js = active_mut(&mut self.slots, i);
             js.iterations_guard += 1;
             let converged =

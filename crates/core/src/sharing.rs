@@ -43,10 +43,16 @@ pub type PrefetchHook = Arc<dyn Fn(&[usize]) + Send + Sync>;
 pub struct SharedPartition {
     /// Partition id.
     pub pid: usize,
-    /// The one shared copy of the partition's edges.
+    /// The one shared copy of the partition's edges (empty when the load
+    /// failed — see [`SharedPartition::error`]).
     pub edges: Arc<Vec<Edge>>,
     /// Sweep number this load belongs to.
     pub sweep: u64,
+    /// Set when the shared load failed (injected or real I/O error): the
+    /// job must still call [`SharingRuntime::barrier`] for `pid` (so
+    /// peers advance) and then retire as failed. Every job sharing this
+    /// load observes the same error.
+    pub error: Option<String>,
 }
 
 #[derive(Default)]
@@ -58,6 +64,10 @@ struct Inner {
     pending: BTreeSet<JobId>,
     current_pid: Option<usize>,
     buffer: Option<Arc<Vec<Edge>>>,
+    /// Set when the current partition's shared load failed: every pending
+    /// job receives the error via [`SharedPartition::error`] and must
+    /// barrier-then-retire. Cleared on every advance.
+    buffer_err: Option<String>,
     order: VecDeque<usize>,
     sweep: u64,
     sweep_done: bool,
@@ -188,7 +198,12 @@ impl SharingRuntime {
                 let pid = inner.current_pid.expect("pending implies a current partition");
                 let edges = Arc::clone(inner.buffer.as_ref().expect("buffer loaded"));
                 inner.set_progress(job, 0);
-                return Some(SharedPartition { pid, edges, sweep: inner.sweep });
+                return Some(SharedPartition {
+                    pid,
+                    edges,
+                    sweep: inner.sweep,
+                    error: inner.buffer_err.clone(),
+                });
             }
             if inner.current_pid.is_none() {
                 // No partition in flight: either start the next sweep (all
@@ -292,6 +307,40 @@ impl SharingRuntime {
         }
     }
 
+    /// Emergency removal of a job that can no longer follow the
+    /// sharing/barrier/end_iteration protocol (its kernel panicked). Safe
+    /// to call with the job in *any* protocol position — mid-partition,
+    /// suspended, between sweeps, or already retired — and leaves every
+    /// surviving peer able to make progress: if the abandoned job was the
+    /// last one holding up the current partition the sweep advances, and
+    /// if it was the last participant of the sweep the next sweep begins
+    /// for waiting enders.
+    pub fn abandon(&self, job: JobId) {
+        let mut inner = self.inner.lock();
+        self.global.remove_job(job);
+        inner.registered.remove(&job);
+        inner.participants.remove(&job);
+        inner.clear_progress(job);
+        let was_pending = inner.pending.remove(&job);
+        if was_pending && inner.pending.is_empty() {
+            // It was the last job the current partition waited on.
+            self.advance(&mut inner);
+        }
+        if inner.current_pid.is_none()
+            && inner.participants.is_empty()
+            && !inner.registered.is_empty()
+        {
+            // It was the last participant; peers parked in end_iteration
+            // are waiting for someone to start the next sweep.
+            self.begin_sweep(&mut inner);
+        }
+        if inner.source_pinned && inner.registered.is_empty() && inner.current_pid.is_none() {
+            inner.source_pinned = false;
+            self.source.sweep_end();
+        }
+        self.cv.notify_all();
+    }
+
     fn begin_sweep(&self, inner: &mut Inner) {
         if inner.registered.is_empty() {
             inner.sweep_done = true;
@@ -337,8 +386,20 @@ impl SharingRuntime {
                     // the upcoming window is advised while this partition
                     // is (loaded and) processed.
                     self.announce_prefetch(inner);
-                    // One load serves every interested job.
-                    inner.buffer = Some(self.source.load(pid));
+                    // One load serves every interested job. A failed load
+                    // (injected or real I/O error) still advances the sweep:
+                    // pending jobs get an empty buffer plus the error and
+                    // retire themselves; the sweep — and the daemon — live on.
+                    match self.source.try_load(pid) {
+                        Ok(edges) => {
+                            inner.buffer = Some(edges);
+                            inner.buffer_err = None;
+                        }
+                        Err(e) => {
+                            inner.buffer = Some(Arc::new(Vec::new()));
+                            inner.buffer_err = Some(e.to_string());
+                        }
+                    }
                     inner.current_pid = Some(pid);
                     inner.pending = jobs;
                     inner.loads += 1;
@@ -347,6 +408,7 @@ impl SharingRuntime {
                 None => {
                     inner.current_pid = None;
                     inner.buffer = None;
+                    inner.buffer_err = None;
                     inner.pending.clear();
                     inner.sweep_done = true;
                     // Job-scoped pin: release only once every job is

@@ -22,6 +22,15 @@ pub trait PartitionSource: Send + Sync {
     /// The edges of partition `pid`, in the engine's streaming order.
     fn load(&self, pid: usize) -> Arc<Vec<Edge>>;
 
+    /// Fallible variant of [`PartitionSource::load`]: disk-backed sources
+    /// surface I/O failures (real or injected through
+    /// `graphm_graph::failpoint`) here instead of aborting the process,
+    /// so the runtimes can degrade to per-job failures. In-memory sources
+    /// cannot fail and keep the default.
+    fn try_load(&self, pid: usize) -> graphm_graph::Result<Arc<Vec<Edge>>> {
+        Ok(self.load(pid))
+    }
+
     /// Bytes charged when partition `pid` is loaded from secondary storage
     /// (may exceed the edge payload — GraphChi also loads sliding windows).
     fn partition_bytes(&self, pid: usize) -> usize;

@@ -1,13 +1,16 @@
 //! `graphm-client` — command-line client for `graphm-server`.
 //!
 //! ```text
-//! graphm-client (--socket PATH | --tcp ADDR) COMMAND
+//! graphm-client (--socket PATH | --tcp ADDR)
+//!               [--retries N] [--backoff-ms N] COMMAND
 //!
 //! commands:
 //!   submit ALGO [--damping X] [--root N] [--max-iters N] [--wait]
+//!               [--tenant NAME] [--priority batch|interactive]
 //!   status JOB_ID
 //!   wait JOB_ID
 //!   stats
+//!   health
 //!   ping
 //!   shutdown
 //!   ingest-edge SRC,DST[,WEIGHT]
@@ -16,27 +19,40 @@
 //! ```
 //!
 //! `submit` prints `{"job_id":N}` (or, with `--wait`, the full report
-//! JSON); `wait` prints the report; `stats` prints the daemon counters.
-//! The `ingest-*` commands stage their mutations and group-commit them
-//! in one connection, printing the durable generation (the daemon must
-//! run with `--ingest`).
+//! JSON); `wait` prints the report; `stats` prints the daemon counters;
+//! `health` prints the lease/generation/queue-depth snapshot (useful for
+//! readiness polling). The `ingest-*` commands stage their mutations and
+//! group-commit them in one connection, printing the durable generation
+//! (the daemon must run with `--ingest`).
+//!
+//! `--retries`/`--backoff-ms` add jittered exponential backoff on
+//! connect failures and on typed `overloaded` rejections, so scripted
+//! clients ride out daemon startup and load shedding instead of failing
+//! hard.
 
 use graphm_graph::delta::DeltaRecord;
 use graphm_server::protocol::{report_to_json, spec_from_json};
-use graphm_server::Client;
+use graphm_server::{Client, ClientError, Priority};
 use serde_json::json;
 use std::process::exit;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: graphm-client (--socket PATH | --tcp ADDR) COMMAND\n\
+        "usage: graphm-client (--socket PATH | --tcp ADDR) [--retries N] [--backoff-ms N] COMMAND\n\
+         \n\
+         --retries N     retry connects and 'overloaded' rejections up to N\n\
+         \x20            times with jittered exponential backoff (default 0)\n\
+         --backoff-ms N  base backoff delay in milliseconds (default 50)\n\
          \n\
          commands:\n\
          submit ALGO [--damping X] [--root N] [--max-iters N] [--wait]\n\
+         \x20      [--tenant NAME] [--priority batch|interactive]\n\
          \x20       ALGO: pagerank|wcc|bfs|sssp|ppr|labelprop\n\
          status JOB_ID\n\
          wait JOB_ID\n\
          stats\n\
+         health                         lease / generation / queue snapshot\n\
          ping\n\
          shutdown\n\
          ingest-edge SRC,DST[,WEIGHT]   insert one edge and commit\n\
@@ -56,16 +72,42 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn connect(socket: Option<String>, tcp: Option<String>) -> Client {
-    let result = match (&socket, &tcp) {
-        (Some(path), None) => Client::connect_unix(std::path::Path::new(path)),
-        (None, Some(addr)) => Client::connect_tcp(addr.as_str()),
-        _ => usage(),
-    };
-    result.unwrap_or_else(|e| {
-        eprintln!("failed to connect: {e}");
-        exit(1);
-    })
+/// Jittered exponential backoff: full jitter over `[base/2, base]` where
+/// `base = backoff_ms * 2^attempt` (capped), so a burst of shed clients
+/// doesn't retry in lockstep.
+fn retry_delay(backoff_ms: u64, attempt: u32, rng: &mut u64) -> Duration {
+    let base = backoff_ms.max(1).saturating_mul(1u64 << attempt.min(10));
+    let half = base / 2;
+    Duration::from_millis(half + splitmix(rng) % (base - half + 1))
+}
+
+fn connect(socket: &Option<String>, tcp: &Option<String>, retries: u32, backoff_ms: u64) -> Client {
+    let mut rng = 0x9e37_79b9 ^ u64::from(std::process::id());
+    let mut attempt = 0u32;
+    loop {
+        let result = match (socket, tcp) {
+            (Some(path), None) => Client::connect_unix(std::path::Path::new(path)),
+            (None, Some(addr)) => Client::connect_tcp(addr.as_str()),
+            _ => usage(),
+        };
+        match result {
+            Ok(client) => return client,
+            Err(e) if attempt < retries => {
+                let delay = retry_delay(backoff_ms, attempt, &mut rng);
+                attempt += 1;
+                eprintln!(
+                    "[graphm-client] connect failed ({e}); retry {attempt}/{retries} \
+                     in {}ms",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+            }
+            Err(e) => {
+                eprintln!("failed to connect: {e}");
+                exit(1);
+            }
+        }
+    }
 }
 
 fn fail(e: impl std::fmt::Display) -> ! {
@@ -76,6 +118,8 @@ fn fail(e: impl std::fmt::Display) -> ! {
 fn main() {
     let mut socket: Option<String> = None;
     let mut tcp: Option<String> = None;
+    let mut retries: u32 = 0;
+    let mut backoff_ms: u64 = 50;
     let mut rest: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -83,6 +127,12 @@ fn main() {
         match arg.as_str() {
             "--socket" => socket = Some(args.next().unwrap_or_else(|| usage())),
             "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
+            "--retries" => {
+                retries = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--backoff-ms" => {
+                backoff_ms = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             _ => {
                 rest.push(arg);
@@ -95,7 +145,7 @@ fn main() {
         usage();
     }
 
-    let mut client = connect(socket, tcp);
+    let mut client = connect(&socket, &tcp, retries, backoff_ms);
     let job_id_arg = |rest: &[String]| -> usize {
         rest.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
     };
@@ -107,6 +157,10 @@ fn main() {
         "stats" => {
             let stats = client.stats().unwrap_or_else(|e| fail(e));
             println!("{}", stats.to_json());
+        }
+        "health" => {
+            let health = client.health().unwrap_or_else(|e| fail(e));
+            println!("{}", health.to_json());
         }
         "shutdown" => {
             client.shutdown_server().unwrap_or_else(|e| fail(e));
@@ -125,6 +179,8 @@ fn main() {
             let mut params = json!({ "algo": algo });
             let serde_json::Value::Object(map) = &mut params else { unreachable!() };
             let mut wait = false;
+            let mut tenant = String::new();
+            let mut priority = Priority::Batch;
             let mut it = rest[2..].iter();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
@@ -146,6 +202,13 @@ fn main() {
                         let m: u64 = value("--max-iters").parse().unwrap_or_else(|_| usage());
                         map.insert("max_iters".into(), serde_json::Value::from(m));
                     }
+                    "--tenant" => tenant = value("--tenant").to_string(),
+                    "--priority" => {
+                        priority = Priority::from_name(value("--priority")).unwrap_or_else(|| {
+                            eprintln!("unknown priority (expected batch or interactive)");
+                            usage();
+                        })
+                    }
                     "--wait" => wait = true,
                     other => {
                         eprintln!("unknown flag: {other}");
@@ -154,7 +217,26 @@ fn main() {
                 }
             }
             let spec = spec_from_json(&params).unwrap_or_else(|e| fail(e));
-            let id = client.submit(&spec).unwrap_or_else(|e| fail(e));
+            // Overloaded rejections are the daemon telling us to back
+            // off, not a hard failure: retry on the same connection.
+            let mut rng = 0xb5ad_4ece ^ u64::from(std::process::id());
+            let mut attempt = 0u32;
+            let id = loop {
+                match client.submit_as(&spec, &tenant, priority) {
+                    Ok(id) => break id,
+                    Err(ClientError::Overloaded(m)) if attempt < retries => {
+                        let delay = retry_delay(backoff_ms, attempt, &mut rng);
+                        attempt += 1;
+                        eprintln!(
+                            "[graphm-client] overloaded ({m}); retry {attempt}/{retries} \
+                             in {}ms",
+                            delay.as_millis()
+                        );
+                        std::thread::sleep(delay);
+                    }
+                    Err(e) => fail(e),
+                }
+            };
             if wait {
                 let report = client.wait(id).unwrap_or_else(|e| fail(e));
                 println!("{}", report_to_json(&report));

@@ -11,7 +11,16 @@
 //!               [--memory-budget BYTES] [--prefetch-lookahead N]
 //!               [--fixed-prefetch] [--no-chunk-fanout] [--no-rotate]
 //!               [--ingest]
+//!               [--max-pending N] [--max-connections N]
+//!               [--read-timeout-ms N] [--max-line-bytes N]
+//!               [--tenant-max-pending N] [--tenant-max-inflight N]
+//!               [--max-batch-per-round N] [--shed-eviction-rate R]
 //! ```
+//!
+//! Setting `GRAPHM_FAILPOINT=point[@skip]` (e.g. `read:load@3`) arms a
+//! process-global fault-injection point in the store read path — for
+//! chaos testing that injected I/O errors surface as per-job failures
+//! while the daemon keeps serving.
 
 use graphm_server::{ExecutionMode, Server, ServerConfig};
 use std::path::PathBuf;
@@ -45,6 +54,25 @@ fn usage() -> ! {
                               store's writer lease and group-commit client\n\
                               mutation batches through its WAL (off by default;\n\
                               incompatible with an external graphm-delta writer)\n\
+         --max-pending N      admission control: shed submissions past N queued\n\
+                              jobs with a typed 'overloaded' error (default 0 =\n\
+                              unlimited)\n\
+         --max-connections N  shed accepts past N live connections with one\n\
+                              typed 'overloaded' error line (default 0)\n\
+         --read-timeout-ms N  close connections idle in a read for N ms\n\
+                              (default 0 = no timeout)\n\
+         --max-line-bytes N   reject request lines over N bytes with a typed\n\
+                              'line_too_long' error (default 1048576)\n\
+         --tenant-max-pending N   per-tenant queued-jobs quota (default 0)\n\
+         --tenant-max-inflight N  per-tenant queued+running quota (default 0)\n\
+         --max-batch-per-round N  admit at most N batch-priority jobs per\n\
+                              round; interactive jobs always join (default 0)\n\
+         --shed-eviction-rate R   shed batch submissions while the store's\n\
+                              evictions-per-round EWMA exceeds R (default 0 =\n\
+                              disabled)\n\
+         \n\
+         GRAPHM_FAILPOINT=point[@skip] arms a store read-path fault-injection\n\
+         point (chaos testing), e.g. read:load@3\n\
          \n\
          at least one of --socket / --tcp is required"
     );
@@ -64,6 +92,14 @@ fn main() {
     let mut chunk_fanout = true;
     let mut auto_rotate = true;
     let mut enable_ingest = false;
+    let mut max_pending: usize = 0;
+    let mut max_connections: usize = 0;
+    let mut read_timeout_ms: u64 = 0;
+    let mut max_line_bytes: usize = 1 << 20;
+    let mut tenant_max_pending: usize = 0;
+    let mut tenant_max_inflight: usize = 0;
+    let mut max_batch_per_round: usize = 0;
+    let mut shed_eviction_rate: f64 = 0.0;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,6 +143,34 @@ fn main() {
             "--no-chunk-fanout" => chunk_fanout = false,
             "--no-rotate" => auto_rotate = false,
             "--ingest" => enable_ingest = true,
+            "--max-pending" => {
+                max_pending = value("--max-pending").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-connections" => {
+                max_connections = value("--max-connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--read-timeout-ms" => {
+                read_timeout_ms = value("--read-timeout-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-line-bytes" => {
+                max_line_bytes = value("--max-line-bytes").parse().unwrap_or_else(|_| usage())
+            }
+            "--tenant-max-pending" => {
+                tenant_max_pending =
+                    value("--tenant-max-pending").parse().unwrap_or_else(|_| usage())
+            }
+            "--tenant-max-inflight" => {
+                tenant_max_inflight =
+                    value("--tenant-max-inflight").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-batch-per-round" => {
+                max_batch_per_round =
+                    value("--max-batch-per-round").parse().unwrap_or_else(|_| usage())
+            }
+            "--shed-eviction-rate" => {
+                shed_eviction_rate =
+                    value("--shed-eviction-rate").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -132,6 +196,31 @@ fn main() {
     config.chunk_fanout = chunk_fanout;
     config.auto_rotate = auto_rotate;
     config.enable_ingest = enable_ingest;
+    config.max_pending = max_pending;
+    config.max_connections = max_connections;
+    config.read_timeout = Duration::from_millis(read_timeout_ms);
+    config.max_line_bytes = max_line_bytes;
+    config.tenant_max_pending = tenant_max_pending;
+    config.tenant_max_inflight = tenant_max_inflight;
+    config.max_batch_per_round = max_batch_per_round;
+    config.shed_eviction_rate = shed_eviction_rate;
+
+    // Chaos harness: arm one process-global store read-path failpoint
+    // from the environment, so CI can inject I/O faults into a stock
+    // daemon binary without a special build.
+    if let Ok(spec) = std::env::var("GRAPHM_FAILPOINT") {
+        if !spec.is_empty() {
+            match graphm_graph::failpoint::arm_global_from_spec(&spec) {
+                Some((point, skip)) => {
+                    eprintln!("[graphm-server] fault injection armed: {point} (skip {skip})")
+                }
+                None => {
+                    eprintln!("bad GRAPHM_FAILPOINT {spec:?} (expected point[@skip])");
+                    exit(2);
+                }
+            }
+        }
+    }
 
     let server = Server::start(config).unwrap_or_else(|e| {
         eprintln!("failed to start: {e}");

@@ -4,7 +4,10 @@
 //! requests synchronously; open several clients for concurrent
 //! submissions (the daemon handles each connection on its own thread).
 
-use crate::protocol::{report_from_json, request_to_json, JobState, Request, ServerStats};
+use crate::protocol::{
+    report_from_json, request_to_json, HealthReport, JobState, Priority, Request, ServerStats,
+    ERR_OVERLOADED, ERR_SHUTTING_DOWN,
+};
 use graphm_core::{JobId, JobReport};
 use graphm_graph::delta::DeltaRecord;
 use graphm_workloads::JobSpec;
@@ -19,6 +22,13 @@ use std::path::Path;
 pub enum ClientError {
     /// Transport failure (connect, read, write, or server hangup).
     Io(std::io::Error),
+    /// The server shed this request with a typed `overloaded` error
+    /// (queue full, quota exceeded, connection limit, eviction
+    /// pressure). Retryable with backoff — see `graphm-client
+    /// --retries`.
+    Overloaded(String),
+    /// The server is shutting down and rejected new work.
+    ShuttingDown(String),
     /// The server answered `{"ok":false,...}` with this message.
     Server(String),
     /// The server answered something this client cannot decode.
@@ -29,6 +39,8 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Overloaded(m) => write!(f, "server overloaded: {m}"),
+            ClientError::ShuttingDown(m) => write!(f, "server shutting down: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
@@ -82,9 +94,15 @@ impl Client {
             .map_err(|e| ClientError::Protocol(format!("bad response json: {e}")))?;
         match v.get("ok").and_then(Value::as_bool) {
             Some(true) => Ok(v),
-            Some(false) => Err(ClientError::Server(
-                v.get("error").and_then(Value::as_str).unwrap_or("unspecified").to_string(),
-            )),
+            Some(false) => {
+                let msg =
+                    v.get("error").and_then(Value::as_str).unwrap_or("unspecified").to_string();
+                Err(match v.get("code").and_then(Value::as_str) {
+                    Some(ERR_OVERLOADED) => ClientError::Overloaded(msg),
+                    Some(ERR_SHUTTING_DOWN) => ClientError::ShuttingDown(msg),
+                    _ => ClientError::Server(msg),
+                })
+            }
             None => Err(ClientError::Protocol("response missing \"ok\"".to_string())),
         }
     }
@@ -94,13 +112,39 @@ impl Client {
         self.request(&Request::Ping).map(|_| ())
     }
 
-    /// Submits a job; returns its daemon-assigned id immediately.
+    /// Submits a job under the default (anonymous, `Batch`) identity;
+    /// returns its daemon-assigned id immediately.
     pub fn submit(&mut self, spec: &JobSpec) -> Result<JobId, ClientError> {
-        let v = self.request(&Request::Submit(*spec))?;
+        self.submit_as(spec, "", Priority::Batch)
+    }
+
+    /// Submits a job with an explicit tenant identity and priority class.
+    /// The daemon enforces per-tenant quotas against `tenant` and admits
+    /// `Priority::Interactive` jobs into every round regardless of the
+    /// batch backlog. Shed submissions fail with
+    /// [`ClientError::Overloaded`].
+    pub fn submit_as(
+        &mut self,
+        spec: &JobSpec,
+        tenant: &str,
+        priority: Priority,
+    ) -> Result<JobId, ClientError> {
+        let v =
+            self.request(&Request::Submit { spec: *spec, tenant: tenant.to_string(), priority })?;
         v.get("job_id")
             .and_then(Value::as_u64)
             .map(|id| id as JobId)
             .ok_or_else(|| ClientError::Protocol("submit ack missing job_id".to_string()))
+    }
+
+    /// Point-in-time daemon health: lease state, served generation,
+    /// queue depth, resident bytes, uptime. Cheap enough for readiness
+    /// polling.
+    pub fn health(&mut self) -> Result<HealthReport, ClientError> {
+        let v = self.request(&Request::Health)?;
+        let h =
+            v.get("health").ok_or_else(|| ClientError::Protocol("missing health".to_string()))?;
+        HealthReport::from_json(h).map_err(ClientError::Protocol)
     }
 
     /// Non-blocking lifecycle query.

@@ -28,7 +28,8 @@
 
 use crate::ingest::IngestCoordinator;
 use crate::protocol::{
-    error_response, parse_request, report_to_json, JobState, Request, ServerStats,
+    error_response, error_response_coded, parse_request, report_to_json, HealthReport, JobState,
+    Priority, Request, ServerStats, ERR_LINE_TOO_LONG, ERR_OVERLOADED, ERR_SHUTTING_DOWN,
 };
 use graphm_cachesim::VirtualClock;
 use graphm_core::{
@@ -45,10 +46,10 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How the runtime thread executes jobs.
 ///
@@ -152,6 +153,39 @@ pub struct ServerConfig {
     /// Off keeps the daemon a pure reader, compatible with an external
     /// writer publishing generations it rotates to.
     pub enable_ingest: bool,
+    /// Admission control: submissions beyond this many pending jobs are
+    /// rejected with a typed `overloaded` error instead of queuing
+    /// without bound (0 = unlimited, the pre-admission behaviour).
+    pub max_pending: usize,
+    /// Connection limit: accepts beyond this many live connections get
+    /// one typed `overloaded` error line and are closed (0 = unlimited).
+    pub max_connections: usize,
+    /// Per-read socket timeout: a connection that sends no byte for this
+    /// long is closed, so half-dead clients cannot hold connection slots
+    /// forever (zero = no timeout).
+    pub read_timeout: Duration,
+    /// Cap on one request line's bytes; longer lines are discarded
+    /// unparsed and answered with a typed `line_too_long` error (the
+    /// connection stays usable — framing is recovered at the newline).
+    pub max_line_bytes: usize,
+    /// Per-tenant cap on *queued* submissions (0 = unlimited). Beyond it
+    /// that tenant's submissions are shed with `overloaded`; other
+    /// tenants are unaffected.
+    pub tenant_max_pending: usize,
+    /// Per-tenant cap on queued + running jobs (0 = unlimited).
+    pub tenant_max_inflight: usize,
+    /// Round-size policy: at most this many `Priority::Batch` jobs are
+    /// admitted into one round/batch (0 = unlimited). `Interactive` jobs
+    /// always join the next round, so a latency-sensitive tenant is never
+    /// stuck behind a hundred-job batch backlog.
+    pub max_batch_per_round: usize,
+    /// Out-of-core admission signal: when the EWMA of store partition
+    /// evictions per round exceeds this, `Batch` submissions are shed
+    /// with `overloaded` while `Interactive` ones are still admitted
+    /// (0.0 = disabled). Sustained eviction churn means the working set
+    /// no longer fits the memory budget — adding batch work would only
+    /// deepen the thrash.
+    pub shed_eviction_rate: f64,
 }
 
 impl ServerConfig {
@@ -173,6 +207,14 @@ impl ServerConfig {
             chunk_fanout: true,
             auto_rotate: true,
             enable_ingest: false,
+            max_pending: 0,
+            max_connections: 0,
+            read_timeout: Duration::ZERO,
+            max_line_bytes: 1 << 20,
+            tenant_max_pending: 0,
+            tenant_max_inflight: 0,
+            max_batch_per_round: 0,
+            shed_eviction_rate: 0.0,
         }
     }
 }
@@ -184,16 +226,67 @@ enum JobEntry {
     Done(Arc<JobReport>),
 }
 
-/// Submission queue: ids are assigned here, in push order, and the single
-/// runtime thread drains in FIFO order — which is what keeps daemon ids
-/// aligned with `SharingService` ids (offset by the jobs served before
-/// the last generation rotation). Specs, not instantiated jobs, are
-/// queued: instantiation happens at drain time on the runtime thread, so
-/// a job's out-degrees always match the generation of the round it runs
-/// in.
+/// One admitted-but-not-yet-running submission.
+struct Pending {
+    id: JobId,
+    spec: JobSpec,
+    tenant: String,
+    priority: Priority,
+}
+
+/// Submission queue: ids are assigned here, in push order. Specs, not
+/// instantiated jobs, are queued: instantiation happens at drain time on
+/// the runtime thread, so a job's out-degrees always match the generation
+/// of the round it runs in. `Priority::Batch` entries may be *retained*
+/// across drains by the round-size policy, so drain order is no longer
+/// guaranteed to match service-id order — the runtime keeps an explicit
+/// service-id → daemon-id map instead.
+///
+/// The per-tenant gauges back admission quotas: `queued` counts entries
+/// still in `pending`; `inflight` counts queued + running (decremented
+/// when the job's report is published). Zeroed entries are removed so the
+/// maps don't grow with tenant-name churn.
 struct Queue {
     next_id: JobId,
-    pending: VecDeque<(JobId, JobSpec)>,
+    pending: VecDeque<Pending>,
+    queued_by_tenant: HashMap<String, u64>,
+    inflight_by_tenant: HashMap<String, u64>,
+}
+
+impl Queue {
+    fn dec(map: &mut HashMap<String, u64>, tenant: &str) {
+        if let Some(n) = map.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                map.remove(tenant);
+            }
+        }
+    }
+}
+
+/// Pops every admissible pending entry, honouring the round-size policy:
+/// `Interactive` jobs always drain; `Batch` jobs drain while the round's
+/// remaining `batch_budget` allows, and the rest stay queued *in order*
+/// for a later round. The budget is shared across all of one round's
+/// drains (the runtime drains before every step), so a deep batch backlog
+/// cannot trickle past the cap mid-round.
+fn drain_admissible(q: &mut Queue, batch_budget: &mut usize) -> Vec<Pending> {
+    let mut admitted = Vec::new();
+    let mut retained = VecDeque::new();
+    while let Some(p) = q.pending.pop_front() {
+        let admit = p.priority == Priority::Interactive || *batch_budget > 0;
+        if admit {
+            if p.priority == Priority::Batch {
+                *batch_budget -= 1;
+            }
+            Queue::dec(&mut q.queued_by_tenant, &p.tenant);
+            admitted.push(p);
+        } else {
+            retained.push_back(p);
+        }
+    }
+    q.pending = retained;
+    admitted
 }
 
 /// Job lifecycle table with bounded retention of finished reports.
@@ -219,6 +312,15 @@ impl JobsTable {
     }
 }
 
+/// Admission-control knobs, copied out of [`ServerConfig`] so connection
+/// handlers don't carry the whole config around.
+struct Admission {
+    max_pending: usize,
+    tenant_max_pending: usize,
+    tenant_max_inflight: usize,
+    shed_eviction_rate: f64,
+}
+
 /// State shared between listeners, connection handlers, and the runtime.
 ///
 /// Lock order: `queue` before `jobs` before `stats`; never the reverse.
@@ -228,6 +330,14 @@ struct Shared {
     jobs: Mutex<JobsTable>,
     done_cv: Condvar,
     stats: Mutex<ServerStats>,
+    admission: Admission,
+    /// Live connection-handler count, for the connection limit.
+    connections: AtomicUsize,
+    max_connections: usize,
+    /// Request-line byte cap (see [`ServerConfig::max_line_bytes`]).
+    max_line_bytes: usize,
+    /// Daemon start time, for `health` uptime.
+    started: Instant,
     shutdown: AtomicBool,
     /// Set (under the `jobs` lock) when the runtime thread exits, so
     /// `wait`ers can fail cleanly instead of blocking on a job that will
@@ -243,8 +353,12 @@ struct Shared {
     /// modes).
     store: Arc<DiskGridSource>,
     /// Group-commit ingest over the store's leased writer; `None` unless
-    /// [`ServerConfig::enable_ingest`] was set.
-    ingest: Option<Arc<IngestCoordinator>>,
+    /// [`ServerConfig::enable_ingest`] was set. Behind a mutex so graceful
+    /// shutdown can *take* it — dropping the coordinator releases the
+    /// writer lease as soon as in-flight commits (holding `Arc` clones)
+    /// finish, letting an external writer take over without waiting for
+    /// the daemon process to exit.
+    ingest: Mutex<Option<Arc<IngestCoordinator>>>,
 }
 
 impl Shared {
@@ -274,7 +388,7 @@ impl Shared {
         stats.delta_bytes = ds.delta_bytes;
         stats.delta_records = ds.delta_records;
         stats.compactions = ds.compactions;
-        if let Some(ingest) = &self.ingest {
+        if let Some(ingest) = self.ingest_handle() {
             let (wal, epoch) = ingest.writer_stats();
             stats.delta_wal_records = wal.records;
             stats.delta_wal_batches = wal.batches;
@@ -286,7 +400,41 @@ impl Shared {
             stats.ingest_commits = is.commits;
             stats.ingest_groups = is.groups;
         }
+        stats.queue_depth =
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).pending.len() as u64;
         stats
+    }
+
+    /// Clones the ingest coordinator handle, if still held (graceful
+    /// shutdown takes it to release the writer lease early).
+    fn ingest_handle(&self) -> Option<Arc<IngestCoordinator>> {
+        self.ingest.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Point-in-time liveness/readiness snapshot for the `health` verb.
+    fn health_snapshot(&self) -> HealthReport {
+        let queue_depth = self.queue.lock().unwrap_or_else(|e| e.into_inner()).pending.len() as u64;
+        let running = {
+            let jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            jobs.entries.values().filter(|e| matches!(e, JobEntry::Running)).count() as u64
+        };
+        let (lease_held, lease_epoch) = match self.ingest_handle() {
+            Some(ingest) => {
+                let (_, epoch) = ingest.writer_stats();
+                (true, epoch)
+            }
+            None => (false, 0),
+        };
+        HealthReport {
+            lease_held,
+            lease_epoch,
+            generation: self.store.delta_stats().generation,
+            queue_depth,
+            running,
+            resident_bytes: self.store.residency_stats().resident_bytes,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            shutting_down: self.shutdown.load(Ordering::SeqCst),
+        }
     }
 
     /// Instantiates a spec against the currently served generation.
@@ -333,7 +481,12 @@ impl Server {
         let num_partitions = source.num_partitions() as u64;
 
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Queue { next_id: 0, pending: VecDeque::new() }),
+            queue: Mutex::new(Queue {
+                next_id: 0,
+                pending: VecDeque::new(),
+                queued_by_tenant: HashMap::new(),
+                inflight_by_tenant: HashMap::new(),
+            }),
             queue_cv: Condvar::new(),
             jobs: Mutex::new(JobsTable {
                 entries: HashMap::new(),
@@ -346,12 +499,22 @@ impl Server {
                 num_vertices: num_vertices as u64,
                 ..ServerStats::default()
             }),
+            admission: Admission {
+                max_pending: config.max_pending,
+                tenant_max_pending: config.tenant_max_pending,
+                tenant_max_inflight: config.tenant_max_inflight,
+                shed_eviction_rate: config.shed_eviction_rate,
+            },
+            connections: AtomicUsize::new(0),
+            max_connections: config.max_connections,
+            max_line_bytes: config.max_line_bytes.max(64),
+            started: Instant::now(),
             shutdown: AtomicBool::new(false),
             runtime_exited: AtomicBool::new(false),
             num_vertices,
             out_degrees,
             store: Arc::clone(&source),
-            ingest,
+            ingest: Mutex::new(ingest),
         });
 
         // Bind every listener *before* spawning any thread: a bind
@@ -399,6 +562,7 @@ impl Server {
             let mode = config.mode;
             let profile = config.profile;
             let auto_rotate = config.auto_rotate;
+            let max_batch = config.max_batch_per_round;
             let wall_cfg = WallClockConfig {
                 state_bytes_per_vertex: sbpv,
                 max_prefetch_lookahead: config.max_prefetch_lookahead.max(1),
@@ -410,15 +574,22 @@ impl Server {
                 .spawn(move || {
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match mode {
-                            ExecutionMode::Deterministic => {
-                                runtime_loop(&shared, &source, profile, sbpv, window, auto_rotate)
-                            }
+                            ExecutionMode::Deterministic => runtime_loop(
+                                &shared,
+                                &source,
+                                profile,
+                                sbpv,
+                                window,
+                                auto_rotate,
+                                max_batch,
+                            ),
                             ExecutionMode::Wallclock => runtime_loop_wallclock(
                                 &shared,
                                 source,
                                 wall_cfg,
                                 window,
                                 auto_rotate,
+                                max_batch,
                             ),
                         }));
                     if result.is_err() {
@@ -433,11 +604,12 @@ impl Server {
                 .map_err(|e| abort(&mut threads, e));
             threads.push(spawned?);
         }
+        let read_timeout = config.read_timeout;
         if let Some((listener, _)) = unix {
             let shared_for_loop = Arc::clone(&shared);
             let spawned = std::thread::Builder::new()
                 .name("graphm-accept-unix".to_string())
-                .spawn(move || accept_loop(listener_unix(listener), &shared_for_loop))
+                .spawn(move || accept_loop(listener_unix(listener, read_timeout), &shared_for_loop))
                 .map_err(|e| abort(&mut threads, e));
             threads.push(spawned?);
         }
@@ -446,7 +618,9 @@ impl Server {
                 let shared_for_loop = Arc::clone(&shared);
                 let spawned = std::thread::Builder::new()
                     .name("graphm-accept-tcp".to_string())
-                    .spawn(move || accept_loop(listener_tcp(listener), &shared_for_loop))
+                    .spawn(move || {
+                        accept_loop(listener_tcp(listener, read_timeout), &shared_for_loop)
+                    })
                     .map_err(|e| abort(&mut threads, e));
                 threads.push(spawned?);
                 Some(local)
@@ -531,18 +705,22 @@ fn runtime_loop(
     state_bytes_per_vertex: usize,
     batch_window: Duration,
     auto_rotate: bool,
+    max_batch_per_round: usize,
 ) {
     let source: &dyn PartitionSource = store.as_ref();
     let mut svc =
         SharingService::new(source, runner_config_for(store, profile), state_bytes_per_vertex);
-    // Service ids restart at 0 whenever a rotation rebuilds the service;
-    // `id_base` maps them back onto the daemon's dense id space, and the
-    // `loads`/`vnow` bases keep the published counters cumulative and
-    // monotone across rebuilds.
-    let mut id_base: JobId = 0;
+    // Service ids restart at 0 whenever a rotation rebuilds the service,
+    // and the round-size policy may reorder admission across priorities,
+    // so finished service ids are mapped back to (daemon id, tenant)
+    // explicitly. The `loads`/`vnow` bases keep the published counters
+    // cumulative and monotone across rebuilds.
+    let mut sid_map: HashMap<JobId, (JobId, String)> = HashMap::new();
     let mut loads_base = 0u64;
     let mut vnow_base = 0.0f64;
     let mut served_gen = store.generation();
+    let mut last_evictions = store.residency_stats().evictions;
+    let mut eviction_ewma = 0.0f64;
     {
         let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
         stats.chunk_bytes = svc.chunk_bytes() as u64;
@@ -577,8 +755,9 @@ fn runtime_loop(
             // peer may have adopted the rotation first.
             if store.generation() != served_gen {
                 debug_assert_eq!(svc.jobs_unfinished(), 0, "rotation only between rounds");
+                debug_assert!(sid_map.is_empty(), "finished jobs published before rotation");
                 served_gen = store.generation();
-                id_base += svc.jobs_submitted();
+                sid_map.clear();
                 loads_base += svc.partition_loads();
                 vnow_base += svc.now_ns();
                 svc = SharingService::new(
@@ -604,27 +783,40 @@ fn runtime_loop(
         }
         // Round: drain arrivals before every step so mid-round submitters
         // join at the next sweep boundary; publish finishers as they come.
+        // The batch budget is per *round*: mid-round drains share it, so a
+        // deep Batch backlog cannot trickle past the cap one step at a
+        // time while Interactive submissions always join immediately.
+        let mut batch_budget =
+            if max_batch_per_round == 0 { usize::MAX } else { max_batch_per_round };
         loop {
-            let drained: Vec<(JobId, JobSpec)> = {
+            let drained: Vec<Pending> = {
                 let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-                q.pending.drain(..).collect()
+                drain_admissible(&mut q, &mut batch_budget)
             };
             if !drained.is_empty() {
                 let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
-                for (id, spec) in drained {
+                for p in drained {
                     // Instantiated here — not at submit — so the job's
                     // out-degrees match this round's generation.
-                    let sid = svc.submit(shared.instantiate(&spec));
-                    assert_eq!(sid + id_base, id, "queue order must match service ids");
-                    jobs.entries.insert(id, JobEntry::Running);
+                    let sid = svc.submit(shared.instantiate(&p.spec));
+                    sid_map.insert(sid, (p.id, p.tenant));
+                    jobs.entries.insert(p.id, JobEntry::Running);
                 }
             }
             let more = svc.step();
-            publish_finished(shared, &mut svc, id_base, loads_base, vnow_base);
+            publish_finished(shared, &mut svc, &mut sid_map, loads_base, vnow_base);
             if !more {
                 break;
             }
         }
+        // Per-round eviction-rate EWMA: the admission signal for Batch
+        // shedding under out-of-core thrash (see `shed_eviction_rate`).
+        let ev = store.residency_stats().evictions;
+        eviction_ewma = 0.5 * eviction_ewma + 0.5 * ev.saturating_sub(last_evictions) as f64;
+        last_evictions = ev;
+        let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.eviction_rate = eviction_ewma;
+        drop(stats);
     }
     publish_runtime_exit(shared);
 }
@@ -633,6 +825,12 @@ fn runtime_loop(
 /// check-then-wait cannot race past it, then wakes every waiter for its
 /// final check.
 fn publish_runtime_exit(shared: &Shared) {
+    // Graceful shutdown releases the store's writer lease here, once no
+    // more rounds will run: dropping the coordinator closes the leased
+    // `DeltaWriter` as soon as in-flight commits (holding `Arc` clones)
+    // drain, so an external writer can take over without waiting for the
+    // daemon process to exit.
+    drop(shared.ingest.lock().unwrap_or_else(|e| e.into_inner()).take());
     let jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
     shared.runtime_exited.store(true, Ordering::SeqCst);
     drop(jobs);
@@ -656,6 +854,7 @@ fn runtime_loop_wallclock(
     cfg: WallClockConfig,
     batch_window: Duration,
     auto_rotate: bool,
+    max_batch_per_round: usize,
 ) {
     let prefetcher = Prefetcher::spawn(Arc::clone(&source) as Arc<dyn PrefetchTarget>);
     let mut exec = WallClockExecutor::new(
@@ -670,6 +869,8 @@ fn runtime_loop_wallclock(
     let epoch = std::time::Instant::now();
     let mut loads_total = 0u64;
     let mut served_gen = source.generation();
+    let mut last_evictions = source.residency_stats().evictions;
+    let mut eviction_ewma = 0.0f64;
     loop {
         // Idle: wait for the first arrival of the next round (or shutdown).
         {
@@ -713,21 +914,27 @@ fn runtime_loop_wallclock(
             stats.rounds += 1;
         }
         loop {
-            let drained: Vec<(JobId, JobSpec)> = {
+            // Each executor batch is one "round" for the round-size
+            // policy: a fresh budget per drain, Interactive always joins.
+            let mut batch_budget =
+                if max_batch_per_round == 0 { usize::MAX } else { max_batch_per_round };
+            let drained: Vec<Pending> = {
                 let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-                q.pending.drain(..).collect()
+                drain_admissible(&mut q, &mut batch_budget)
             };
             if drained.is_empty() {
                 break;
             }
             let mut ids = Vec::with_capacity(drained.len());
+            let mut tenants = Vec::with_capacity(drained.len());
             let mut batch = Vec::with_capacity(drained.len());
             {
                 let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
-                for (id, spec) in drained {
-                    jobs.entries.insert(id, JobEntry::Running);
-                    ids.push(id);
-                    batch.push(shared.instantiate(&spec));
+                for p in drained {
+                    jobs.entries.insert(p.id, JobEntry::Running);
+                    ids.push(p.id);
+                    tenants.push(p.tenant);
+                    batch.push(shared.instantiate(&p.spec));
                 }
             }
             let batch_start_ns = epoch.elapsed().as_nanos() as f64;
@@ -752,13 +959,26 @@ fn runtime_loop_wallclock(
                     submit_ns: batch_start_ns,
                     finish_ns: batch_start_ns + wj.finish_ms * 1e6,
                     values: wj.values,
+                    error: wj.error,
                 })
                 .collect();
+            let failed = finished.iter().filter(|r| r.error.is_some()).count() as u64;
+            {
+                let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                for t in &tenants {
+                    Queue::dec(&mut q.inflight_by_tenant, t);
+                }
+            }
+            let ev = source.residency_stats().evictions;
+            eviction_ewma = 0.5 * eviction_ewma + 0.5 * ev.saturating_sub(last_evictions) as f64;
+            last_evictions = ev;
             {
                 let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
                 stats.partition_loads = loads_total;
                 stats.virtual_ns = epoch.elapsed().as_nanos() as f64;
-                stats.jobs_completed += finished.len() as u64;
+                stats.jobs_completed += finished.len() as u64 - failed;
+                stats.jobs_failed += failed;
+                stats.eviction_rate = eviction_ewma;
                 let pf = source.prefetch_stats();
                 stats.prefetch_issued = pf.issued;
                 stats.prefetch_hits = pf.hits;
@@ -777,23 +997,39 @@ fn runtime_loop_wallclock(
 fn publish_finished(
     shared: &Shared,
     svc: &mut SharingService<'_>,
-    id_base: JobId,
+    sid_map: &mut HashMap<JobId, (JobId, String)>,
     loads_base: u64,
     vnow_base: f64,
 ) {
     let mut finished = svc.take_finished();
+    let mut tenants: Vec<String> = Vec::with_capacity(finished.len());
+    let mut failed = 0u64;
     for report in &mut finished {
-        // Service ids restart after a rotation rebuild; clients know the
-        // daemon's dense ids. (Report *timings* stay on the per-generation
-        // virtual timeline — each generation is a fresh deterministic
-        // replay — but the daemon-wide counters below are cumulative.)
-        report.id += id_base;
+        // Service ids restart after a rotation rebuild and admission may
+        // reorder across priorities; clients know the daemon's dense ids.
+        // (Report *timings* stay on the per-generation virtual timeline —
+        // each generation is a fresh deterministic replay — but the
+        // daemon-wide counters below are cumulative.)
+        let (daemon_id, tenant) =
+            sid_map.remove(&report.id).expect("finished service id must be mapped");
+        report.id = daemon_id;
+        tenants.push(tenant);
+        if report.error.is_some() {
+            failed += 1;
+        }
+    }
+    if !tenants.is_empty() {
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        for t in &tenants {
+            Queue::dec(&mut q.inflight_by_tenant, t);
+        }
     }
     {
         let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
         stats.partition_loads = loads_base + svc.partition_loads();
         stats.virtual_ns = vnow_base + svc.now_ns();
-        stats.jobs_completed += finished.len() as u64;
+        stats.jobs_completed += finished.len() as u64 - failed;
+        stats.jobs_failed += failed;
     }
     if finished.is_empty() {
         return;
@@ -817,44 +1053,80 @@ type ConnPair = (Box<dyn Read + Send>, Box<dyn Write + Send>);
 /// none is pending (nonblocking), `Err` on listener failure.
 type Acceptor = Box<dyn FnMut() -> std::io::Result<Option<ConnPair>> + Send>;
 
-fn listener_unix(listener: UnixListener) -> Acceptor {
+fn listener_unix(listener: UnixListener, read_timeout: Duration) -> Acceptor {
     Box::new(move || match listener.accept() {
-        Ok((stream, _)) => Ok(Some(split_unix(stream)?)),
+        Ok((stream, _)) => Ok(Some(split_unix(stream, read_timeout)?)),
         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
         Err(e) => Err(e),
     })
 }
 
-fn listener_tcp(listener: TcpListener) -> Acceptor {
+fn listener_tcp(listener: TcpListener, read_timeout: Duration) -> Acceptor {
     Box::new(move || match listener.accept() {
-        Ok((stream, _)) => Ok(Some(split_tcp(stream)?)),
+        Ok((stream, _)) => Ok(Some(split_tcp(stream, read_timeout)?)),
         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
         Err(e) => Err(e),
     })
 }
 
-fn split_unix(s: UnixStream) -> std::io::Result<ConnPair> {
+fn split_unix(s: UnixStream, read_timeout: Duration) -> std::io::Result<ConnPair> {
     s.set_nonblocking(false)?;
+    if !read_timeout.is_zero() {
+        s.set_read_timeout(Some(read_timeout))?;
+    }
     let r = s.try_clone()?;
     Ok((Box::new(r), Box::new(s)))
 }
 
-fn split_tcp(s: TcpStream) -> std::io::Result<ConnPair> {
+fn split_tcp(s: TcpStream, read_timeout: Duration) -> std::io::Result<ConnPair> {
     s.set_nonblocking(false)?;
+    if !read_timeout.is_zero() {
+        s.set_read_timeout(Some(read_timeout))?;
+    }
     let r = s.try_clone()?;
     Ok((Box::new(r), Box::new(s)))
+}
+
+/// Decrements the live-connection gauge when a handler exits (or when its
+/// spawn fails and the closure is dropped unrun).
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 fn accept_loop(mut accept: Acceptor, shared: &Arc<Shared>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match accept() {
-            Ok(Some((read, write))) => {
-                let shared = Arc::clone(shared);
+            Ok(Some((read, mut write))) => {
+                // Connection limit: shed the accept with one typed error
+                // line instead of letting handler threads (each pinning a
+                // queue of blocking reads) grow without bound.
+                if shared.max_connections > 0
+                    && shared.connections.load(Ordering::SeqCst) >= shared.max_connections
+                {
+                    let _ = write_line(
+                        write.as_mut(),
+                        &error_response_coded(
+                            "connection limit reached; retry with backoff",
+                            ERR_OVERLOADED,
+                        ),
+                    );
+                    let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                    stats.connections_rejected += 1;
+                    continue;
+                }
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                let guard = ConnGuard(Arc::clone(shared));
                 // Handlers are detached: they exit at client EOF, on
-                // transport errors, or when shutdown wakes their waits.
-                let _ = std::thread::Builder::new()
-                    .name("graphm-conn".to_string())
-                    .spawn(move || serve_connection(read, write, &shared));
+                // transport errors (including read timeouts), or when
+                // shutdown wakes their waits.
+                let _ =
+                    std::thread::Builder::new().name("graphm-conn".to_string()).spawn(move || {
+                        serve_connection(read, write, &guard.0);
+                    });
             }
             Ok(None) => std::thread::sleep(Duration::from_millis(20)),
             Err(_) => break,
@@ -869,14 +1141,113 @@ fn write_line(w: &mut dyn Write, v: &Value) -> std::io::Result<()> {
     w.flush()
 }
 
+/// Outcome of one bounded line read.
+enum LineOutcome {
+    Line(String),
+    /// The line exceeded the cap; it was discarded through its newline,
+    /// so the connection's framing is intact.
+    Oversized,
+    Eof,
+    /// Transport error — including a `read_timeout` expiry.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. Longer lines
+/// are consumed (never buffered) up to their newline and reported as
+/// [`LineOutcome::Oversized`], so a hostile or buggy client cannot make
+/// the daemon buffer an unbounded request while the connection stays
+/// usable afterwards. A final unterminated line at EOF still parses.
+fn read_bounded_line(r: &mut BufReader<Box<dyn Read + Send>>, max: usize) -> LineOutcome {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = match r.fill_buf() {
+            Ok(b) => b,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineOutcome::Failed,
+        };
+        if available.is_empty() {
+            return if buf.is_empty() {
+                LineOutcome::Eof
+            } else {
+                LineOutcome::Line(String::from_utf8_lossy(&buf).into_owned())
+            };
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let over = buf.len() + pos > max;
+                if !over {
+                    buf.extend_from_slice(&available[..pos]);
+                }
+                r.consume(pos + 1);
+                return if over {
+                    LineOutcome::Oversized
+                } else {
+                    LineOutcome::Line(String::from_utf8_lossy(&buf).into_owned())
+                };
+            }
+            None => {
+                let n = available.len();
+                if buf.len() + n > max {
+                    buf.clear();
+                    r.consume(n);
+                    return discard_to_newline(r);
+                }
+                buf.extend_from_slice(available);
+                r.consume(n);
+            }
+        }
+    }
+}
+
+/// Consumes the rest of an oversized line through its newline.
+fn discard_to_newline(r: &mut BufReader<Box<dyn Read + Send>>) -> LineOutcome {
+    loop {
+        let available = match r.fill_buf() {
+            Ok(b) => b,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineOutcome::Failed,
+        };
+        if available.is_empty() {
+            return LineOutcome::Oversized; // EOF mid-line; next read sees Eof.
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                r.consume(pos + 1);
+                return LineOutcome::Oversized;
+            }
+            None => {
+                let n = available.len();
+                r.consume(n);
+            }
+        }
+    }
+}
+
 fn serve_connection(read: Box<dyn Read + Send>, mut write: Box<dyn Write + Send>, shared: &Shared) {
-    let reader = BufReader::new(read);
+    let mut reader = BufReader::new(read);
     // Mutations staged by this connection's `ingest` requests, awaiting
     // its `ingest_commit`/`ingest_abort`. Dropped with the connection: a
     // client that hangs up mid-session implicitly aborts.
     let mut staged: Vec<DeltaRecord> = Vec::new();
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
+    loop {
+        let line = match read_bounded_line(&mut reader, shared.max_line_bytes) {
+            LineOutcome::Eof | LineOutcome::Failed => return,
+            LineOutcome::Oversized => {
+                {
+                    let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                    stats.oversized_lines += 1;
+                }
+                let resp = error_response_coded(
+                    &format!("request line exceeds {} bytes", shared.max_line_bytes),
+                    ERR_LINE_TOO_LONG,
+                );
+                if write_line(write.as_mut(), &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+            LineOutcome::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -909,7 +1280,8 @@ fn respond(req: Request, shared: &Shared, staged: &mut Vec<DeltaRecord>) -> Valu
             shared.request_shutdown();
             json!({ "ok": true, "shutting_down": true })
         }
-        Request::Submit(spec) => submit(spec, shared),
+        Request::Submit { spec, tenant, priority } => submit(spec, tenant, priority, shared),
+        Request::Health => json!({ "ok": true, "health": shared.health_snapshot().to_json() }),
         Request::Status(id) => match job_state(shared, id) {
             Some(state) => json!({ "ok": true, "job_id": id, "state": state.name() }),
             None => error_response(&format!("unknown job {id}")),
@@ -926,11 +1298,11 @@ fn respond(req: Request, shared: &Shared, staged: &mut Vec<DeltaRecord>) -> Valu
 }
 
 fn ingest_stage(shared: &Shared, staged: &mut Vec<DeltaRecord>, ops: Vec<DeltaRecord>) -> Value {
-    if shared.ingest.is_none() {
+    if shared.ingest_handle().is_none() {
         return error_response("ingest is disabled (start the server with --ingest)");
     }
     if shared.shutdown.load(Ordering::SeqCst) {
-        return error_response("server is shutting down");
+        return error_response_coded("server is shutting down", ERR_SHUTTING_DOWN);
     }
     // Bounds-check at staging so a commit can only fail on real I/O, and
     // a bad op is rejected while the client can still tell which request
@@ -950,11 +1322,11 @@ fn ingest_stage(shared: &Shared, staged: &mut Vec<DeltaRecord>, ops: Vec<DeltaRe
 }
 
 fn ingest_commit(shared: &Shared, staged: &mut Vec<DeltaRecord>) -> Value {
-    let Some(ingest) = &shared.ingest else {
+    let Some(ingest) = shared.ingest_handle() else {
         return error_response("ingest is disabled (start the server with --ingest)");
     };
     if shared.shutdown.load(Ordering::SeqCst) {
-        return error_response("server is shutting down");
+        return error_response_coded("server is shutting down", ERR_SHUTTING_DOWN);
     }
     let records = staged.len();
     match ingest.commit(std::mem::take(staged)) {
@@ -968,9 +1340,9 @@ fn ingest_commit(shared: &Shared, staged: &mut Vec<DeltaRecord>) -> Value {
     }
 }
 
-fn submit(spec: JobSpec, shared: &Shared) -> Value {
+fn submit(spec: JobSpec, tenant: String, priority: Priority, shared: &Shared) -> Value {
     if shared.shutdown.load(Ordering::SeqCst) {
-        return error_response("server is shutting down");
+        return error_response_coded("server is shutting down", ERR_SHUTTING_DOWN);
     }
     if spec.root >= shared.num_vertices {
         return error_response(&format!(
@@ -978,16 +1350,66 @@ fn submit(spec: JobSpec, shared: &Shared) -> Value {
             spec.root, shared.num_vertices
         ));
     }
+    // A shed submission gets a typed `overloaded` error *before* an id is
+    // assigned — nothing to clean up, nothing queued, the client retries
+    // with backoff (`graphm-client --retries`).
+    let shed = |msg: String| {
+        let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.jobs_shed += 1;
+        drop(stats);
+        error_response_coded(&msg, ERR_OVERLOADED)
+    };
+    let a = &shared.admission;
     let id = {
         // Lock order queue -> jobs (see `Shared`); the entry must exist
         // before the runtime can drain the submission and mark it Running.
         // The spec is instantiated by the runtime thread at drain time so
         // its out-degrees match the generation of the round it runs in.
         let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if a.max_pending > 0 && q.pending.len() >= a.max_pending {
+            return shed(format!(
+                "queue full ({} pending, cap {}); retry with backoff",
+                q.pending.len(),
+                a.max_pending
+            ));
+        }
+        if a.tenant_max_pending > 0 {
+            let queued = q.queued_by_tenant.get(&tenant).copied().unwrap_or(0);
+            if queued >= a.tenant_max_pending as u64 {
+                return shed(format!(
+                    "tenant {tenant:?} has {queued} queued jobs (quota {})",
+                    a.tenant_max_pending
+                ));
+            }
+        }
+        if a.tenant_max_inflight > 0 {
+            let inflight = q.inflight_by_tenant.get(&tenant).copied().unwrap_or(0);
+            if inflight >= a.tenant_max_inflight as u64 {
+                return shed(format!(
+                    "tenant {tenant:?} has {inflight} jobs in flight (quota {})",
+                    a.tenant_max_inflight
+                ));
+            }
+        }
+        // Out-of-core pressure: sustained eviction churn means the round
+        // working set outgrew the memory budget, so adding Batch work
+        // would only deepen the thrash. Interactive jobs still land.
+        if priority == Priority::Batch && a.shed_eviction_rate > 0.0 {
+            let rate = shared.stats.lock().unwrap_or_else(|e| e.into_inner()).eviction_rate;
+            if rate > a.shed_eviction_rate {
+                return shed(format!(
+                    "store is thrashing ({rate:.1} evictions/round, shed above {:.1}); \
+                     batch work rejected",
+                    a.shed_eviction_rate
+                ));
+            }
+        }
         let id = q.next_id;
         q.next_id += 1;
+        *q.queued_by_tenant.entry(tenant.clone()).or_insert(0) += 1;
+        *q.inflight_by_tenant.entry(tenant.clone()).or_insert(0) += 1;
         shared.jobs.lock().unwrap_or_else(|e| e.into_inner()).entries.insert(id, JobEntry::Queued);
-        q.pending.push_back((id, spec));
+        q.pending.push_back(Pending { id, spec, tenant, priority });
         id
     };
     shared.queue_cv.notify_all();

@@ -59,4 +59,7 @@ pub mod protocol;
 pub use client::{Client, ClientError};
 pub use daemon::{ExecutionMode, Server, ServerConfig};
 pub use ingest::{CommitOutcome, IngestCoordinator, IngestStats};
-pub use protocol::{JobState, Request, ServerStats};
+pub use protocol::{
+    HealthReport, JobState, Priority, Request, ServerStats, ERR_LINE_TOO_LONG, ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN,
+};

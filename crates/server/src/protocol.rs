@@ -14,9 +14,19 @@
 //! | `{"cmd":"ingest","ops":[{"op":"insert","src":1,"dst":2,"weight":1.0},{"op":"delete","src":3,"dst":4}]}` | `{"ok":true,"staged":N}` |
 //! | `{"cmd":"ingest_commit"}` | `{"ok":true,"generation":G,"records":N,"group":K}` |
 //! | `{"cmd":"ingest_abort"}` | `{"ok":true,"discarded":N}` |
+//! | `{"cmd":"health"}` | `{"ok":true,"health":{...}}` |
+//!
+//! `submit` additionally accepts optional `tenant` (string identity the
+//! daemon applies per-tenant admission quotas to; defaults to the
+//! anonymous tenant `""`) and `priority` (`"interactive"` \| `"batch"`,
+//! default `"batch"` — see [`Priority`]).
 //!
 //! Failures answer `{"ok":false,"error":"..."}` and keep the connection
-//! open; only `shutdown`, EOF, or a transport error end it.
+//! open; only `shutdown`, EOF, or a transport error end it. Overload and
+//! lifecycle rejections additionally carry a machine-readable `"code"`
+//! member ([`ERR_OVERLOADED`], [`ERR_SHUTTING_DOWN`],
+//! [`ERR_LINE_TOO_LONG`]) so clients can distinguish "retry later" from
+//! "bad request" without parsing prose.
 //!
 //! ## Ingest sessions
 //!
@@ -44,14 +54,61 @@ use graphm_graph::delta::{DeltaRecord, DELTA_OP_DELETE, DELTA_OP_INSERT};
 use graphm_workloads::{AlgoKind, JobSpec};
 use serde_json::{json, Value};
 
+/// Machine-readable error code: the daemon shed the request because a
+/// queue, quota, or connection limit is at capacity. Retry with backoff.
+pub const ERR_OVERLOADED: &str = "overloaded";
+/// Machine-readable error code: the daemon is draining for shutdown and
+/// admits no new work.
+pub const ERR_SHUTTING_DOWN: &str = "shutting_down";
+/// Machine-readable error code: the request line exceeded the daemon's
+/// line cap and was discarded unparsed.
+pub const ERR_LINE_TOO_LONG: &str = "line_too_long";
+
+/// Priority class of a submission, wired into the daemon's round-size
+/// policy: `Interactive` jobs join every round, while the number of
+/// `Batch` jobs admitted per round can be capped
+/// (`ServerConfig::max_batch_per_round`) so a latency-sensitive tenant is
+/// never stuck behind a hundred-job batch, and `Batch` submissions are
+/// shed first under eviction pressure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Latency-sensitive: admitted to every round, never shed by the
+    /// eviction-pressure signal.
+    Interactive,
+    /// Throughput work (the default): round admission may be capped and
+    /// overload sheds these first.
+    #[default]
+    Batch,
+}
+
+impl Priority {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<Priority> {
+        match s {
+            "interactive" => Some(Priority::Interactive),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+}
+
 /// A parsed client request.
 #[derive(Debug)]
 pub enum Request {
     /// Liveness / banner check.
     Ping,
     /// Submit a job; answered with its id immediately (the job runs in a
-    /// later sharing round).
-    Submit(JobSpec),
+    /// later sharing round). Carries the submitting tenant's identity
+    /// (`""` = anonymous) and priority class for admission control.
+    Submit { spec: JobSpec, tenant: String, priority: Priority },
     /// Non-blocking lifecycle query.
     Status(JobId),
     /// Block until the job finishes; answered with its report.
@@ -67,6 +124,9 @@ pub enum Request {
     IngestCommit,
     /// Drop this connection's staged mutations.
     IngestAbort,
+    /// Readiness/health probe: lease state, served generation, queue
+    /// depth, residency, uptime. Never blocks on the runtime.
+    Health,
 }
 
 /// Lifecycle of a submitted job, as reported by `status`.
@@ -98,6 +158,62 @@ impl JobState {
             "done" => Some(JobState::Done),
             _ => None,
         }
+    }
+}
+
+/// The `health` response payload: a cheap readiness probe that never
+/// blocks on the runtime thread (smokes poll it instead of sleeping).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HealthReport {
+    /// 1 when the daemon holds the store's writer lease (ingest enabled).
+    pub lease_held: bool,
+    /// Epoch of the held lease (0 without a lease).
+    pub lease_epoch: u64,
+    /// Data generation currently served.
+    pub generation: u64,
+    /// Submissions queued but not yet drained into a round.
+    pub queue_depth: u64,
+    /// Jobs currently running in the active round.
+    pub running: u64,
+    /// Store segment bytes modeled as page-cache resident.
+    pub resident_bytes: u64,
+    /// Milliseconds since the daemon started serving.
+    pub uptime_ms: u64,
+    /// Whether a shutdown has been requested (draining).
+    pub shutting_down: bool,
+}
+
+impl HealthReport {
+    /// Serializes to the `health` response payload.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "lease_held": u64::from(self.lease_held),
+            "lease_epoch": self.lease_epoch,
+            "generation": self.generation,
+            "queue_depth": self.queue_depth,
+            "running": self.running,
+            "resident_bytes": self.resident_bytes,
+            "uptime_ms": self.uptime_ms,
+            "shutting_down": self.shutting_down,
+        })
+    }
+
+    /// Decodes a `health` response payload.
+    pub fn from_json(v: &Value) -> Result<HealthReport, String> {
+        let u = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+        if v.get("generation").is_none() || v.get("uptime_ms").is_none() {
+            return Err("health payload missing generation/uptime_ms".to_string());
+        }
+        Ok(HealthReport {
+            lease_held: u("lease_held") != 0,
+            lease_epoch: u("lease_epoch"),
+            generation: u("generation"),
+            queue_depth: u("queue_depth"),
+            running: u("running"),
+            resident_bytes: u("resident_bytes"),
+            uptime_ms: u("uptime_ms"),
+            shutting_down: v.get("shutting_down").and_then(Value::as_bool).unwrap_or(false),
+        })
     }
 }
 
@@ -172,6 +288,24 @@ pub struct ServerStats {
     /// Commit groups published (≤ `ingest_commits`; the gap is the
     /// group-commit win).
     pub ingest_groups: u64,
+    /// Submissions rejected by admission control (queue full, tenant
+    /// quota, eviction pressure) with an `overloaded` error.
+    pub jobs_shed: u64,
+    /// Jobs that finished with an error report (injected or real read
+    /// faults, panicking kernels) instead of converging.
+    pub jobs_failed: u64,
+    /// Connections refused at accept because the connection limit was
+    /// reached.
+    pub connections_rejected: u64,
+    /// Request lines discarded for exceeding the line cap.
+    pub oversized_lines: u64,
+    /// Submissions queued but not yet drained (gauge, sampled at the last
+    /// queue transition).
+    pub queue_depth: u64,
+    /// EWMA of store partition evictions per round — the out-of-core
+    /// admission signal: past `ServerConfig::shed_eviction_rate`, batch
+    /// submissions are shed.
+    pub eviction_rate: f64,
 }
 
 impl ServerStats {
@@ -206,6 +340,12 @@ impl ServerStats {
             "lease_held": self.lease_held,
             "ingest_commits": self.ingest_commits,
             "ingest_groups": self.ingest_groups,
+            "jobs_shed": self.jobs_shed,
+            "jobs_failed": self.jobs_failed,
+            "connections_rejected": self.connections_rejected,
+            "oversized_lines": self.oversized_lines,
+            "queue_depth": self.queue_depth,
+            "eviction_rate": self.eviction_rate,
         })
     }
 
@@ -251,6 +391,15 @@ impl ServerStats {
             lease_held: v.get("lease_held").and_then(Value::as_u64).unwrap_or(0),
             ingest_commits: v.get("ingest_commits").and_then(Value::as_u64).unwrap_or(0),
             ingest_groups: v.get("ingest_groups").and_then(Value::as_u64).unwrap_or(0),
+            jobs_shed: v.get("jobs_shed").and_then(Value::as_u64).unwrap_or(0),
+            jobs_failed: v.get("jobs_failed").and_then(Value::as_u64).unwrap_or(0),
+            connections_rejected: v
+                .get("connections_rejected")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            oversized_lines: v.get("oversized_lines").and_then(Value::as_u64).unwrap_or(0),
+            queue_depth: v.get("queue_depth").and_then(Value::as_u64).unwrap_or(0),
+            eviction_rate: v.get("eviction_rate").and_then(Value::as_f64).unwrap_or(0.0),
         })
     }
 }
@@ -345,9 +494,11 @@ pub fn spec_from_json(v: &Value) -> Result<JobSpec, String> {
     Ok(JobSpec { kind, damping, root, max_iters })
 }
 
-/// Serializes a finished job's full report.
+/// Serializes a finished job's full report. The `error` member is
+/// present only on failed jobs (absent = converged normally), so older
+/// decoders keep working.
 pub fn report_to_json(r: &JobReport) -> Value {
-    json!({
+    let mut v = json!({
         "job_id": r.id,
         "name": r.name.as_str(),
         "iterations": r.iterations,
@@ -362,7 +513,13 @@ pub fn report_to_json(r: &JobReport) -> Value {
             "sync_ns": r.clock.sync_ns,
         }),
         "values": Value::Array(r.values.iter().map(|&v| f64_to_wire(v)).collect()),
-    })
+    });
+    if let Some(err) = &r.error {
+        if let Value::Object(map) = &mut v {
+            map.insert("error".to_string(), Value::String(err.clone()));
+        }
+    }
+    v
 }
 
 /// Decodes [`report_to_json`]'s encoding back into a [`JobReport`].
@@ -399,6 +556,7 @@ pub fn report_from_json(v: &Value) -> Result<JobReport, String> {
         submit_ns: f("submit_ns")?,
         finish_ns: f("finish_ns")?,
         values,
+        error: v.get("error").and_then(Value::as_str).map(str::to_string),
     })
 }
 
@@ -466,7 +624,23 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     };
     match cmd {
         "ping" => Ok(Request::Ping),
-        "submit" => Ok(Request::Submit(spec_from_json(&v)?)),
+        "submit" => {
+            let tenant = match v.get("tenant") {
+                None => String::new(),
+                Some(t) => t.as_str().ok_or("tenant must be a string")?.to_string(),
+            };
+            if tenant.len() > 256 {
+                return Err("tenant name exceeds 256 bytes".to_string());
+            }
+            let priority = match v.get("priority") {
+                None => Priority::default(),
+                Some(p) => {
+                    let name = p.as_str().ok_or("priority must be a string")?;
+                    Priority::from_name(name).ok_or_else(|| format!("unknown priority {name:?}"))?
+                }
+            };
+            Ok(Request::Submit { spec: spec_from_json(&v)?, tenant, priority })
+        }
         "status" => Ok(Request::Status(job_id()?)),
         "wait" => Ok(Request::Wait(job_id()?)),
         "stats" => Ok(Request::Stats),
@@ -476,6 +650,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "ingest_commit" => Ok(Request::IngestCommit),
         "ingest_abort" => Ok(Request::IngestAbort),
+        "health" => Ok(Request::Health),
         other => Err(format!("unknown cmd {other:?}")),
     }
 }
@@ -484,10 +659,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 pub fn request_to_json(req: &Request) -> Value {
     match req {
         Request::Ping => json!({ "cmd": "ping" }),
-        Request::Submit(spec) => {
+        Request::Submit { spec, tenant, priority } => {
             let mut v = spec_to_json(spec);
             if let Value::Object(map) = &mut v {
                 map.insert("cmd".to_string(), Value::String("submit".to_string()));
+                if !tenant.is_empty() {
+                    map.insert("tenant".to_string(), Value::String(tenant.clone()));
+                }
+                if *priority != Priority::default() {
+                    map.insert("priority".to_string(), Value::String(priority.name().to_string()));
+                }
             }
             v
         }
@@ -498,12 +679,19 @@ pub fn request_to_json(req: &Request) -> Value {
         Request::Ingest(ops) => json!({ "cmd": "ingest", "ops": ops_to_json(ops) }),
         Request::IngestCommit => json!({ "cmd": "ingest_commit" }),
         Request::IngestAbort => json!({ "cmd": "ingest_abort" }),
+        Request::Health => json!({ "cmd": "health" }),
     }
 }
 
 /// An `{"ok":false,...}` error response.
 pub fn error_response(msg: &str) -> Value {
     json!({ "ok": false, "error": msg })
+}
+
+/// An `{"ok":false,...}` error response with a machine-readable `code`
+/// ([`ERR_OVERLOADED`], [`ERR_SHUTTING_DOWN`], [`ERR_LINE_TOO_LONG`]).
+pub fn error_response_coded(msg: &str, code: &str) -> Value {
+    json!({ "ok": false, "error": msg, "code": code })
 }
 
 #[cfg(test)]
@@ -530,11 +718,13 @@ mod tests {
     #[test]
     fn submit_spec_round_trips_with_defaults() {
         let req = parse_request(r#"{"cmd":"submit","algo":"pagerank","damping":0.5}"#).unwrap();
-        let Request::Submit(spec) = req else { panic!("not a submit") };
+        let Request::Submit { spec, tenant, priority } = req else { panic!("not a submit") };
         assert_eq!(spec.kind, AlgoKind::PageRank);
         assert_eq!(spec.damping, 0.5);
         assert_eq!(spec.root, 0);
         assert_eq!(spec.max_iters, 30);
+        assert_eq!(tenant, "", "tenant defaults to anonymous");
+        assert_eq!(priority, Priority::Batch, "priority defaults to batch");
 
         let spec2 = JobSpec { kind: AlgoKind::Sssp, damping: 0.2, root: 77, max_iters: 9 };
         let back = spec_from_json(&spec_to_json(&spec2)).unwrap();
@@ -542,6 +732,58 @@ mod tests {
         assert_eq!(back.damping.to_bits(), spec2.damping.to_bits());
         assert_eq!(back.root, spec2.root);
         assert_eq!(back.max_iters, spec2.max_iters);
+    }
+
+    #[test]
+    fn submit_tenant_and_priority_round_trip() {
+        let req = parse_request(
+            r#"{"cmd":"submit","algo":"bfs","root":3,"tenant":"svc-a","priority":"interactive"}"#,
+        )
+        .unwrap();
+        let Request::Submit { tenant, priority, .. } = &req else { panic!("not a submit") };
+        assert_eq!(tenant, "svc-a");
+        assert_eq!(*priority, Priority::Interactive);
+        // Client encoding carries them back.
+        let line = serde_json::to_string(&request_to_json(&req)).unwrap();
+        let Request::Submit { tenant, priority, spec } = parse_request(&line).unwrap() else {
+            panic!("not a submit")
+        };
+        assert_eq!(tenant, "svc-a");
+        assert_eq!(priority, Priority::Interactive);
+        assert_eq!(spec.root, 3);
+        // Bad values are typed parse errors.
+        for line in [
+            r#"{"cmd":"submit","algo":"bfs","priority":"urgent"}"#,
+            r#"{"cmd":"submit","algo":"bfs","priority":7}"#,
+            r#"{"cmd":"submit","algo":"bfs","tenant":42}"#,
+        ] {
+            assert!(parse_request(line).is_err(), "accepted {line}");
+        }
+        for p in [Priority::Interactive, Priority::Batch] {
+            assert_eq!(Priority::from_name(p.name()), Some(p));
+        }
+    }
+
+    #[test]
+    fn health_and_coded_errors_round_trip() {
+        assert!(matches!(parse_request(r#"{"cmd":"health"}"#), Ok(Request::Health)));
+        let line = serde_json::to_string(&request_to_json(&Request::Health)).unwrap();
+        assert!(matches!(parse_request(&line), Ok(Request::Health)));
+        let h = HealthReport {
+            lease_held: true,
+            lease_epoch: 3,
+            generation: 7,
+            queue_depth: 12,
+            running: 4,
+            resident_bytes: 1 << 20,
+            uptime_ms: 1234,
+            shutting_down: false,
+        };
+        assert_eq!(HealthReport::from_json(&h.to_json()).unwrap(), h);
+        let e = error_response_coded("queue full", ERR_OVERLOADED);
+        assert_eq!(e.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(e.get("code").and_then(Value::as_str), Some(ERR_OVERLOADED));
+        assert_eq!(error_response("plain").get("code"), None);
     }
 
     #[test]
@@ -592,9 +834,20 @@ mod tests {
             submit_ns: 17.25,
             finish_ns: 1e12 + 0.5,
             values: vec![0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, 1.0 / 7.0],
+            error: None,
         };
         let line = serde_json::to_string(&report_to_json(&report)).unwrap();
+        assert!(!line.contains("error"), "completed reports omit the error member");
         let back = report_from_json(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(back.error, None);
+        // Failed reports carry the message through.
+        let failed = JobReport {
+            error: Some("crash injected at failpoint read:load".into()),
+            ..report.clone()
+        };
+        let line = serde_json::to_string(&report_to_json(&failed)).unwrap();
+        let back2 = report_from_json(&serde_json::from_str(&line).unwrap()).unwrap();
+        assert_eq!(back2.error.as_deref(), Some("crash injected at failpoint read:load"));
         assert_eq!(back.id, report.id);
         assert_eq!(back.name, report.name);
         assert_eq!(back.iterations, report.iterations);
@@ -641,6 +894,12 @@ mod tests {
             lease_held: 1,
             ingest_commits: 21,
             ingest_groups: 6,
+            jobs_shed: 4,
+            jobs_failed: 2,
+            connections_rejected: 3,
+            oversized_lines: 1,
+            queue_depth: 5,
+            eviction_rate: 2.5,
         };
         let back = ServerStats::from_json(&s.to_json()).unwrap();
         assert_eq!(back, s);

@@ -35,6 +35,7 @@ use graphm_core::PartitionSource;
 use graphm_graph::delta::{
     self, DeltaRecord, GenManifest, DELTA_HEADER_BYTES, DELTA_OP_DELETE, DELTA_RECORD_BYTES,
 };
+use graphm_graph::failpoint;
 use graphm_graph::segment::{validate_segment, Manifest, StoreLayout, SEGMENT_HEADER_BYTES};
 use graphm_graph::{AtomicBitmap, Edge, GraphError, Result, VertexId, EDGE_BYTES};
 use std::collections::{HashMap, VecDeque};
@@ -167,8 +168,10 @@ struct Segment {
 
 impl Segment {
     fn open(path: &Path, expect_edges: u64) -> Result<Segment> {
+        failpoint::hit("read:segment_open")?;
         if cfg!(target_endian = "little") {
             let view = FileView::open(&File::open(path)?)?;
+            failpoint::hit("read:segment_validate")?;
             let num_edges =
                 validate_segment(view.as_slice(), Some(expect_edges), &path.display().to_string())?
                     as usize;
@@ -229,6 +232,7 @@ struct DeltaSeg {
 
 impl DeltaSeg {
     fn open(path: &Path, expect_records: u64) -> Result<DeltaSeg> {
+        failpoint::hit("read:delta_open")?;
         if cfg!(target_endian = "little") {
             let view = FileView::open(&File::open(path)?)?;
             let num_records = delta::validate_delta_segment(
@@ -857,7 +861,29 @@ impl DiskStore {
         }
     }
 
+    /// Infallible load: real I/O failures on the mapped files surface as
+    /// SIGBUS (outside this model's scope); injected failpoints are only
+    /// checked on the fallible path. Kept for direct callers (figure
+    /// harnesses, out-degree scans) that run outside a serving runtime.
     fn load(&self, pid: usize) -> Arc<Vec<Edge>> {
+        match self.load_impl(pid, false) {
+            Ok(edges) => edges,
+            Err(_) => unreachable!("infallible load path returned an error"),
+        }
+    }
+
+    /// Fallible load for the serving runtimes: `read:load` guards the
+    /// whole operation, `read:merged` the materialization of a cache-miss
+    /// merged view. An error leaves the cache slot and residency counters
+    /// consistent — the next load retries from scratch.
+    fn try_load(&self, pid: usize) -> Result<Arc<Vec<Edge>>> {
+        self.load_impl(pid, true)
+    }
+
+    fn load_impl(&self, pid: usize, fallible: bool) -> Result<Arc<Vec<Edge>>> {
+        if fallible {
+            failpoint::hit("read:load")?;
+        }
         let view = self.view();
         let mut slot = self.cache[pid].lock().unwrap_or_else(|e| e.into_inner());
         let cached = if slot.generation == view.generation { slot.weak.upgrade() } else { None };
@@ -892,18 +918,27 @@ impl DiskStore {
             self.window.on_pressure();
         }
         if let Some(live) = cached {
-            return live;
+            return Ok(live);
+        }
+        if fallible {
+            failpoint::hit("read:merged")?;
         }
         let materialized = Arc::new(view.merged(pid));
         slot.generation = view.generation;
         slot.weak = Arc::downgrade(&materialized);
-        materialized
+        Ok(materialized)
     }
 
     /// Issues a readahead hint for `pid`'s files, at most once per load
     /// cycle (the flag re-arms when the partition is next loaded).
+    /// Prefetch is advisory: an injected (or real) failure here degrades
+    /// to "no hint" — the next load simply counts as a window miss.
     fn advise(&self, pid: usize) {
         if pid >= self.num_partitions() || self.advised[pid].swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if failpoint::hit("read:prefetch").is_err() {
+            self.advised[pid].store(false, Ordering::Release);
             return;
         }
         let start = Instant::now();
@@ -1137,6 +1172,10 @@ impl PartitionSource for DiskGridSource {
         self.store.load(pid)
     }
 
+    fn try_load(&self, pid: usize) -> Result<Arc<Vec<Edge>>> {
+        self.store.try_load(pid)
+    }
+
     fn partition_bytes(&self, pid: usize) -> usize {
         self.store.with_view(|v| v.load_bytes[pid] as usize)
     }
@@ -1287,6 +1326,10 @@ impl PartitionSource for DiskShardSource {
 
     fn load(&self, pid: usize) -> Arc<Vec<Edge>> {
         self.store.load(pid)
+    }
+
+    fn try_load(&self, pid: usize) -> Result<Arc<Vec<Edge>>> {
+        self.store.try_load(pid)
     }
 
     fn partition_bytes(&self, pid: usize) -> usize {
