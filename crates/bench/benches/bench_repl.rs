@@ -1,0 +1,51 @@
+//! Replication frame codec throughput: the per-generation cost a
+//! primary pays to ship and a follower pays to verify.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphm_graph::delta::DeltaRecord;
+use graphm_store::{decode_frame, encode_frame, FrameKind, ReplFrame};
+
+fn frame_with(records: usize) -> ReplFrame {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    let recs = (0..records)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = (x >> 40) as u32 & 0xffff;
+            let dst = (x >> 20) as u32 & 0xffff;
+            if x & 3 == 0 {
+                DeltaRecord::delete(src, dst)
+            } else {
+                DeltaRecord::insert(src, dst, (x & 0xff) as f32 * 0.25)
+            }
+        })
+        .collect();
+    ReplFrame { generation: 7, primary_epoch: 3, kind: FrameKind::Delta, records: recs }
+}
+
+fn bench_repl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repl_frame_codec");
+    for records in [100usize, 10_000, 1_000_000] {
+        let frame = frame_with(records);
+        let bytes = encode_frame(&frame);
+        group.throughput(Throughput::Elements(records as u64));
+        group.bench_with_input(BenchmarkId::new("encode", records), &frame, |b, f| {
+            b.iter(|| encode_frame(f))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", records), &bytes, |b, s| {
+            b.iter(|| decode_frame(s).unwrap())
+        });
+    }
+    group.finish();
+
+    // The rejection path followers hit on a corrupt byte: CRC check over
+    // the whole payload, typed error out.
+    let mut corrupt = encode_frame(&frame_with(10_000));
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    c.bench_function("repl_frame_reject_corrupt_10k", |b| {
+        b.iter(|| decode_frame(&corrupt).unwrap_err())
+    });
+}
+
+criterion_group!(benches, bench_repl);
+criterion_main!(benches);

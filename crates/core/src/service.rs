@@ -167,6 +167,22 @@ impl<'s> SharingService<'s> {
         }
     }
 
+    /// Releases the generation pin of a fully idle service so a
+    /// caller-side rotation poll can adopt a newly published generation
+    /// *now* instead of staging it behind this pin. Without this, a
+    /// service that has never stepped (a freshly started daemon) keeps
+    /// its construction-time pin, and the first round after a publish
+    /// would silently serve the preprocessing-time generation. No-op
+    /// while any job is unfinished — in-flight work must keep streaming
+    /// the generation its chunk tables describe. The next
+    /// [`SharingService::step`] re-pins whatever generation is then
+    /// current.
+    pub fn release_idle_pin(&mut self) {
+        if self.jobs_unfinished() == 0 {
+            self.unpin_source();
+        }
+    }
+
     /// Adds a submission (job + virtual arrival time). Jobs whose
     /// `submit_ns` has passed are admitted at the start of the next
     /// [`SharingService::step`]; future arrivals wait on the virtual

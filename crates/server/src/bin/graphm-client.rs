@@ -1,8 +1,9 @@
 //! `graphm-client` — command-line client for `graphm-server`.
 //!
 //! ```text
-//! graphm-client (--socket PATH | --tcp ADDR)
-//!               [--retries N] [--backoff-ms N] COMMAND
+//! graphm-client (--socket PATH | --tcp ADDR[,ADDR...])
+//!               [--retries N] [--backoff-ms N] [--auth-token TOKEN]
+//!               COMMAND
 //!
 //! commands:
 //!   submit ALGO [--damping X] [--root N] [--max-iters N] [--wait]
@@ -11,6 +12,8 @@
 //!   wait JOB_ID
 //!   stats
 //!   health
+//!   repl-status
+//!   promote
 //!   ping
 //!   shutdown
 //!   ingest-edge SRC,DST[,WEIGHT]
@@ -21,29 +24,41 @@
 //! `submit` prints `{"job_id":N}` (or, with `--wait`, the full report
 //! JSON); `wait` prints the report; `stats` prints the daemon counters;
 //! `health` prints the lease/generation/queue-depth snapshot (useful for
-//! readiness polling). The `ingest-*` commands stage their mutations and
-//! group-commit them in one connection, printing the durable generation
-//! (the daemon must run with `--ingest`).
+//! readiness polling); `repl-status` prints the replication ledger and
+//! `promote` takes a follower through the epoch fence to primary. The
+//! `ingest-*` commands stage their mutations and group-commit them in
+//! one connection, printing the durable generation (the daemon must run
+//! with `--ingest`).
 //!
-//! `--retries`/`--backoff-ms` add jittered exponential backoff on
-//! connect failures and on typed `overloaded` rejections, so scripted
-//! clients ride out daemon startup and load shedding instead of failing
-//! hard.
+//! `--tcp` accepts a comma-separated peer list (primary plus standbys):
+//! connect failures and typed `not_primary` redirects rotate to the
+//! next peer, so a scripted client rides through a failover. `--retries`
+//! /`--backoff-ms` add jittered exponential backoff on connect
+//! failures, `overloaded` rejections, and those rotations. A daemon
+//! started with `--auth-token` requires the same token here.
 
 use graphm_graph::delta::DeltaRecord;
+use graphm_server::client::{retry_delay, splitmix};
 use graphm_server::protocol::{report_to_json, spec_from_json};
 use graphm_server::{Client, ClientError, Priority};
 use serde_json::json;
 use std::process::exit;
-use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: graphm-client (--socket PATH | --tcp ADDR) [--retries N] [--backoff-ms N] COMMAND\n\
+        "usage: graphm-client (--socket PATH | --tcp ADDR[,ADDR...]) \
+         [--retries N] [--backoff-ms N] [--auth-token TOKEN] COMMAND\n\
          \n\
-         --retries N     retry connects and 'overloaded' rejections up to N\n\
-         \x20            times with jittered exponential backoff (default 0)\n\
+         --retries N     retry connects, 'overloaded' rejections, and\n\
+         \x20            'not_primary' redirects up to N times with jittered\n\
+         \x20            exponential backoff (default 0)\n\
          --backoff-ms N  base backoff delay in milliseconds (default 50)\n\
+         --auth-token T  authenticate with the daemon's shared secret before\n\
+         \x20            the command (required on TCP when the daemon was\n\
+         \x20            started with --auth-token)\n\
+         \n\
+         --tcp takes a comma-separated peer list (primary,standby,...);\n\
+         connect failures and not_primary redirects rotate to the next peer\n\
          \n\
          commands:\n\
          submit ALGO [--damping X] [--root N] [--max-iters N] [--wait]\n\
@@ -53,6 +68,8 @@ fn usage() -> ! {
          wait JOB_ID\n\
          stats\n\
          health                         lease / generation / queue snapshot\n\
+         repl-status                    replication role / lag / counters\n\
+         promote                        promote a follower to primary\n\
          ping\n\
          shutdown\n\
          ingest-edge SRC,DST[,WEIGHT]   insert one edge and commit\n\
@@ -63,38 +80,46 @@ fn usage() -> ! {
     exit(2);
 }
 
-/// SplitMix64: cheap deterministic stream for `ingest-random`.
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+/// Where and how to connect: one unix socket, or a rotating TCP peer
+/// list (primary plus standbys).
+struct Target {
+    socket: Option<String>,
+    tcp: Vec<String>,
+    auth_token: Option<String>,
+    /// Index into `tcp` of the peer to try next.
+    peer: usize,
 }
 
-/// Jittered exponential backoff: full jitter over `[base/2, base]` where
-/// `base = backoff_ms * 2^attempt` (capped), so a burst of shed clients
-/// doesn't retry in lockstep.
-fn retry_delay(backoff_ms: u64, attempt: u32, rng: &mut u64) -> Duration {
-    let base = backoff_ms.max(1).saturating_mul(1u64 << attempt.min(10));
-    let half = base / 2;
-    Duration::from_millis(half + splitmix(rng) % (base - half + 1))
+impl Target {
+    /// Rotates to the next TCP peer (no-op for unix or a single peer).
+    fn rotate(&mut self) {
+        if !self.tcp.is_empty() {
+            self.peer = (self.peer + 1) % self.tcp.len();
+        }
+    }
 }
 
-fn connect(socket: &Option<String>, tcp: &Option<String>, retries: u32, backoff_ms: u64) -> Client {
+fn connect(target: &mut Target, retries: u32, backoff_ms: u64) -> Client {
     let mut rng = 0x9e37_79b9 ^ u64::from(std::process::id());
     let mut attempt = 0u32;
     loop {
-        let result = match (socket, tcp) {
-            (Some(path), None) => Client::connect_unix(std::path::Path::new(path)),
-            (None, Some(addr)) => Client::connect_tcp(addr.as_str()),
+        let result = match (&target.socket, target.tcp.is_empty()) {
+            (Some(path), true) => Client::connect_unix(std::path::Path::new(path)),
+            (None, false) => Client::connect_tcp(target.tcp[target.peer].as_str()),
             _ => usage(),
         };
         match result {
-            Ok(client) => return client,
+            Ok(mut client) => {
+                if let Some(token) = &target.auth_token {
+                    // A wrong secret never fixes itself: fail hard.
+                    client.auth(token).unwrap_or_else(|e| fail(e));
+                }
+                return client;
+            }
             Err(e) if attempt < retries => {
                 let delay = retry_delay(backoff_ms, attempt, &mut rng);
                 attempt += 1;
+                target.rotate();
                 eprintln!(
                     "[graphm-client] connect failed ({e}); retry {attempt}/{retries} \
                      in {}ms",
@@ -117,7 +142,8 @@ fn fail(e: impl std::fmt::Display) -> ! {
 
 fn main() {
     let mut socket: Option<String> = None;
-    let mut tcp: Option<String> = None;
+    let mut tcp: Vec<String> = Vec::new();
+    let mut auth_token: Option<String> = None;
     let mut retries: u32 = 0;
     let mut backoff_ms: u64 = 50;
     let mut rest: Vec<String> = Vec::new();
@@ -126,7 +152,16 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--socket" => socket = Some(args.next().unwrap_or_else(|| usage())),
-            "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
+            "--tcp" => {
+                tcp = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--auth-token" => auth_token = Some(args.next().unwrap_or_else(|| usage())),
             "--retries" => {
                 retries = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
             }
@@ -145,7 +180,8 @@ fn main() {
         usage();
     }
 
-    let mut client = connect(&socket, &tcp, retries, backoff_ms);
+    let mut target = Target { socket, tcp, auth_token, peer: 0 };
+    let mut client = connect(&mut target, retries, backoff_ms);
     let job_id_arg = |rest: &[String]| -> usize {
         rest.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
     };
@@ -161,6 +197,14 @@ fn main() {
         "health" => {
             let health = client.health().unwrap_or_else(|e| fail(e));
             println!("{}", health.to_json());
+        }
+        "repl-status" => {
+            let repl = client.repl_status().unwrap_or_else(|e| fail(e));
+            println!("{repl}");
+        }
+        "promote" => {
+            let epoch = client.promote().unwrap_or_else(|e| fail(e));
+            println!("{}", json!({ "role": "primary", "epoch": epoch }));
         }
         "shutdown" => {
             client.shutdown_server().unwrap_or_else(|e| fail(e));
@@ -219,6 +263,9 @@ fn main() {
             let spec = spec_from_json(&params).unwrap_or_else(|e| fail(e));
             // Overloaded rejections are the daemon telling us to back
             // off, not a hard failure: retry on the same connection.
+            // not_primary redirects, stale replicas, and transport
+            // drops (a primary dying mid-failover) rotate the peer
+            // list and reconnect — the ride-through path for failover.
             let mut rng = 0xb5ad_4ece ^ u64::from(std::process::id());
             let mut attempt = 0u32;
             let id = loop {
@@ -233,6 +280,22 @@ fn main() {
                             delay.as_millis()
                         );
                         std::thread::sleep(delay);
+                    }
+                    Err(
+                        e @ (ClientError::NotPrimary(_)
+                        | ClientError::StaleReplica(_)
+                        | ClientError::Io(_)),
+                    ) if attempt < retries => {
+                        let delay = retry_delay(backoff_ms, attempt, &mut rng);
+                        attempt += 1;
+                        target.rotate();
+                        eprintln!(
+                            "[graphm-client] {e}; rotating peer, retry {attempt}/{retries} \
+                             in {}ms",
+                            delay.as_millis()
+                        );
+                        std::thread::sleep(delay);
+                        client = connect(&mut target, retries.saturating_sub(attempt), backoff_ms);
                     }
                     Err(e) => fail(e),
                 }

@@ -15,6 +15,8 @@
 //!               [--read-timeout-ms N] [--max-line-bytes N]
 //!               [--tenant-max-pending N] [--tenant-max-inflight N]
 //!               [--max-batch-per-round N] [--shed-eviction-rate R]
+//!               [--auth-token TOKEN] [--follow ADDR]
+//!               [--max-replica-lag N] [--repl-backoff-ms N]
 //! ```
 //!
 //! Setting `GRAPHM_FAILPOINT=point[@skip]` (e.g. `read:load@3`) arms a
@@ -70,6 +72,21 @@ fn usage() -> ! {
          --shed-eviction-rate R   shed batch submissions while the store's\n\
                               evictions-per-round EWMA exceeds R (default 0 =\n\
                               disabled)\n\
+         --auth-token TOKEN   require an 'auth' handshake with this shared\n\
+                              secret before any other request on TCP (unix\n\
+                              sockets are exempt; their SO_PEERCRED identity\n\
+                              is logged at accept)\n\
+         --follow ADDR        run as a follower replica: tail the primary at\n\
+                              ADDR (tcp), replay its published delta\n\
+                              generations into --store, and serve reads only\n\
+                              until promoted with 'graphm-client promote'\n\
+                              (incompatible with --ingest)\n\
+         --max-replica-lag N  follower staleness bound: reject submissions\n\
+                              with a typed 'stale_replica' error while more\n\
+                              than N generations behind the primary\n\
+                              (default 0 = serve at any lag)\n\
+         --repl-backoff-ms N  base delay for the follower's jittered\n\
+                              reconnect backoff (default 200)\n\
          \n\
          GRAPHM_FAILPOINT=point[@skip] arms a store read-path fault-injection\n\
          point (chaos testing), e.g. read:load@3\n\
@@ -100,6 +117,10 @@ fn main() {
     let mut tenant_max_inflight: usize = 0;
     let mut max_batch_per_round: usize = 0;
     let mut shed_eviction_rate: f64 = 0.0;
+    let mut auth_token: Option<String> = None;
+    let mut follow: Option<String> = None;
+    let mut max_replica_lag: u64 = 0;
+    let mut repl_backoff_ms: u64 = 200;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -171,6 +192,14 @@ fn main() {
                 shed_eviction_rate =
                     value("--shed-eviction-rate").parse().unwrap_or_else(|_| usage())
             }
+            "--auth-token" => auth_token = Some(value("--auth-token")),
+            "--follow" => follow = Some(value("--follow")),
+            "--max-replica-lag" => {
+                max_replica_lag = value("--max-replica-lag").parse().unwrap_or_else(|_| usage())
+            }
+            "--repl-backoff-ms" => {
+                repl_backoff_ms = value("--repl-backoff-ms").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -204,6 +233,10 @@ fn main() {
     config.tenant_max_inflight = tenant_max_inflight;
     config.max_batch_per_round = max_batch_per_round;
     config.shed_eviction_rate = shed_eviction_rate;
+    config.auth_token = auth_token;
+    config.follow = follow.clone();
+    config.max_replica_lag = max_replica_lag;
+    config.repl_backoff = Duration::from_millis(repl_backoff_ms);
 
     // Chaos harness: arm one process-global store read-path failpoint
     // from the environment, so CI can inject I/O faults into a stock
@@ -245,6 +278,9 @@ fn main() {
             "[graphm-server] ingest enabled: holding writer lease epoch {}",
             stats.lease_epoch
         );
+    }
+    if let Some(peer) = &follow {
+        eprintln!("[graphm-server] follower replica: tailing primary at {peer}");
     }
     // Park until a client requests shutdown; queued jobs drain first.
     server.join();

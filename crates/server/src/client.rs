@@ -6,8 +6,9 @@
 
 use crate::protocol::{
     report_from_json, request_to_json, HealthReport, JobState, Priority, Request, ServerStats,
-    ERR_OVERLOADED, ERR_SHUTTING_DOWN,
+    ERR_NOT_PRIMARY, ERR_OVERLOADED, ERR_SHUTTING_DOWN, ERR_STALE_REPLICA, ERR_UNAUTHORIZED,
 };
+use crate::repl::hex_decode;
 use graphm_core::{JobId, JobReport};
 use graphm_graph::delta::DeltaRecord;
 use graphm_workloads::JobSpec;
@@ -16,6 +17,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -29,6 +31,16 @@ pub enum ClientError {
     Overloaded(String),
     /// The server is shutting down and rejected new work.
     ShuttingDown(String),
+    /// The server requires authentication (`auth` with the shared
+    /// secret) before this request, or the presented token was wrong.
+    Unauthorized(String),
+    /// The server is a follower replica and rejected a primary-only
+    /// request; the message names the primary to redirect to. Retry the
+    /// peer list with backoff — see `graphm-client --tcp A,B`.
+    NotPrimary(String),
+    /// A follower replica refused a read because its replication lag
+    /// exceeds its `--max-replica-lag` staleness bound.
+    StaleReplica(String),
     /// The server answered `{"ok":false,...}` with this message.
     Server(String),
     /// The server answered something this client cannot decode.
@@ -41,6 +53,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Overloaded(m) => write!(f, "server overloaded: {m}"),
             ClientError::ShuttingDown(m) => write!(f, "server shutting down: {m}"),
+            ClientError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+            ClientError::NotPrimary(m) => write!(f, "not primary: {m}"),
+            ClientError::StaleReplica(m) => write!(f, "stale replica: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
@@ -76,6 +91,22 @@ impl Client {
         Ok(Client { reader: BufReader::new(Box::new(read)), writer: Box::new(stream) })
     }
 
+    /// Connects over TCP with a read timeout, so a caller tailing a
+    /// peer that dies silently (no RST) gets an `Io` error instead of
+    /// blocking forever. Pick a timeout comfortably above the server's
+    /// `repl_frames` long-poll window.
+    pub fn connect_tcp_with_timeout(
+        addr: impl ToSocketAddrs,
+        read_timeout: Duration,
+    ) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        if !read_timeout.is_zero() {
+            stream.set_read_timeout(Some(read_timeout))?;
+        }
+        let read = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(Box::new(read)), writer: Box::new(stream) })
+    }
+
     /// One request/response round trip.
     fn request(&mut self, req: &Request) -> Result<Value, ClientError> {
         let line =
@@ -100,6 +131,9 @@ impl Client {
                 Err(match v.get("code").and_then(Value::as_str) {
                     Some(ERR_OVERLOADED) => ClientError::Overloaded(msg),
                     Some(ERR_SHUTTING_DOWN) => ClientError::ShuttingDown(msg),
+                    Some(ERR_UNAUTHORIZED) => ClientError::Unauthorized(msg),
+                    Some(ERR_NOT_PRIMARY) => ClientError::NotPrimary(msg),
+                    Some(ERR_STALE_REPLICA) => ClientError::StaleReplica(msg),
                     _ => ClientError::Server(msg),
                 })
             }
@@ -215,5 +249,108 @@ impl Client {
             .and_then(Value::as_u64)
             .map(|n| n as usize)
             .ok_or_else(|| ClientError::Protocol("ingest_abort ack missing discarded".to_string()))
+    }
+
+    /// Presents the shared secret. Must be the first request on a TCP
+    /// connection to a daemon started with `--auth-token`; a no-op
+    /// elsewhere. A wrong token fails with
+    /// [`ClientError::Unauthorized`] (the connection stays open for a
+    /// retry).
+    pub fn auth(&mut self, token: &str) -> Result<(), ClientError> {
+        self.request(&Request::Auth { token: token.to_string() }).map(|_| ())
+    }
+
+    /// Subscribes this connection as a replication follower starting at
+    /// `from_generation`; returns the server's `(generation, epoch)`
+    /// high-water.
+    pub fn repl_subscribe(&mut self, from_generation: u64) -> Result<(u64, u64), ClientError> {
+        let v = self.request(&Request::ReplSubscribe { from_generation })?;
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ClientError::Protocol(format!("repl_subscribe ack missing {k}")))
+        };
+        Ok((field("generation")?, field("epoch")?))
+    }
+
+    /// Long-polls for up to `max` replication frames starting at
+    /// `from_generation` (implicitly acking everything below it).
+    /// Returns the server's published high-water and the decoded frame
+    /// bytes — possibly empty when the poll timed out with nothing new.
+    pub fn repl_frames(
+        &mut self,
+        from_generation: u64,
+        max: u64,
+    ) -> Result<(u64, Vec<Vec<u8>>), ClientError> {
+        let v = self.request(&Request::ReplFrames { from_generation, max })?;
+        let generation = v.get("generation").and_then(Value::as_u64).ok_or_else(|| {
+            ClientError::Protocol("repl_frames ack missing generation".to_string())
+        })?;
+        let hexes = v
+            .get("frames")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ClientError::Protocol("repl_frames ack missing frames".to_string()))?;
+        let mut frames = Vec::with_capacity(hexes.len());
+        for h in hexes {
+            let s =
+                h.as_str().ok_or_else(|| ClientError::Protocol("non-string frame".to_string()))?;
+            frames.push(hex_decode(s).map_err(ClientError::Protocol)?);
+        }
+        Ok((generation, frames))
+    }
+
+    /// The daemon's replication ledger (role, shipped/acked counters,
+    /// follower count, reconnects) as raw JSON.
+    pub fn repl_status(&mut self) -> Result<Value, ClientError> {
+        let v = self.request(&Request::ReplStatus)?;
+        v.get("repl")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("repl_status ack missing repl".to_string()))
+    }
+
+    /// Promotes a follower daemon to primary through the store's epoch
+    /// fence; returns the new lease epoch.
+    pub fn promote(&mut self) -> Result<u64, ClientError> {
+        let v = self.request(&Request::Promote)?;
+        v.get("epoch")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("promote ack missing epoch".to_string()))
+    }
+}
+
+/// SplitMix64 step: the cheap deterministic stream behind
+/// [`retry_delay`] jitter (and `graphm-client ingest-random`).
+pub fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Full-jitter exponential backoff: uniform over `[base/2, base]` where
+/// `base = backoff_ms * 2^attempt` (exponent capped at 10), so a burst
+/// of shed clients — or a fleet of followers reconnecting to a dead
+/// primary — doesn't retry in lockstep.
+pub fn retry_delay(backoff_ms: u64, attempt: u32, rng: &mut u64) -> Duration {
+    let base = backoff_ms.max(1).saturating_mul(1u64 << attempt.min(10));
+    let half = base / 2;
+    Duration::from_millis(half + splitmix(rng) % (base - half + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delay_stays_in_the_jitter_window() {
+        let mut rng = 42u64;
+        for attempt in 0..12u32 {
+            let base = 50u64.saturating_mul(1 << attempt.min(10));
+            for _ in 0..32 {
+                let d = retry_delay(50, attempt, &mut rng).as_millis() as u64;
+                assert!(d >= base / 2 && d <= base, "attempt {attempt}: {d} not in window");
+            }
+        }
     }
 }

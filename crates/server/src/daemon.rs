@@ -25,20 +25,34 @@
 //! only after [`ServerConfig::batch_window`] elapses, so a concurrent
 //! burst of submissions lands in one admission and shares from the first
 //! sweep. Jobs arriving mid-round join at the next sweep boundary.
+//!
+//! Roles: a daemon started with [`ServerConfig::follow`] runs as a
+//! **follower** — a tailer thread subscribes to the named primary,
+//! replays shipped replication frames through a
+//! [`graphm_store::ReplicaApplier`] into its own store directory, and
+//! the daemon serves read-only jobs on replicated generations (behind
+//! [`ServerConfig::max_replica_lag`]) until a `promote` request takes it
+//! through the store's epoch fence to primary.
 
+use crate::client::{retry_delay, Client, ClientError};
 use crate::ingest::IngestCoordinator;
 use crate::protocol::{
     error_response, error_response_coded, parse_request, report_to_json, HealthReport, JobState,
-    Priority, Request, ServerStats, ERR_LINE_TOO_LONG, ERR_OVERLOADED, ERR_SHUTTING_DOWN,
+    Priority, Request, ServerStats, ERR_LINE_TOO_LONG, ERR_NOT_PRIMARY, ERR_OVERLOADED,
+    ERR_SHUTTING_DOWN, ERR_STALE_REPLICA, ERR_UNAUTHORIZED,
 };
+use crate::repl::{hex_encode, ReplicationHub};
 use graphm_cachesim::VirtualClock;
 use graphm_core::{
     GraphJob, JobId, JobReport, PartitionSource, RunnerConfig, SharingService, WallClockConfig,
     WallClockExecutor,
 };
-use graphm_graph::delta::DeltaRecord;
+use graphm_graph::delta::{read_current_generation, DeltaRecord};
 use graphm_graph::{GraphError, MemoryProfile, Result};
-use graphm_store::{DeltaWriter, DiskGridSource, PrefetchTarget, Prefetcher};
+use graphm_store::{
+    decode_frame, read_generation_frame, DeltaWriter, DiskGridSource, PrefetchTarget, Prefetcher,
+    ReplicaApplier,
+};
 use graphm_workloads::JobSpec;
 use serde_json::{json, Value};
 use std::collections::{HashMap, VecDeque};
@@ -46,10 +60,24 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How long one `repl_frames` request may wait for a fresh publish
+/// before answering with an empty frame list. Followers poll with a
+/// read timeout comfortably above this (see [`REPL_READ_TIMEOUT`]).
+const REPL_LONG_POLL: Duration = Duration::from_millis(750);
+
+/// Follower tailer's socket read timeout, so a primary that dies
+/// without an RST surfaces as an `Io` error instead of a hung tailer.
+const REPL_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Backoff exponent cap for follower reconnects: caps the retry storm
+/// at `repl_backoff * 2^6` per attempt (attempts are counted and
+/// surfaced by `repl_status`).
+const REPL_MAX_BACKOFF_EXP: u32 = 6;
 
 /// How the runtime thread executes jobs.
 ///
@@ -186,6 +214,27 @@ pub struct ServerConfig {
     /// no longer fits the memory budget — adding batch work would only
     /// deepen the thrash.
     pub shed_eviction_rate: f64,
+    /// Shared-secret listener auth: when set, TCP connections must send
+    /// `auth` with this token before any other request (typed
+    /// `unauthorized` otherwise). Unix-socket connections are exempt —
+    /// the filesystem already gates them — but their `SO_PEERCRED`
+    /// identity is logged at accept, so tenant names are attributable.
+    pub auth_token: Option<String>,
+    /// Follower role: tail this primary address (TCP, e.g.
+    /// `"127.0.0.1:7421"`), replaying its replication frames into
+    /// `store_dir`. Mutually exclusive with [`ServerConfig::enable_ingest`]
+    /// (a follower owns its store's writer lease through the applier,
+    /// not the ingest coordinator) — `promote` flips the role live.
+    pub follow: Option<String>,
+    /// Follower staleness bound: reject `submit` with a typed
+    /// `stale_replica` error while the replica is more than this many
+    /// generations behind the primary's observed high-water
+    /// (0 = serve at any lag, the default).
+    pub max_replica_lag: u64,
+    /// Base delay for the follower tailer's full-jitter exponential
+    /// reconnect backoff (the same curve as `graphm-client
+    /// --backoff-ms`; exponent capped so retry storms stay bounded).
+    pub repl_backoff: Duration,
 }
 
 impl ServerConfig {
@@ -215,6 +264,10 @@ impl ServerConfig {
             tenant_max_inflight: 0,
             max_batch_per_round: 0,
             shed_eviction_rate: 0.0,
+            auth_token: None,
+            follow: None,
+            max_replica_lag: 0,
+            repl_backoff: Duration::from_millis(200),
         }
     }
 }
@@ -359,6 +412,28 @@ struct Shared {
     /// finish, letting an external writer take over without waiting for
     /// the daemon process to exit.
     ingest: Mutex<Option<Arc<IngestCoordinator>>>,
+    /// The served store directory, for rebuilding replication frames
+    /// from committed generations on demand.
+    store_dir: PathBuf,
+    /// Replication ledger and publish-notify signal (both roles).
+    hub: ReplicationHub,
+    /// Shared listener secret (see [`ServerConfig::auth_token`]).
+    auth_token: Option<String>,
+    /// `true` while this daemon is a follower replica; flipped to
+    /// `false` (primary) by a successful `promote`.
+    role_follower: AtomicBool,
+    /// The primary this follower tails (empty string on a primary).
+    peer: String,
+    /// Follower staleness bound (see [`ServerConfig::max_replica_lag`]).
+    max_replica_lag: u64,
+    /// Highest primary generation the tailer has observed — minus
+    /// `applied_gen`, the replica lag.
+    primary_gen_seen: AtomicU64,
+    /// Highest generation durably applied by this follower's applier.
+    applied_gen: AtomicU64,
+    /// The follower's frame applier; `promote` *takes* it to reopen the
+    /// store's writer through the epoch fence. `None` on primaries.
+    applier: Mutex<Option<ReplicaApplier>>,
 }
 
 impl Shared {
@@ -400,9 +475,39 @@ impl Shared {
             stats.ingest_commits = is.commits;
             stats.ingest_groups = is.groups;
         }
+        let hub = self.hub.snapshot();
+        stats.repl_frames_shipped = hub.frames_shipped;
+        stats.repl_frames_acked = hub.frames_acked;
+        stats.repl_followers = hub.followers;
+        stats.repl_reconnects = hub.reconnects;
         stats.queue_depth =
             self.queue.lock().unwrap_or_else(|e| e.into_inner()).pending.len() as u64;
         stats
+    }
+
+    /// Whether this daemon currently serves as a follower replica.
+    fn is_follower(&self) -> bool {
+        self.role_follower.load(Ordering::SeqCst)
+    }
+
+    /// How many generations this follower trails the primary's observed
+    /// high-water (0 on primaries by construction).
+    fn replica_lag(&self) -> u64 {
+        self.primary_gen_seen
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.applied_gen.load(Ordering::SeqCst))
+    }
+
+    /// The lease epoch frames from this daemon carry: the ingest
+    /// writer's on a primary, the applier's on a follower.
+    fn current_epoch(&self) -> u64 {
+        if let Some(ingest) = self.ingest_handle() {
+            return ingest.writer_stats().1;
+        }
+        match self.applier.lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
+            Some(applier) => applier.lease_epoch(),
+            None => self.hub.snapshot().epoch,
+        }
     }
 
     /// Clones the ingest coordinator handle, if still held (graceful
@@ -423,8 +528,13 @@ impl Shared {
                 let (_, epoch) = ingest.writer_stats();
                 (true, epoch)
             }
-            None => (false, 0),
+            // A follower holds its store's lease through the applier.
+            None => match self.applier.lock().unwrap_or_else(|e| e.into_inner()).as_ref() {
+                Some(applier) => (true, applier.lease_epoch()),
+                None => (false, 0),
+            },
         };
+        let follower = self.is_follower();
         HealthReport {
             lease_held,
             lease_epoch,
@@ -434,6 +544,9 @@ impl Shared {
             resident_bytes: self.store.residency_stats().resident_bytes,
             uptime_ms: self.started.elapsed().as_millis() as u64,
             shutting_down: self.shutdown.load(Ordering::SeqCst),
+            role: if follower { "follower".to_string() } else { "primary".to_string() },
+            replica_lag_generations: if follower { self.replica_lag() } else { 0 },
+            peer: if follower { self.peer.clone() } else { String::new() },
         }
     }
 
@@ -462,6 +575,13 @@ impl Server {
                 "server config needs a unix socket path or a tcp address".to_string(),
             ));
         }
+        if config.follow.is_some() && config.enable_ingest {
+            return Err(GraphError::Format(
+                "a follower cannot also serve ingest (it writes only replicated frames); \
+                 drop --ingest or --follow"
+                    .to_string(),
+            ));
+        }
         // Ingest acquires the writer lease up front: failing here (e.g. a
         // graphm-delta process holds the store) beats failing on the
         // first client commit. Opening the writer *before* the reader
@@ -472,6 +592,15 @@ impl Server {
         } else {
             None
         };
+        // A follower owns its store's writer lease through the frame
+        // applier instead — opened before the reader for the same
+        // WAL-replay reason (a follower killed mid-apply recovers to a
+        // publish boundary before serving).
+        let applier = if config.follow.is_some() {
+            Some(ReplicaApplier::open(&config.store_dir)?)
+        } else {
+            None
+        };
         let source = DiskGridSource::open_shared(&config.store_dir)?;
         source.set_memory_budget(config.memory_budget_bytes);
         source.set_adaptive_prefetch(config.adaptive_prefetch);
@@ -479,6 +608,12 @@ impl Server {
         let out_degrees = Mutex::new(Arc::new(source.out_degrees()));
         let num_vertices = PartitionSource::num_vertices(source.as_ref());
         let num_partitions = source.num_partitions() as u64;
+        let current_gen = source.delta_stats().generation;
+        let epoch = match (&ingest, &applier) {
+            (Some(ingest), _) => ingest.writer_stats().1,
+            (_, Some(applier)) => applier.lease_epoch(),
+            _ => 0,
+        };
 
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
@@ -515,6 +650,15 @@ impl Server {
             out_degrees,
             store: Arc::clone(&source),
             ingest: Mutex::new(ingest),
+            store_dir: config.store_dir.clone(),
+            hub: ReplicationHub::new(current_gen, epoch),
+            auth_token: config.auth_token.clone(),
+            role_follower: AtomicBool::new(config.follow.is_some()),
+            peer: config.follow.clone().unwrap_or_default(),
+            max_replica_lag: config.max_replica_lag,
+            primary_gen_seen: AtomicU64::new(current_gen),
+            applied_gen: AtomicU64::new(current_gen),
+            applier: Mutex::new(applier),
         });
 
         // Bind every listener *before* spawning any thread: a bind
@@ -601,6 +745,16 @@ impl Server {
                         publish_runtime_exit(&shared);
                     }
                 })
+                .map_err(|e| abort(&mut threads, e));
+            threads.push(spawned?);
+        }
+        if let Some(peer) = config.follow.clone() {
+            let shared = Arc::clone(&shared);
+            let token = config.auth_token.clone();
+            let backoff_ms = config.repl_backoff.as_millis().max(1) as u64;
+            let spawned = std::thread::Builder::new()
+                .name("graphm-repl-tail".to_string())
+                .spawn(move || follower_tail_loop(&shared, &peer, token.as_deref(), backoff_ms))
                 .map_err(|e| abort(&mut threads, e));
             threads.push(spawned?);
         }
@@ -742,6 +896,12 @@ fn runtime_loop(
         // per-generation). Jobs queued for this round run entirely
         // against the rotated graph.
         if auto_rotate {
+            // The idle service still holds its preprocessing-time
+            // generation pin; drop it so the refresh below adopts a new
+            // generation immediately instead of staging it behind the
+            // pin (this round's jobs must run on the rotated graph, not
+            // rotate it mid-flight at the first sweep boundary).
+            svc.release_idle_pin();
             if let Err(e) = store.refresh_generation() {
                 // A corrupt CURRENT / generation manifest must not look
                 // like "no publish happened": keep serving the pinned
@@ -1046,16 +1206,83 @@ fn publish_finished(
 // Listeners and connection handlers.
 // ---------------------------------------------------------------------------
 
-/// A connection split into transferable read/write halves.
-type ConnPair = (Box<dyn Read + Send>, Box<dyn Write + Send>);
+/// Transport identity of an accepted connection, for auth gating and
+/// peer-credential logging.
+#[derive(Clone, Copy, Debug)]
+enum ConnInfo {
+    /// Unix-domain connection. The filesystem already gates these, so
+    /// they are exempt from token auth, but their kernel-reported
+    /// `SO_PEERCRED` identity is logged at accept so tenant names are
+    /// attributable.
+    Unix,
+    /// TCP connection — the transport `--auth-token` gates.
+    Tcp,
+}
+
+/// A connection split into transferable read/write halves, plus who
+/// connected.
+type ConnPair = (Box<dyn Read + Send>, Box<dyn Write + Send>, ConnInfo);
 
 /// A polling accept function: `Ok(Some)` on connection, `Ok(None)` when
 /// none is pending (nonblocking), `Err` on listener failure.
 type Acceptor = Box<dyn FnMut() -> std::io::Result<Option<ConnPair>> + Send>;
 
+/// Reads the unix peer's kernel credentials (`SO_PEERCRED`): the uid,
+/// gid, and pid the kernel recorded at `connect`, unforgeable by the
+/// client. Declared directly (no libc crate — the binary links the
+/// system libc regardless).
+#[cfg(target_os = "linux")]
+fn peer_credentials(stream: &UnixStream) -> Option<(u32, u32, i32)> {
+    use std::os::unix::io::AsRawFd;
+    #[repr(C)]
+    struct Ucred {
+        pid: i32,
+        uid: u32,
+        gid: u32,
+    }
+    extern "C" {
+        fn getsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *mut core::ffi::c_void,
+            len: *mut u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_PEERCRED: i32 = 17;
+    let mut cred = Ucred { pid: 0, uid: 0, gid: 0 };
+    let mut len = std::mem::size_of::<Ucred>() as u32;
+    let rc = unsafe {
+        getsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_PEERCRED,
+            (&mut cred as *mut Ucred).cast(),
+            &mut len,
+        )
+    };
+    if rc == 0 && len as usize == std::mem::size_of::<Ucred>() {
+        Some((cred.uid, cred.gid, cred.pid))
+    } else {
+        None
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn peer_credentials(_stream: &UnixStream) -> Option<(u32, u32, i32)> {
+    None
+}
+
 fn listener_unix(listener: UnixListener, read_timeout: Duration) -> Acceptor {
     Box::new(move || match listener.accept() {
-        Ok((stream, _)) => Ok(Some(split_unix(stream, read_timeout)?)),
+        Ok((stream, _)) => {
+            if let Some((uid, gid, pid)) = peer_credentials(&stream) {
+                eprintln!("[graphm-server] unix peer connected: uid={uid} gid={gid} pid={pid}");
+            }
+            let (r, w) = split_unix(stream, read_timeout)?;
+            Ok(Some((r, w, ConnInfo::Unix)))
+        }
         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
         Err(e) => Err(e),
     })
@@ -1063,13 +1290,18 @@ fn listener_unix(listener: UnixListener, read_timeout: Duration) -> Acceptor {
 
 fn listener_tcp(listener: TcpListener, read_timeout: Duration) -> Acceptor {
     Box::new(move || match listener.accept() {
-        Ok((stream, _)) => Ok(Some(split_tcp(stream, read_timeout)?)),
+        Ok((stream, _)) => {
+            let (r, w) = split_tcp(stream, read_timeout)?;
+            Ok(Some((r, w, ConnInfo::Tcp)))
+        }
         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
         Err(e) => Err(e),
     })
 }
 
-fn split_unix(s: UnixStream, read_timeout: Duration) -> std::io::Result<ConnPair> {
+type SplitPair = (Box<dyn Read + Send>, Box<dyn Write + Send>);
+
+fn split_unix(s: UnixStream, read_timeout: Duration) -> std::io::Result<SplitPair> {
     s.set_nonblocking(false)?;
     if !read_timeout.is_zero() {
         s.set_read_timeout(Some(read_timeout))?;
@@ -1078,7 +1310,7 @@ fn split_unix(s: UnixStream, read_timeout: Duration) -> std::io::Result<ConnPair
     Ok((Box::new(r), Box::new(s)))
 }
 
-fn split_tcp(s: TcpStream, read_timeout: Duration) -> std::io::Result<ConnPair> {
+fn split_tcp(s: TcpStream, read_timeout: Duration) -> std::io::Result<SplitPair> {
     s.set_nonblocking(false)?;
     if !read_timeout.is_zero() {
         s.set_read_timeout(Some(read_timeout))?;
@@ -1100,7 +1332,7 @@ impl Drop for ConnGuard {
 fn accept_loop(mut accept: Acceptor, shared: &Arc<Shared>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match accept() {
-            Ok(Some((read, mut write))) => {
+            Ok(Some((read, mut write, info))) => {
                 // Connection limit: shed the accept with one typed error
                 // line instead of letting handler threads (each pinning a
                 // queue of blocking reads) grow without bound.
@@ -1125,7 +1357,7 @@ fn accept_loop(mut accept: Acceptor, shared: &Arc<Shared>) {
                 // shutdown wakes their waits.
                 let _ =
                     std::thread::Builder::new().name("graphm-conn".to_string()).spawn(move || {
-                        serve_connection(read, write, &guard.0);
+                        serve_connection(read, write, &guard.0, info);
                     });
             }
             Ok(None) => std::thread::sleep(Duration::from_millis(20)),
@@ -1223,12 +1455,45 @@ fn discard_to_newline(r: &mut BufReader<Box<dyn Read + Send>>) -> LineOutcome {
     }
 }
 
-fn serve_connection(read: Box<dyn Read + Send>, mut write: Box<dyn Write + Send>, shared: &Shared) {
+/// Per-connection session state.
+struct ConnState {
+    /// Mutations staged by this connection's `ingest` requests, awaiting
+    /// its `ingest_commit`/`ingest_abort`. Dropped with the connection: a
+    /// client that hangs up mid-session implicitly aborts.
+    staged: Vec<DeltaRecord>,
+    /// Whether this connection may issue non-`auth` requests: unix
+    /// transport and token-less daemons start authenticated; TCP under
+    /// `--auth-token` must earn it with the `auth` handshake first.
+    authed: bool,
+    /// Whether this connection `repl_subscribe`d, for the follower
+    /// gauge (decremented when the connection exits).
+    subscribed: bool,
+}
+
+fn serve_connection(
+    read: Box<dyn Read + Send>,
+    write: Box<dyn Write + Send>,
+    shared: &Shared,
+    info: ConnInfo,
+) {
+    let mut conn = ConnState {
+        staged: Vec::new(),
+        authed: shared.auth_token.is_none() || matches!(info, ConnInfo::Unix),
+        subscribed: false,
+    };
+    serve_requests(read, write, shared, &mut conn);
+    if conn.subscribed {
+        shared.hub.subscriber_left();
+    }
+}
+
+fn serve_requests(
+    read: Box<dyn Read + Send>,
+    mut write: Box<dyn Write + Send>,
+    shared: &Shared,
+    conn: &mut ConnState,
+) {
     let mut reader = BufReader::new(read);
-    // Mutations staged by this connection's `ingest` requests, awaiting
-    // its `ingest_commit`/`ingest_abort`. Dropped with the connection: a
-    // client that hangs up mid-session implicitly aborts.
-    let mut staged: Vec<DeltaRecord> = Vec::new();
     loop {
         let line = match read_bounded_line(&mut reader, shared.max_line_bytes) {
             LineOutcome::Eof | LineOutcome::Failed => return,
@@ -1254,8 +1519,22 @@ fn serve_connection(read: Box<dyn Read + Send>, mut write: Box<dyn Write + Send>
         let response = match parse_request(&line) {
             Err(msg) => error_response(&msg),
             Ok(req) => {
+                // Auth gate: an unauthenticated TCP connection may only
+                // authenticate. Everything else — including replication
+                // subscriptions — gets the typed `unauthorized` error
+                // (the connection stays open for a retry).
+                if !conn.authed && !matches!(req, Request::Auth { .. }) {
+                    let resp = error_response_coded(
+                        "authentication required: send auth with the shared token first",
+                        ERR_UNAUTHORIZED,
+                    );
+                    if write_line(write.as_mut(), &resp).is_err() {
+                        return;
+                    }
+                    continue;
+                }
                 let is_shutdown = matches!(req, Request::Shutdown);
-                let resp = respond(req, shared, &mut staged);
+                let resp = respond(req, shared, conn);
                 let _ = write_line(write.as_mut(), &resp);
                 if is_shutdown {
                     return;
@@ -1269,7 +1548,7 @@ fn serve_connection(read: Box<dyn Read + Send>, mut write: Box<dyn Write + Send>
     }
 }
 
-fn respond(req: Request, shared: &Shared, staged: &mut Vec<DeltaRecord>) -> Value {
+fn respond(req: Request, shared: &Shared, conn: &mut ConnState) -> Value {
     match req {
         Request::Ping => json!({ "ok": true, "pong": true }),
         Request::Stats => {
@@ -1287,17 +1566,171 @@ fn respond(req: Request, shared: &Shared, staged: &mut Vec<DeltaRecord>) -> Valu
             None => error_response(&format!("unknown job {id}")),
         },
         Request::Wait(id) => wait_for(shared, id),
-        Request::Ingest(ops) => ingest_stage(shared, staged, ops),
-        Request::IngestCommit => ingest_commit(shared, staged),
+        Request::Ingest(ops) => ingest_stage(shared, &mut conn.staged, ops),
+        Request::IngestCommit => ingest_commit(shared, &mut conn.staged),
         Request::IngestAbort => {
-            let discarded = staged.len();
-            staged.clear();
+            let discarded = conn.staged.len();
+            conn.staged.clear();
             json!({ "ok": true, "discarded": discarded })
         }
+        Request::Auth { token } => auth_check(shared, conn, &token),
+        Request::ReplSubscribe { from_generation } => repl_subscribe(shared, conn, from_generation),
+        Request::ReplFrames { from_generation, max } => repl_frames(shared, from_generation, max),
+        Request::ReplStatus => json!({ "ok": true, "repl": repl_status_json(shared) }),
+        Request::Promote => promote(shared),
+    }
+}
+
+/// Validates the shared secret. Byte-folded comparison so a mismatch
+/// costs the same regardless of where the tokens diverge.
+fn auth_check(shared: &Shared, conn: &mut ConnState, token: &str) -> Value {
+    let ok = match &shared.auth_token {
+        // No secret configured: the handshake is a no-op courtesy.
+        None => true,
+        Some(expected) => {
+            let a = expected.as_bytes();
+            let b = token.as_bytes();
+            let mut diff = a.len() ^ b.len();
+            for i in 0..a.len().max(b.len()) {
+                let x = a.get(i).copied().unwrap_or(0);
+                let y = b.get(i).copied().unwrap_or(0);
+                diff |= (x ^ y) as usize;
+            }
+            diff == 0
+        }
+    };
+    if ok {
+        conn.authed = true;
+        json!({ "ok": true, "authenticated": true })
+    } else {
+        let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.auth_failures += 1;
+        drop(stats);
+        error_response_coded("bad auth token", ERR_UNAUTHORIZED)
+    }
+}
+
+/// Registers this connection as a follower and reports the publish
+/// high-water so the subscriber can size its catch-up.
+fn repl_subscribe(shared: &Shared, conn: &mut ConnState, from_generation: u64) -> Value {
+    if !conn.subscribed {
+        conn.subscribed = true;
+        shared.hub.subscriber_joined();
+    }
+    shared.hub.note_acked(from_generation.saturating_sub(1));
+    let current = current_generation(shared);
+    shared.hub.notify_published(current);
+    json!({ "ok": true, "generation": current, "epoch": shared.current_epoch() })
+}
+
+/// The store's durably committed generation, read fresh from `CURRENT`
+/// so frames ship even when the publisher is an external process the
+/// hub never hears from.
+fn current_generation(shared: &Shared) -> u64 {
+    read_current_generation(&shared.store_dir).unwrap_or(0)
+}
+
+/// Ships up to `max` frames starting at `from_generation`, rebuilding
+/// each from the committed on-disk generation (manifest + delta
+/// segments) — the same path whether the follower is live-tailing or
+/// catching up after downtime. Long-polls briefly when the follower is
+/// already caught up, so tailing costs one request per publish, not a
+/// busy loop.
+fn repl_frames(shared: &Shared, from_generation: u64, max: u64) -> Value {
+    if from_generation == 0 {
+        return error_response(
+            "from_generation must be >= 1 (generation 0 is the base store; seed followers \
+             by copying it)",
+        );
+    }
+    shared.hub.note_acked(from_generation - 1);
+    let epoch = shared.current_epoch();
+    // Long-poll: wait for a publish notification, then confirm against
+    // CURRENT (covers external writers, which never notify the hub).
+    let deadline = Instant::now() + REPL_LONG_POLL;
+    let mut current = current_generation(shared);
+    while current < from_generation
+        && !shared.shutdown.load(Ordering::SeqCst)
+        && Instant::now() < deadline
+    {
+        shared.hub.wait_published(from_generation, Duration::from_millis(50));
+        current = current_generation(shared);
+    }
+    shared.hub.notify_published(current);
+    let mut frames = Vec::new();
+    let mut gen = from_generation;
+    while gen <= current && (frames.len() as u64) < max.max(1) {
+        match read_generation_frame(&shared.store_dir, gen, epoch) {
+            Ok(frame) => {
+                frames.push(Value::String(hex_encode(&graphm_store::encode_frame(&frame))))
+            }
+            Err(e) => {
+                // A retired or unreadable generation cannot be shipped;
+                // the follower must re-seed from a store copy.
+                return error_response(&format!("cannot ship generation {gen}: {e}"));
+            }
+        }
+        gen += 1;
+    }
+    shared.hub.note_shipped(frames.len() as u64);
+    json!({ "ok": true, "generation": current, "epoch": epoch, "frames": frames })
+}
+
+/// The replication ledger for `repl_status`.
+fn repl_status_json(shared: &Shared) -> Value {
+    let hub = shared.hub.snapshot();
+    let follower = shared.is_follower();
+    json!({
+        "role": if follower { "follower" } else { "primary" },
+        "peer": if follower { shared.peer.as_str() } else { "" },
+        "generation": shared.applied_gen.load(Ordering::SeqCst),
+        "primary_generation": shared.primary_gen_seen.load(Ordering::SeqCst),
+        "replica_lag_generations": if follower { shared.replica_lag() } else { 0 },
+        "epoch": shared.current_epoch(),
+        "frames_shipped": hub.frames_shipped,
+        "frames_acked": hub.frames_acked,
+        "acked_generation": hub.acked_generation,
+        "followers": hub.followers,
+        "reconnects": hub.reconnects,
+    })
+}
+
+/// Promotes a follower to primary: takes the applier, reopens the
+/// store's writer through the epoch fence (`epoch + 1` — the fenced
+/// ex-primary's next publish fails with `EpochFenced`), and installs a
+/// fresh ingest coordinator so mutation verbs start landing here.
+fn promote(shared: &Shared) -> Value {
+    if !shared.is_follower() {
+        return error_response("already primary");
+    }
+    let taken = shared.applier.lock().unwrap_or_else(|e| e.into_inner()).take();
+    let Some(applier) = taken else {
+        return error_response("promotion already in flight");
+    };
+    match applier.promote() {
+        Ok(writer) => {
+            let epoch = writer.lease_epoch();
+            let generation = writer.generation();
+            *shared.ingest.lock().unwrap_or_else(|e| e.into_inner()) =
+                Some(Arc::new(IngestCoordinator::new(writer)));
+            shared.role_follower.store(false, Ordering::SeqCst);
+            shared.hub.set_epoch(epoch);
+            shared.hub.notify_published(generation);
+            shared.primary_gen_seen.store(generation, Ordering::SeqCst);
+            shared.applied_gen.store(generation, Ordering::SeqCst);
+            eprintln!("[graphm-server] promoted to primary at lease epoch {epoch}");
+            json!({ "ok": true, "role": "primary", "epoch": epoch })
+        }
+        // The applier was consumed: this follower can no longer tail and
+        // needs an operator restart. Failing loudly beats a half-role.
+        Err(e) => error_response(&format!("promotion failed (restart this follower): {e}")),
     }
 }
 
 fn ingest_stage(shared: &Shared, staged: &mut Vec<DeltaRecord>, ops: Vec<DeltaRecord>) -> Value {
+    if let Some(resp) = reject_if_follower(shared) {
+        return resp;
+    }
     if shared.ingest_handle().is_none() {
         return error_response("ingest is disabled (start the server with --ingest)");
     }
@@ -1321,7 +1754,24 @@ fn ingest_stage(shared: &Shared, staged: &mut Vec<DeltaRecord>, ops: Vec<DeltaRe
     json!({ "ok": true, "staged": staged.len() })
 }
 
+/// Typed `not_primary` redirect for mutation verbs on a follower: the
+/// message names the primary so clients can rotate their peer list.
+fn reject_if_follower(shared: &Shared) -> Option<Value> {
+    if !shared.is_follower() {
+        return None;
+    }
+    let msg = if shared.peer.is_empty() {
+        "not primary: this daemon is a follower replica".to_string()
+    } else {
+        format!("not primary: this daemon follows {}; redirect writes there", shared.peer)
+    };
+    Some(error_response_coded(&msg, ERR_NOT_PRIMARY))
+}
+
 fn ingest_commit(shared: &Shared, staged: &mut Vec<DeltaRecord>) -> Value {
+    if let Some(resp) = reject_if_follower(shared) {
+        return resp;
+    }
     let Some(ingest) = shared.ingest_handle() else {
         return error_response("ingest is disabled (start the server with --ingest)");
     };
@@ -1330,12 +1780,20 @@ fn ingest_commit(shared: &Shared, staged: &mut Vec<DeltaRecord>) -> Value {
     }
     let records = staged.len();
     match ingest.commit(std::mem::take(staged)) {
-        Ok(outcome) => json!({
-            "ok": true,
-            "generation": outcome.generation,
-            "records": records,
-            "group": outcome.group_size,
-        }),
+        Ok(outcome) => {
+            // Wake follower long-polls: the generation is durable on
+            // disk, so `repl_frames` can rebuild and ship it now.
+            // fetch_max: concurrent group leaders report out of order.
+            shared.hub.notify_published(outcome.generation);
+            shared.applied_gen.fetch_max(outcome.generation, Ordering::SeqCst);
+            shared.primary_gen_seen.fetch_max(outcome.generation, Ordering::SeqCst);
+            json!({
+                "ok": true,
+                "generation": outcome.generation,
+                "records": records,
+                "group": outcome.group_size,
+            })
+        }
         Err(msg) => error_response(&msg),
     }
 }
@@ -1343,6 +1801,22 @@ fn ingest_commit(shared: &Shared, staged: &mut Vec<DeltaRecord>) -> Value {
 fn submit(spec: JobSpec, tenant: String, priority: Priority, shared: &Shared) -> Value {
     if shared.shutdown.load(Ordering::SeqCst) {
         return error_response_coded("server is shutting down", ERR_SHUTTING_DOWN);
+    }
+    // Staleness bound: a follower that knows it trails the primary by
+    // more than the configured lag refuses reads rather than serving
+    // arbitrarily old state (0 = serve at any lag).
+    if shared.is_follower() && shared.max_replica_lag > 0 {
+        let lag = shared.replica_lag();
+        if lag > shared.max_replica_lag {
+            return error_response_coded(
+                &format!(
+                    "replica is {lag} generations behind the primary \
+                     (staleness bound {}); retry with backoff or read the primary",
+                    shared.max_replica_lag
+                ),
+                ERR_STALE_REPLICA,
+            );
+        }
     }
     if spec.root >= shared.num_vertices {
         return error_response(&format!(
@@ -1453,6 +1927,101 @@ fn wait_for(shared: &Shared, id: JobId) -> Value {
                 }
                 jobs = shared.done_cv.wait(jobs).unwrap_or_else(|e| e.into_inner());
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Follower tailer.
+// ---------------------------------------------------------------------------
+
+/// Shutdown-aware sleep in small slices, so a follower deep in reconnect
+/// backoff still joins a shutdown promptly.
+fn sleep_interruptible(shared: &Shared, total: Duration) {
+    let deadline = Instant::now() + total;
+    loop {
+        let now = Instant::now();
+        if now >= deadline || shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25).min(deadline - now));
+    }
+}
+
+/// The follower's tailer thread: tail sessions against the primary,
+/// reconnected with the client's full-jitter exponential backoff
+/// (exponent capped at [`REPL_MAX_BACKOFF_EXP`]; every attempt lands in
+/// `repl_status.reconnects`, so a retry storm is visible, bounded, and
+/// log-rate-limited). Exits on shutdown or promotion.
+fn follower_tail_loop(shared: &Arc<Shared>, peer: &str, token: Option<&str>, backoff_ms: u64) {
+    let mut rng = 0x5bd1_e995 ^ u64::from(std::process::id());
+    let mut attempt = 0u32;
+    while !shared.shutdown.load(Ordering::SeqCst) && shared.is_follower() {
+        match tail_once(shared, peer, token) {
+            Ok(()) => return, // shutdown or promotion ended the tail cleanly
+            Err(e) => {
+                if shared.shutdown.load(Ordering::SeqCst) || !shared.is_follower() {
+                    return;
+                }
+                let total = shared.hub.note_reconnect();
+                let delay = retry_delay(backoff_ms, attempt.min(REPL_MAX_BACKOFF_EXP), &mut rng);
+                // First few attempts verbosely, then every 16th: a dead
+                // primary at the backoff cap must not flood the log.
+                if total <= 4 || total.is_multiple_of(16) {
+                    eprintln!(
+                        "[graphm-server] replication tail to {peer} failed ({e}); \
+                         reconnect attempt {total} in {}ms",
+                        delay.as_millis()
+                    );
+                }
+                attempt = attempt.saturating_add(1);
+                sleep_interruptible(shared, delay);
+            }
+        }
+    }
+}
+
+/// One tail session: subscribe at our next generation, long-poll frames,
+/// and apply them in order through the store's publish path. Any failure
+/// — transport, a corrupt frame, an injected apply fault — returns `Err`
+/// and the caller reconnects with backoff; the applier's own atomicity
+/// guarantees the store is at a publish boundary either way.
+fn tail_once(
+    shared: &Arc<Shared>,
+    peer: &str,
+    token: Option<&str>,
+) -> std::result::Result<(), String> {
+    let mut client = Client::connect_tcp_with_timeout(peer, REPL_READ_TIMEOUT)
+        .map_err(|e| format!("connect: {e}"))?;
+    if let Some(token) = token {
+        client.auth(token).map_err(|e| format!("auth: {e}"))?;
+    }
+    let from = shared.applied_gen.load(Ordering::SeqCst) + 1;
+    let (pgen, _epoch) = client.repl_subscribe(from).map_err(|e| format!("subscribe: {e}"))?;
+    shared.primary_gen_seen.fetch_max(pgen, Ordering::SeqCst);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || !shared.is_follower() {
+            return Ok(());
+        }
+        let next = shared.applied_gen.load(Ordering::SeqCst) + 1;
+        let (pgen, frames) = match client.repl_frames(next, 16) {
+            Ok(r) => r,
+            Err(ClientError::NotPrimary(m)) => return Err(format!("peer is not primary: {m}")),
+            Err(e) => return Err(format!("poll: {e}")),
+        };
+        shared.primary_gen_seen.fetch_max(pgen, Ordering::SeqCst);
+        for raw in frames {
+            let frame = decode_frame(&raw).map_err(|e| format!("frame decode: {e}"))?;
+            let mut guard = shared.applier.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(applier) = guard.as_mut() else {
+                return Ok(()); // promotion took the applier mid-batch
+            };
+            applier
+                .apply(&frame)
+                .map_err(|e| format!("apply generation {}: {e}", frame.generation))?;
+            let applied = applier.generation();
+            drop(guard);
+            shared.applied_gen.fetch_max(applied, Ordering::SeqCst);
         }
     }
 }

@@ -16,7 +16,11 @@
 //! * [`client`] — [`Client`]: a blocking connection wrapper;
 //! * [`ingest`] — [`IngestCoordinator`]: group-commit mutation sessions
 //!   through the store's single leased writer (opt-in via
-//!   [`ServerConfig::enable_ingest`]).
+//!   [`ServerConfig::enable_ingest`]);
+//! * [`repl`] — [`ReplicationHub`] and the hex frame transport behind
+//!   hot-standby replication: a follower daemon
+//!   ([`ServerConfig::follow`]) tails the primary's committed delta
+//!   generations and promotes through the store's epoch fence.
 //!
 //! Binaries: `graphm-server` (the daemon) and `graphm-client` (submit /
 //! status / wait / stats / shutdown from the command line); convert a
@@ -55,11 +59,13 @@ pub mod client;
 pub mod daemon;
 pub mod ingest;
 pub mod protocol;
+pub mod repl;
 
-pub use client::{Client, ClientError};
+pub use client::{retry_delay, splitmix, Client, ClientError};
 pub use daemon::{ExecutionMode, Server, ServerConfig};
 pub use ingest::{CommitOutcome, IngestCoordinator, IngestStats};
 pub use protocol::{
-    HealthReport, JobState, Priority, Request, ServerStats, ERR_LINE_TOO_LONG, ERR_OVERLOADED,
-    ERR_SHUTTING_DOWN,
+    HealthReport, JobState, Priority, Request, ServerStats, ERR_LINE_TOO_LONG, ERR_NOT_PRIMARY,
+    ERR_OVERLOADED, ERR_SHUTTING_DOWN, ERR_STALE_REPLICA, ERR_UNAUTHORIZED,
 };
+pub use repl::{hex_decode, hex_encode, HubSnapshot, ReplicationHub};

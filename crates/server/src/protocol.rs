@@ -15,6 +15,11 @@
 //! | `{"cmd":"ingest_commit"}` | `{"ok":true,"generation":G,"records":N,"group":K}` |
 //! | `{"cmd":"ingest_abort"}` | `{"ok":true,"discarded":N}` |
 //! | `{"cmd":"health"}` | `{"ok":true,"health":{...}}` |
+//! | `{"cmd":"auth","token":"..."}` | `{"ok":true,"authenticated":true}` |
+//! | `{"cmd":"repl_subscribe","from_generation":G}` | `{"ok":true,"generation":N,"epoch":E}` |
+//! | `{"cmd":"repl_frames","from_generation":G,"max":K}` | `{"ok":true,"generation":N,"frames":["<hex>",...]}` |
+//! | `{"cmd":"repl_status"}` | `{"ok":true,"repl":{...}}` |
+//! | `{"cmd":"promote"}` | `{"ok":true,"role":"primary","epoch":E}` |
 //!
 //! `submit` additionally accepts optional `tenant` (string identity the
 //! daemon applies per-tenant admission quotas to; defaults to the
@@ -25,8 +30,22 @@
 //! open; only `shutdown`, EOF, or a transport error end it. Overload and
 //! lifecycle rejections additionally carry a machine-readable `"code"`
 //! member ([`ERR_OVERLOADED`], [`ERR_SHUTTING_DOWN`],
-//! [`ERR_LINE_TOO_LONG`]) so clients can distinguish "retry later" from
+//! [`ERR_LINE_TOO_LONG`], [`ERR_UNAUTHORIZED`], [`ERR_NOT_PRIMARY`],
+//! [`ERR_STALE_REPLICA`]) so clients can distinguish "retry later" from
 //! "bad request" without parsing prose.
+//!
+//! ## Replication and roles
+//!
+//! `repl_subscribe` / `repl_frames` exist on primaries (ingest-enabled
+//! daemons): a follower subscribes, then pulls committed generation
+//! frames — hex-encoded [`graphm_store::replica`] binary frames — in
+//! order. Followers answer write verbs (`ingest*`) and the replication
+//! source verbs with a typed [`ERR_NOT_PRIMARY`] redirect naming their
+//! primary; `promote` turns a follower into a primary through the
+//! writer-lease epoch fence. Daemons started with `--auth-token` demand
+//! an `auth` verb before anything else on TCP connections
+//! ([`ERR_UNAUTHORIZED`] otherwise); unix-socket peers are identified by
+//! `SO_PEERCRED` instead.
 //!
 //! ## Ingest sessions
 //!
@@ -63,6 +82,17 @@ pub const ERR_SHUTTING_DOWN: &str = "shutting_down";
 /// Machine-readable error code: the request line exceeded the daemon's
 /// line cap and was discarded unparsed.
 pub const ERR_LINE_TOO_LONG: &str = "line_too_long";
+/// Machine-readable error code: the connection has not authenticated
+/// (daemons started with `--auth-token` require an `auth` verb first on
+/// TCP) or presented a wrong token.
+pub const ERR_UNAUTHORIZED: &str = "unauthorized";
+/// Machine-readable error code: a write/replication-source verb reached
+/// a follower. The error message names the current primary (`peer`);
+/// clients should redirect there and retry with backoff.
+pub const ERR_NOT_PRIMARY: &str = "not_primary";
+/// Machine-readable error code: a follower refused a read because its
+/// replica lag exceeds the `--max-replica-lag` staleness bound.
+pub const ERR_STALE_REPLICA: &str = "stale_replica";
 
 /// Priority class of a submission, wired into the daemon's round-size
 /// policy: `Interactive` jobs join every round, while the number of
@@ -127,6 +157,25 @@ pub enum Request {
     /// Readiness/health probe: lease state, served generation, queue
     /// depth, residency, uptime. Never blocks on the runtime.
     Health,
+    /// Authenticates this connection against the daemon's shared secret
+    /// (`--auth-token`). Must be the first verb on TCP when a token is
+    /// configured.
+    Auth { token: String },
+    /// Registers this connection as a replication follower, declaring
+    /// the generation it already has. Answered with the primary's
+    /// current generation and lease epoch.
+    ReplSubscribe { from_generation: u64 },
+    /// Pulls committed replication frames for generations
+    /// `(from_generation, from_generation + max]`. Long-polls briefly
+    /// when the follower is already caught up. Requesting from
+    /// generation G acknowledges everything at or below G.
+    ReplFrames { from_generation: u64, max: u64 },
+    /// Replication status snapshot: role, peer, lag, frames
+    /// shipped/acked, follower count, reconnect storms.
+    ReplStatus,
+    /// Promotes a follower to primary: stops tailing, fences its own
+    /// writer lease at `epoch + 1`, and enables ingest.
+    Promote,
 }
 
 /// Lifecycle of a submitted job, as reported by `status`.
@@ -181,6 +230,13 @@ pub struct HealthReport {
     pub uptime_ms: u64,
     /// Whether a shutdown has been requested (draining).
     pub shutting_down: bool,
+    /// `"primary"` or `"follower"`.
+    pub role: String,
+    /// Generations the follower is behind the primary (0 on a primary).
+    pub replica_lag_generations: u64,
+    /// The replication peer: the primary a follower tails (empty on a
+    /// primary).
+    pub peer: String,
 }
 
 impl HealthReport {
@@ -195,6 +251,9 @@ impl HealthReport {
             "resident_bytes": self.resident_bytes,
             "uptime_ms": self.uptime_ms,
             "shutting_down": self.shutting_down,
+            "role": self.role.as_str(),
+            "replica_lag_generations": self.replica_lag_generations,
+            "peer": self.peer.as_str(),
         })
     }
 
@@ -213,6 +272,11 @@ impl HealthReport {
             resident_bytes: u("resident_bytes"),
             uptime_ms: u("uptime_ms"),
             shutting_down: v.get("shutting_down").and_then(Value::as_bool).unwrap_or(false),
+            // Replication fields postdate the first release; an older
+            // daemon is a primary with no peer.
+            role: v.get("role").and_then(Value::as_str).unwrap_or("primary").to_string(),
+            replica_lag_generations: u("replica_lag_generations"),
+            peer: v.get("peer").and_then(Value::as_str).unwrap_or("").to_string(),
         })
     }
 }
@@ -306,6 +370,18 @@ pub struct ServerStats {
     /// admission signal: past `ServerConfig::shed_eviction_rate`, batch
     /// submissions are shed.
     pub eviction_rate: f64,
+    /// Replication frames shipped to followers (live or catch-up).
+    pub repl_frames_shipped: u64,
+    /// Generations followers have acknowledged (a follower's next
+    /// `repl_frames` request acks everything below its start).
+    pub repl_frames_acked: u64,
+    /// Follower connections currently subscribed.
+    pub repl_followers: u64,
+    /// Follower-side reconnect attempts to the primary (gauge of retry
+    /// storms; 0 on a primary).
+    pub repl_reconnects: u64,
+    /// Connections that failed the shared-secret handshake.
+    pub auth_failures: u64,
 }
 
 impl ServerStats {
@@ -346,6 +422,11 @@ impl ServerStats {
             "oversized_lines": self.oversized_lines,
             "queue_depth": self.queue_depth,
             "eviction_rate": self.eviction_rate,
+            "repl_frames_shipped": self.repl_frames_shipped,
+            "repl_frames_acked": self.repl_frames_acked,
+            "repl_followers": self.repl_followers,
+            "repl_reconnects": self.repl_reconnects,
+            "auth_failures": self.auth_failures,
         })
     }
 
@@ -400,6 +481,11 @@ impl ServerStats {
             oversized_lines: v.get("oversized_lines").and_then(Value::as_u64).unwrap_or(0),
             queue_depth: v.get("queue_depth").and_then(Value::as_u64).unwrap_or(0),
             eviction_rate: v.get("eviction_rate").and_then(Value::as_f64).unwrap_or(0.0),
+            repl_frames_shipped: v.get("repl_frames_shipped").and_then(Value::as_u64).unwrap_or(0),
+            repl_frames_acked: v.get("repl_frames_acked").and_then(Value::as_u64).unwrap_or(0),
+            repl_followers: v.get("repl_followers").and_then(Value::as_u64).unwrap_or(0),
+            repl_reconnects: v.get("repl_reconnects").and_then(Value::as_u64).unwrap_or(0),
+            auth_failures: v.get("auth_failures").and_then(Value::as_u64).unwrap_or(0),
         })
     }
 }
@@ -651,6 +737,31 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ingest_commit" => Ok(Request::IngestCommit),
         "ingest_abort" => Ok(Request::IngestAbort),
         "health" => Ok(Request::Health),
+        "auth" => {
+            let token =
+                v.get("token").and_then(Value::as_str).ok_or("auth needs a \"token\" string")?;
+            if token.len() > 1024 {
+                return Err("auth token exceeds 1024 bytes".to_string());
+            }
+            Ok(Request::Auth { token: token.to_string() })
+        }
+        "repl_subscribe" => {
+            let from = v
+                .get("from_generation")
+                .and_then(Value::as_u64)
+                .ok_or("repl_subscribe needs a \"from_generation\"")?;
+            Ok(Request::ReplSubscribe { from_generation: from })
+        }
+        "repl_frames" => {
+            let from = v
+                .get("from_generation")
+                .and_then(Value::as_u64)
+                .ok_or("repl_frames needs a \"from_generation\"")?;
+            let max = v.get("max").and_then(Value::as_u64).unwrap_or(16).clamp(1, 1024);
+            Ok(Request::ReplFrames { from_generation: from, max })
+        }
+        "repl_status" => Ok(Request::ReplStatus),
+        "promote" => Ok(Request::Promote),
         other => Err(format!("unknown cmd {other:?}")),
     }
 }
@@ -680,6 +791,15 @@ pub fn request_to_json(req: &Request) -> Value {
         Request::IngestCommit => json!({ "cmd": "ingest_commit" }),
         Request::IngestAbort => json!({ "cmd": "ingest_abort" }),
         Request::Health => json!({ "cmd": "health" }),
+        Request::Auth { token } => json!({ "cmd": "auth", "token": token.as_str() }),
+        Request::ReplSubscribe { from_generation } => {
+            json!({ "cmd": "repl_subscribe", "from_generation": *from_generation })
+        }
+        Request::ReplFrames { from_generation, max } => {
+            json!({ "cmd": "repl_frames", "from_generation": *from_generation, "max": *max })
+        }
+        Request::ReplStatus => json!({ "cmd": "repl_status" }),
+        Request::Promote => json!({ "cmd": "promote" }),
     }
 }
 
@@ -778,8 +898,17 @@ mod tests {
             resident_bytes: 1 << 20,
             uptime_ms: 1234,
             shutting_down: false,
+            role: "follower".to_string(),
+            replica_lag_generations: 2,
+            peer: "tcp:127.0.0.1:7421".to_string(),
         };
         assert_eq!(HealthReport::from_json(&h.to_json()).unwrap(), h);
+        // A pre-replication payload decodes as a peerless primary.
+        let old = serde_json::json!({ "generation": 1, "uptime_ms": 5 });
+        let back = HealthReport::from_json(&old).unwrap();
+        assert_eq!(back.role, "primary");
+        assert_eq!(back.replica_lag_generations, 0);
+        assert_eq!(back.peer, "");
         let e = error_response_coded("queue full", ERR_OVERLOADED);
         assert_eq!(e.get("ok").and_then(Value::as_bool), Some(false));
         assert_eq!(e.get("code").and_then(Value::as_str), Some(ERR_OVERLOADED));
@@ -900,9 +1029,52 @@ mod tests {
             oversized_lines: 1,
             queue_depth: 5,
             eviction_rate: 2.5,
+            repl_frames_shipped: 11,
+            repl_frames_acked: 9,
+            repl_followers: 1,
+            repl_reconnects: 3,
+            auth_failures: 2,
         };
         let back = ServerStats::from_json(&s.to_json()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn replication_verbs_round_trip() {
+        let req = parse_request(r#"{"cmd":"auth","token":"s3cret"}"#).unwrap();
+        let Request::Auth { token } = &req else { panic!("not auth") };
+        assert_eq!(token, "s3cret");
+        let line = serde_json::to_string(&request_to_json(&req)).unwrap();
+        assert!(matches!(parse_request(&line), Ok(Request::Auth { .. })));
+
+        let req = parse_request(r#"{"cmd":"repl_subscribe","from_generation":4}"#).unwrap();
+        assert!(matches!(req, Request::ReplSubscribe { from_generation: 4 }));
+        let line = serde_json::to_string(&request_to_json(&req)).unwrap();
+        assert!(matches!(parse_request(&line), Ok(Request::ReplSubscribe { from_generation: 4 })));
+
+        let req = parse_request(r#"{"cmd":"repl_frames","from_generation":2,"max":8}"#).unwrap();
+        assert!(matches!(req, Request::ReplFrames { from_generation: 2, max: 8 }));
+        // max defaults and is clamped into [1, 1024].
+        let req = parse_request(r#"{"cmd":"repl_frames","from_generation":0}"#).unwrap();
+        assert!(matches!(req, Request::ReplFrames { from_generation: 0, max: 16 }));
+        let req = parse_request(r#"{"cmd":"repl_frames","from_generation":0,"max":9999}"#).unwrap();
+        assert!(matches!(req, Request::ReplFrames { max: 1024, .. }));
+
+        assert!(matches!(parse_request(r#"{"cmd":"repl_status"}"#), Ok(Request::ReplStatus)));
+        assert!(matches!(parse_request(r#"{"cmd":"promote"}"#), Ok(Request::Promote)));
+        for (req, cmd) in [(Request::ReplStatus, "repl_status"), (Request::Promote, "promote")] {
+            let line = serde_json::to_string(&request_to_json(&req)).unwrap();
+            assert!(line.contains(cmd));
+        }
+        // Bad inputs are typed parse errors.
+        for line in [
+            r#"{"cmd":"auth"}"#,
+            r#"{"cmd":"auth","token":7}"#,
+            r#"{"cmd":"repl_subscribe"}"#,
+            r#"{"cmd":"repl_frames"}"#,
+        ] {
+            assert!(parse_request(line).is_err(), "accepted {line}");
+        }
     }
 
     #[test]

@@ -193,6 +193,11 @@ impl DeltaWriter {
         self.gen.generation
     }
 
+    /// The store directory this writer owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
     /// Vertex count of the store (fixed for its lifetime; mutations must
     /// stay within it).
     pub fn num_vertices(&self) -> VertexId {

@@ -41,6 +41,7 @@ pub mod delta;
 pub mod lease;
 pub mod mmap;
 pub mod prefetch;
+pub mod replica;
 pub mod source;
 pub mod wal;
 
@@ -49,6 +50,10 @@ pub use delta::{CompactionPolicy, DeltaWriter};
 pub use lease::{LeaseConfig, WriterLease};
 pub use prefetch::{
     AdaptiveWindow, Prefetcher, DEFAULT_MAX_PREFETCH_LOOKAHEAD, MIN_PREFETCH_WINDOW,
+};
+pub use replica::{
+    decode_frame, encode_frame, read_generation_frame, ApplyOutcome, FrameKind, ReplFrame,
+    ReplicaApplier,
 };
 pub use source::{
     DeltaStats, DiskGridSource, DiskShardSource, PrefetchStats, PrefetchTarget, ResidencyStats,

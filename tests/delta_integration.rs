@@ -218,6 +218,45 @@ fn daemon_rotates_between_rounds_wallclock() {
     daemon_rotation_scenario(ExecutionMode::Wallclock);
 }
 
+/// A generation published *before the daemon's first job round* is
+/// served by that first round. Regression test: the idle service's
+/// construction-time generation pin used to make the round-start
+/// refresh stage (not adopt) the rotation, so the first round silently
+/// served the startup generation while `stats.generation` flipped to
+/// the new one mid-round.
+#[test]
+fn daemon_first_round_serves_pre_round_publish() {
+    let g = generators::rmat(400, 3200, generators::RmatParams::GRAPH500, 83);
+    let dir = store_dir("firstround");
+    Convert::grid(3).write(&g, &dir).unwrap();
+
+    let mut config = ServerConfig::new(&dir);
+    config.socket_path =
+        Some(std::env::temp_dir().join(format!("graphm-firstround-{}.sock", std::process::id())));
+    config.profile = MemoryProfile::TEST;
+    config.batch_window = Duration::from_millis(5);
+    let server = Server::start(config).expect("server starts");
+    let mut client = Client::connect_unix(server.socket_path().unwrap()).expect("connect");
+
+    // Publish while the daemon idles — no job has ever run.
+    let mut writer = DeltaWriter::open(&dir).unwrap().with_policy(CompactionPolicy::never());
+    let records = mutate(&mut writer, &g);
+    assert_eq!(writer.publish().unwrap(), 1);
+    let mut mutated = g.clone();
+    apply_delta_to_edge_list(&mut mutated, &records);
+
+    // The very first job must already run on generation 1.
+    let r1 = client.run(&rotation_spec()).expect("job 1");
+    assert_values_bits(&r1.values, &reference_values(&mutated), "first round, generation 1");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.generation, 1, "first round adopted the pre-round publish");
+    assert_eq!(stats.generation_rotations, 1);
+
+    client.shutdown_server().expect("shutdown");
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `--no-rotate` pins the daemon to its open-time generation even when
 /// newer generations exist on disk.
 #[test]
